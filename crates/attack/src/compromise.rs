@@ -1,0 +1,120 @@
+//! Tracking which smart meters are currently compromised.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use nms_types::MeterId;
+
+/// The set of currently hacked smart meters — the ground-truth state `s_i`
+/// of the paper's POMDP ("there are totally `i` smart meters hacked").
+///
+/// # Examples
+///
+/// ```
+/// use nms_attack::CompromiseSet;
+/// use nms_types::MeterId;
+///
+/// let mut compromised = CompromiseSet::new();
+/// compromised.hack(MeterId::new(3));
+/// compromised.hack(MeterId::new(7));
+/// assert_eq!(compromised.count(), 2);
+/// assert!(compromised.is_hacked(MeterId::new(3)));
+/// let repaired = compromised.repair_all();
+/// assert_eq!(repaired, 2);
+/// assert_eq!(compromised.count(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompromiseSet {
+    hacked: BTreeSet<MeterId>,
+}
+
+impl CompromiseSet {
+    /// An empty (fully healthy) fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a meter as hacked; returns `true` if it was newly compromised.
+    pub fn hack(&mut self, meter: MeterId) -> bool {
+        self.hacked.insert(meter)
+    }
+
+    /// Repairs a single meter; returns `true` if it was compromised.
+    pub fn repair(&mut self, meter: MeterId) -> bool {
+        self.hacked.remove(&meter)
+    }
+
+    /// Repairs every compromised meter ("checking and fixing the hacked
+    /// smart meters", the POMDP's `a_1`), returning how many were fixed —
+    /// the driver of the paper's labor cost.
+    pub fn repair_all(&mut self) -> usize {
+        let fixed = self.hacked.len();
+        self.hacked.clear();
+        fixed
+    }
+
+    /// Whether a specific meter is currently hacked.
+    pub fn is_hacked(&self, meter: MeterId) -> bool {
+        self.hacked.contains(&meter)
+    }
+
+    /// Number of currently hacked meters (the POMDP state index).
+    pub fn count(&self) -> usize {
+        self.hacked.len()
+    }
+
+    /// `true` when no meter is compromised.
+    pub fn is_empty(&self) -> bool {
+        self.hacked.is_empty()
+    }
+
+    /// Iterator over the hacked meters in id order.
+    pub fn iter(&self) -> impl Iterator<Item = MeterId> + '_ {
+        self.hacked.iter().copied()
+    }
+}
+
+impl FromIterator<MeterId> for CompromiseSet {
+    fn from_iter<I: IntoIterator<Item = MeterId>>(iter: I) -> Self {
+        Self {
+            hacked: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<MeterId> for CompromiseSet {
+    fn extend<I: IntoIterator<Item = MeterId>>(&mut self, iter: I) {
+        self.hacked.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hack_and_repair_lifecycle() {
+        let mut set = CompromiseSet::new();
+        assert!(set.is_empty());
+        assert!(set.hack(MeterId::new(1)));
+        assert!(!set.hack(MeterId::new(1))); // already hacked
+        assert!(set.hack(MeterId::new(2)));
+        assert_eq!(set.count(), 2);
+        assert!(set.repair(MeterId::new(1)));
+        assert!(!set.repair(MeterId::new(1)));
+        assert_eq!(set.count(), 1);
+        assert_eq!(set.repair_all(), 1);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut set: CompromiseSet = (0..3).map(MeterId::new).collect();
+        assert_eq!(set.count(), 3);
+        set.extend([MeterId::new(3), MeterId::new(0)]);
+        assert_eq!(set.count(), 4);
+        let ids: Vec<usize> = set.iter().map(|m| m.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Attacker behavior over time: who gets hacked, and when.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use nms_types::{MeterId, ValidateError};
+
+use crate::{CompromiseSet, PriceAttack};
+
+/// Parameters of a stochastic attacker that compromises meters over a
+/// multi-slot simulation (the long-term-detection setting of §4.2/Fig 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackerConfig {
+    /// Probability that a new intrusion campaign starts at any given slot.
+    pub intrusion_probability: f64,
+    /// Number of meters compromised per campaign (capped by the fleet).
+    pub meters_per_intrusion: usize,
+    /// Ceiling on simultaneously compromised meters.
+    pub max_compromised: usize,
+    /// The price manipulation installed on every compromised meter.
+    pub attack: PriceAttack,
+}
+
+impl AttackerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the probability is outside `[0, 1]`
+    /// or the campaign size is zero.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if !(0.0..=1.0).contains(&self.intrusion_probability)
+            || !self.intrusion_probability.is_finite()
+        {
+            return Err(ValidateError::new(
+                "intrusion probability must be in [0, 1]",
+            ));
+        }
+        if self.meters_per_intrusion == 0 {
+            return Err(ValidateError::new("campaign must hack at least one meter"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AttackerConfig {
+    fn default() -> Self {
+        Self {
+            intrusion_probability: 0.25,
+            meters_per_intrusion: 25,
+            max_compromised: 150,
+            attack: PriceAttack::ZeroWindow {
+                from_hour: 16.0,
+                to_hour: 18.0,
+            },
+        }
+    }
+}
+
+/// A stochastic attacker driven by an [`AttackerConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StochasticAttacker {
+    config: AttackerConfig,
+    fleet_size: usize,
+}
+
+impl StochasticAttacker {
+    /// Creates an attacker against a fleet of `fleet_size` meters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] on an invalid config or an empty fleet.
+    pub fn new(config: AttackerConfig, fleet_size: usize) -> Result<Self, ValidateError> {
+        config.validate()?;
+        if fleet_size == 0 {
+            return Err(ValidateError::new("fleet must have at least one meter"));
+        }
+        Ok(Self { config, fleet_size })
+    }
+
+    /// The attacker's configuration.
+    #[inline]
+    pub fn config(&self) -> &AttackerConfig {
+        &self.config
+    }
+
+    /// Advances one slot: possibly launches a campaign, mutating
+    /// `compromised` and returning the newly hacked meters.
+    pub fn step(&self, compromised: &mut CompromiseSet, rng: &mut impl Rng) -> Vec<MeterId> {
+        if compromised.count() >= self.config.max_compromised {
+            return Vec::new();
+        }
+        if !rng.gen_bool(self.config.intrusion_probability) {
+            return Vec::new();
+        }
+        let mut healthy: Vec<MeterId> = (0..self.fleet_size)
+            .map(MeterId::new)
+            .filter(|m| !compromised.is_hacked(*m))
+            .collect();
+        healthy.shuffle(rng);
+        let budget = self.config.meters_per_intrusion.min(
+            self.config
+                .max_compromised
+                .saturating_sub(compromised.count()),
+        );
+        let newly: Vec<MeterId> = healthy.into_iter().take(budget).collect();
+        compromised.extend(newly.iter().copied());
+        newly
+    }
+}
+
+/// A deterministic, scripted attack timeline: at each listed slot, the given
+/// number of additional meters is compromised. Used by reproducible
+/// experiments (Fig 6 / Table 1) where the ground truth must be identical
+/// across detector configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackTimeline {
+    /// `(slot, meters_to_hack)` events, sorted by slot.
+    events: Vec<(usize, usize)>,
+    /// The manipulation installed on compromised meters.
+    attack: PriceAttack,
+}
+
+impl AttackTimeline {
+    /// Builds a timeline from `(slot, meters_to_hack)` events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if any event hacks zero meters.
+    pub fn new(
+        mut events: Vec<(usize, usize)>,
+        attack: PriceAttack,
+    ) -> Result<Self, ValidateError> {
+        if events.iter().any(|&(_, n)| n == 0) {
+            return Err(ValidateError::new(
+                "timeline events must hack at least one meter",
+            ));
+        }
+        events.sort_by_key(|&(slot, _)| slot);
+        Ok(Self { events, attack })
+    }
+
+    /// The manipulation compromised meters apply.
+    #[inline]
+    pub fn attack(&self) -> &PriceAttack {
+        &self.attack
+    }
+
+    /// The scripted events, sorted by slot.
+    #[inline]
+    pub fn events(&self) -> &[(usize, usize)] {
+        &self.events
+    }
+
+    /// Executes the events scheduled for `slot`: compromises the
+    /// lowest-indexed healthy meters (deterministic), returning them.
+    pub fn step(
+        &self,
+        slot: usize,
+        compromised: &mut CompromiseSet,
+        fleet_size: usize,
+    ) -> Vec<MeterId> {
+        let mut newly = Vec::new();
+        for &(event_slot, count) in &self.events {
+            if event_slot != slot {
+                continue;
+            }
+            let mut remaining = count;
+            for index in 0..fleet_size {
+                if remaining == 0 {
+                    break;
+                }
+                let meter = MeterId::new(index);
+                if compromised.hack(meter) {
+                    newly.push(meter);
+                    remaining -= 1;
+                }
+            }
+        }
+        newly
+    }
+
+    /// Total meters the timeline attempts to hack.
+    pub fn total_meters(&self) -> usize {
+        self.events.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn config_validation() {
+        assert!(AttackerConfig::default().validate().is_ok());
+        let bad = AttackerConfig {
+            intrusion_probability: 1.5,
+            ..AttackerConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = AttackerConfig {
+            meters_per_intrusion: 0,
+            ..AttackerConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(StochasticAttacker::new(AttackerConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn stochastic_attacker_respects_cap() {
+        let config = AttackerConfig {
+            intrusion_probability: 1.0,
+            meters_per_intrusion: 40,
+            max_compromised: 60,
+            ..AttackerConfig::default()
+        };
+        let attacker = StochasticAttacker::new(config, 100).unwrap();
+        let mut compromised = CompromiseSet::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10 {
+            attacker.step(&mut compromised, &mut rng);
+        }
+        assert!(compromised.count() <= 60);
+        assert_eq!(compromised.count(), 60);
+    }
+
+    #[test]
+    fn stochastic_attacker_is_deterministic_under_seed() {
+        let attacker = StochasticAttacker::new(AttackerConfig::default(), 50).unwrap();
+        let run = |seed| {
+            let mut compromised = CompromiseSet::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..20 {
+                attacker.step(&mut compromised, &mut rng);
+            }
+            compromised
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn timeline_hacks_scripted_counts() {
+        let timeline = AttackTimeline::new(
+            vec![(5, 3), (2, 2)],
+            PriceAttack::zero_window(16.0, 17.0).unwrap(),
+        )
+        .unwrap();
+        // Events get sorted.
+        assert_eq!(timeline.events()[0].0, 2);
+        assert_eq!(timeline.total_meters(), 5);
+
+        let mut compromised = CompromiseSet::new();
+        assert!(timeline.step(0, &mut compromised, 10).is_empty());
+        let at2 = timeline.step(2, &mut compromised, 10);
+        assert_eq!(at2.len(), 2);
+        let at5 = timeline.step(5, &mut compromised, 10);
+        assert_eq!(at5.len(), 3);
+        assert_eq!(compromised.count(), 5);
+        // Deterministic: lowest ids first.
+        assert!(compromised.is_hacked(MeterId::new(0)));
+        assert!(compromised.is_hacked(MeterId::new(4)));
+        assert!(!compromised.is_hacked(MeterId::new(5)));
+    }
+
+    #[test]
+    fn timeline_saturates_at_fleet_size() {
+        let timeline = AttackTimeline::new(vec![(0, 10)], PriceAttack::InvertAroundMean).unwrap();
+        let mut compromised = CompromiseSet::new();
+        let newly = timeline.step(0, &mut compromised, 4);
+        assert_eq!(newly.len(), 4);
+        assert_eq!(compromised.count(), 4);
+    }
+
+    #[test]
+    fn timeline_rejects_empty_events() {
+        assert!(AttackTimeline::new(vec![(0, 0)], PriceAttack::InvertAroundMean).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! Each bench target regenerates one of the paper's artifacts (printing
+//! the paper-style output once) and then measures the computation with
+//! Criterion. Community size and seed can be overridden with the
+//! `NMS_BENCH_CUSTOMERS` / `NMS_BENCH_SEED` environment variables; the
+//! defaults keep `cargo bench` tractable, while
+//! `NMS_BENCH_CUSTOMERS=500 cargo bench` reproduces the paper's scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nms_sim::PaperScenario;
+
+/// Community size used by the benches (default 40; env-overridable).
+pub fn bench_customers() -> usize {
+    std::env::var("NMS_BENCH_CUSTOMERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// Seed used by the benches (default 2015; env-overridable).
+pub fn bench_seed() -> u64 {
+    std::env::var("NMS_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2015)
+}
+
+/// The benchmark scenario derived from the environment.
+pub fn bench_scenario() -> PaperScenario {
+    let customers = bench_customers();
+    if customers >= 500 {
+        PaperScenario::paper(bench_seed())
+    } else {
+        PaperScenario::small(customers, bench_seed())
+    }
+}
+
+/// A smaller scenario used for the Criterion *timing* loops of the heavy
+/// artifact benches (the artifact itself is regenerated and printed at
+/// [`bench_scenario`] scale). Override with `NMS_BENCH_TIMING_CUSTOMERS`.
+pub fn timing_scenario() -> PaperScenario {
+    let customers = std::env::var("NMS_BENCH_TIMING_CUSTOMERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    PaperScenario::small(customers, bench_seed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let scenario = bench_scenario();
+        assert!(scenario.customers > 0);
+        assert!(scenario.validate().is_ok());
+    }
+}

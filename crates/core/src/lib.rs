@@ -1,0 +1,52 @@
+//! The net-metering-aware smart home pricing cyberattack detection framework
+//! — the primary contribution of *"Impact Assessment of Net Metering on
+//! Smart Home Cyberattack Detection"* (DAC 2015).
+//!
+//! The framework composes four pieces:
+//!
+//! 1. [`PricePredictor`] — SVR prediction of the next day's guideline price,
+//!    either *naive* (price history only, the state of the art of \[8\]) or
+//!    *net-metering aware* (the paper's `G(p, V, D)` features);
+//! 2. [`LoadPredictor`] — simulation of the community's scheduling response
+//!    to a price signal by solving the scheduling game (§3), either modeling
+//!    net metering (PV + battery + sell-back) or ignoring it;
+//! 3. [`SingleEventDetector`] — the PAR comparison of §4.1: simulate with
+//!    the predicted and the received price, flag when
+//!    `P_r − P_p > δ_P`, and map the excess into an *observed hacked-meter
+//!    bucket* via a calibration table;
+//! 4. [`LongTermDetector`] — the POMDP of §4.2 over hacked-meter buckets,
+//!    deciding each slot between continuing to monitor (`a_0`) and checking
+//!    & fixing the meters (`a_1`).
+//!
+//! `nms-sim` wires these into the paper's experiments; see DESIGN.md for
+//! the experiment index.
+//!
+//! # Examples
+//!
+//! ```
+//! use nms_core::{DetectorMode, FrameworkConfig};
+//!
+//! let aware = FrameworkConfig::new(DetectorMode::NetMeteringAware, 24);
+//! let naive = FrameworkConfig::new(DetectorMode::IgnoreNetMetering, 24);
+//! assert!(aware.load.net_metering);
+//! assert!(!naive.load.net_metering);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod long_term;
+mod metrics;
+mod pipeline;
+mod predict_load;
+mod predict_price;
+mod single_event;
+
+pub use long_term::{
+    analytic_observation_matrix, DetectorAction, LongTermConfig, LongTermDetector, PomdpSolverKind,
+};
+pub use metrics::{AccuracyTracker, DetectionReport, LaborTracker};
+pub use pipeline::{DetectorMode, FrameworkConfig};
+pub use predict_load::{LoadPredictor, PredictedResponse};
+pub use predict_price::{PredictPriceError, PricePredictor};
+pub use single_event::{ParObservationMap, SingleEventDetector, SingleEventOutcome};

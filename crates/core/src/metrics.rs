@@ -1,0 +1,205 @@
+//! Detection-quality metrics: observation accuracy (Fig 6) and labor cost
+//! (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks how often the single-event observation matched the true hacked
+/// bucket — the paper's *observation accuracy* (95.14% with net metering
+/// modeled vs 65.95% without).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccuracyTracker {
+    matches: usize,
+    total: usize,
+    per_slot: Vec<bool>,
+}
+
+impl AccuracyTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one slot's (true, observed) bucket pair.
+    pub fn record(&mut self, true_bucket: usize, observed_bucket: usize) {
+        let hit = true_bucket == observed_bucket;
+        self.matches += usize::from(hit);
+        self.total += 1;
+        self.per_slot.push(hit);
+    }
+
+    /// Number of recorded slots.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Observation accuracy in `[0, 1]`; `None` before any record.
+    pub fn accuracy(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.matches as f64 / self.total as f64)
+    }
+
+    /// Per-slot hit/miss trace (for Fig 6-style plots).
+    #[inline]
+    pub fn per_slot(&self) -> &[bool] {
+        &self.per_slot
+    }
+
+    /// Running accuracy after each slot (the paper's Fig 6 series).
+    pub fn running_accuracy(&self) -> Vec<f64> {
+        let mut hits = 0usize;
+        self.per_slot
+            .iter()
+            .enumerate()
+            .map(|(i, &hit)| {
+                hits += usize::from(hit);
+                hits as f64 / (i + 1) as f64
+            })
+            .collect()
+    }
+}
+
+/// Tracks the labor spent on check-and-fix actions (Table 1's normalized
+/// labor cost).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LaborTracker {
+    fixes: usize,
+    meters_repaired: usize,
+    cost_per_fix: f64,
+    cost_per_meter: f64,
+}
+
+impl LaborTracker {
+    /// A tracker with a fixed dispatch cost per fix action plus a per-meter
+    /// repair cost.
+    pub fn new(cost_per_fix: f64, cost_per_meter: f64) -> Self {
+        Self {
+            fixes: 0,
+            meters_repaired: 0,
+            cost_per_fix,
+            cost_per_meter,
+        }
+    }
+
+    /// Records one fix action that repaired `meters` meters.
+    pub fn record_fix(&mut self, meters: usize) {
+        self.fixes += 1;
+        self.meters_repaired += meters;
+    }
+
+    /// Number of fix actions taken.
+    #[inline]
+    pub fn fixes(&self) -> usize {
+        self.fixes
+    }
+
+    /// Total meters repaired.
+    #[inline]
+    pub fn meters_repaired(&self) -> usize {
+        self.meters_repaired
+    }
+
+    /// Total labor cost.
+    pub fn total_cost(&self) -> f64 {
+        self.fixes as f64 * self.cost_per_fix + self.meters_repaired as f64 * self.cost_per_meter
+    }
+
+    /// This tracker's cost normalized by a baseline tracker's (Table 1's
+    /// "Normalized Labor Cost" row); `None` when the baseline cost is zero.
+    pub fn normalized_against(&self, baseline: &LaborTracker) -> Option<f64> {
+        let base = baseline.total_cost();
+        (base > 0.0).then(|| self.total_cost() / base)
+    }
+}
+
+/// A summary row comparing detector configurations (Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Configuration label (e.g. "Detection Considering Net Metering").
+    pub label: String,
+    /// PAR of the community grid demand over the evaluation window.
+    pub par: f64,
+    /// Observation accuracy in `[0, 1]`, when tracked.
+    pub observation_accuracy: Option<f64>,
+    /// Normalized labor cost against the no-net-metering baseline, when
+    /// meaningful.
+    pub normalized_labor_cost: Option<f64>,
+}
+
+impl std::fmt::Display for DetectionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: PAR {:.4}", self.label, self.par)?;
+        if let Some(acc) = self.observation_accuracy {
+            write!(f, ", accuracy {:.2}%", acc * 100.0)?;
+        }
+        if let Some(labor) = self.normalized_labor_cost {
+            write!(f, ", labor {labor:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_tracks_matches() {
+        let mut tracker = AccuracyTracker::new();
+        assert!(tracker.accuracy().is_none());
+        tracker.record(0, 0);
+        tracker.record(1, 1);
+        tracker.record(2, 1);
+        tracker.record(3, 3);
+        assert_eq!(tracker.total(), 4);
+        assert!((tracker.accuracy().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(tracker.per_slot(), &[true, true, false, true]);
+    }
+
+    #[test]
+    fn running_accuracy_converges_to_final() {
+        let mut tracker = AccuracyTracker::new();
+        for i in 0..10 {
+            tracker.record(i % 3, 0);
+        }
+        let running = tracker.running_accuracy();
+        assert_eq!(running.len(), 10);
+        assert!((running[9] - tracker.accuracy().unwrap()).abs() < 1e-12);
+        assert_eq!(running[0], 1.0); // first record was a hit (0 == 0)
+    }
+
+    #[test]
+    fn labor_cost_accumulates() {
+        let mut labor = LaborTracker::new(10.0, 1.0);
+        labor.record_fix(5);
+        labor.record_fix(0);
+        assert_eq!(labor.fixes(), 2);
+        assert_eq!(labor.meters_repaired(), 5);
+        assert!((labor.total_cost() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let mut baseline = LaborTracker::new(10.0, 0.0);
+        baseline.record_fix(3);
+        let mut ours = LaborTracker::new(10.0, 0.0);
+        ours.record_fix(3);
+        ours.record_fix(1);
+        assert!((ours.normalized_against(&baseline).unwrap() - 2.0).abs() < 1e-12);
+        let empty = LaborTracker::new(10.0, 0.0);
+        assert!(ours.normalized_against(&empty).is_none());
+    }
+
+    #[test]
+    fn report_display() {
+        let report = DetectionReport {
+            label: "Detection Considering Net Metering".into(),
+            par: 1.4112,
+            observation_accuracy: Some(0.9514),
+            normalized_labor_cost: Some(1.0067),
+        };
+        let text = report.to_string();
+        assert!(text.contains("1.4112"));
+        assert!(text.contains("95.14%"));
+        assert!(text.contains("1.0067"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Feature standardization (zero mean, unit variance per column).
+
+use serde::{Deserialize, Serialize};
+
+use nms_types::ValidateError;
+
+/// Per-feature standardizer fitted on a training matrix.
+///
+/// Constant features are passed through unshifted in scale (std clamped to
+/// 1), so standardizing never divides by zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on row-major samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] on an empty sample set, ragged rows, or
+    /// non-finite values.
+    pub fn fit(samples: &[Vec<f64>]) -> Result<Self, ValidateError> {
+        let first = samples
+            .first()
+            .ok_or_else(|| ValidateError::new("cannot fit scaler on zero samples"))?;
+        let dim = first.len();
+        for (i, row) in samples.iter().enumerate() {
+            if row.len() != dim {
+                return Err(ValidateError::new(format!(
+                    "row {i} has {} features, expected {dim}",
+                    row.len()
+                )));
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(ValidateError::new(format!(
+                    "row {i} has non-finite feature"
+                )));
+            }
+        }
+        let n = samples.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in samples {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for row in samples {
+            for ((s, v), m) in stds.iter_mut().zip(row).zip(&means) {
+                let d = v - m;
+                *s += d * d;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Ok(Self { means, stds })
+    }
+
+    /// Number of features the scaler was fitted on.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` has the wrong dimension.
+    pub fn transform(&self, sample: &[f64]) -> Vec<f64> {
+        assert_eq!(sample.len(), self.dim(), "sample dimension");
+        sample
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a whole matrix.
+    pub fn transform_all(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        samples.iter().map(|row| self.transform(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let samples = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let scaler = StandardScaler::fit(&samples).unwrap();
+        let transformed = scaler.transform_all(&samples);
+        for col in 0..2 {
+            let mean: f64 = transformed.iter().map(|r| r[col]).sum::<f64>() / 3.0;
+            let var: f64 = transformed.iter().map(|r| r[col] * r[col]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_passes_through() {
+        let samples = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let scaler = StandardScaler::fit(&samples).unwrap();
+        assert_eq!(scaler.transform(&[7.0]), vec![0.0]);
+        assert_eq!(scaler.transform(&[8.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(StandardScaler::fit(&[]).is_err());
+        assert!(StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(StandardScaler::fit(&[vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample dimension")]
+    fn transform_checks_dimension() {
+        let scaler = StandardScaler::fit(&[vec![1.0], vec![2.0]]).unwrap();
+        let _ = scaler.transform(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Estimating the transition and observation models from logged episodes
+//! ("the state transition probability T and observation function Ω are
+//! trained based on the historical data", §4.2).
+
+use serde::{Deserialize, Serialize};
+
+use nms_types::ValidateError;
+
+/// One logged step of an episode with known ground truth (training data is
+/// collected in a controlled setting where the true hacked count is known).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpisodeStep {
+    /// State before the action.
+    pub state: usize,
+    /// Action taken.
+    pub action: usize,
+    /// State after the action.
+    pub next_state: usize,
+    /// Observation emitted at the arrival state.
+    pub observation: usize,
+}
+
+/// Estimates `(transition, observation)` tensors from episodes with
+/// add-one (Laplace) smoothing, shaped `[action][state][next]` and
+/// `[action][next][observation]` respectively — ready for
+/// [`PomdpBuilder`](crate::PomdpBuilder).
+///
+/// Smoothing guarantees every row is a valid distribution even for
+/// state/action pairs never visited.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when any index is out of range or the
+/// cardinalities are zero.
+#[allow(clippy::type_complexity)]
+pub fn estimate_from_histories(
+    episodes: &[Vec<EpisodeStep>],
+    states: usize,
+    actions: usize,
+    observations: usize,
+) -> Result<(Vec<Vec<Vec<f64>>>, Vec<Vec<Vec<f64>>>), ValidateError> {
+    if states == 0 || actions == 0 || observations == 0 {
+        return Err(ValidateError::new(
+            "states, actions, and observations must all be positive",
+        ));
+    }
+    let mut t_counts = vec![vec![vec![1.0_f64; states]; states]; actions];
+    let mut z_counts = vec![vec![vec![1.0_f64; observations]; states]; actions];
+    for (e, episode) in episodes.iter().enumerate() {
+        for (i, step) in episode.iter().enumerate() {
+            if step.state >= states
+                || step.next_state >= states
+                || step.action >= actions
+                || step.observation >= observations
+            {
+                return Err(ValidateError::new(format!(
+                    "episode {e} step {i} has out-of-range indices: {step:?}"
+                )));
+            }
+            t_counts[step.action][step.state][step.next_state] += 1.0;
+            z_counts[step.action][step.next_state][step.observation] += 1.0;
+        }
+    }
+    for plane in t_counts.iter_mut().chain(z_counts.iter_mut()) {
+        for row in plane.iter_mut() {
+            let total: f64 = row.iter().sum();
+            for p in row.iter_mut() {
+                *p /= total;
+            }
+        }
+    }
+    Ok((t_counts, z_counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pomdp;
+
+    fn step(state: usize, action: usize, next_state: usize, observation: usize) -> EpisodeStep {
+        EpisodeStep {
+            state,
+            action,
+            next_state,
+            observation,
+        }
+    }
+
+    #[test]
+    fn estimates_recover_dominant_dynamics() {
+        // Action 0 keeps the state; action 1 flips it. Observations mirror
+        // the arrival state.
+        let mut episodes = Vec::new();
+        for _ in 0..50 {
+            episodes.push(vec![
+                step(0, 0, 0, 0),
+                step(0, 1, 1, 1),
+                step(1, 0, 1, 1),
+                step(1, 1, 0, 0),
+            ]);
+        }
+        let (t, z) = estimate_from_histories(&episodes, 2, 2, 2).unwrap();
+        assert!(t[0][0][0] > 0.9);
+        assert!(t[1][0][1] > 0.9);
+        assert!(z[0][1][1] > 0.9);
+        assert!(z[1][0][0] > 0.9);
+    }
+
+    #[test]
+    fn rows_are_distributions_even_unvisited() {
+        let (t, z) = estimate_from_histories(&[], 3, 2, 4).unwrap();
+        for plane in t.iter().chain(z.iter()) {
+            for row in plane {
+                let total: f64 = row.iter().sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+        // Laplace prior: unvisited rows are uniform.
+        assert!((t[0][0][0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((z[1][2][3] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimated_tensors_build_a_valid_pomdp() {
+        let episodes = vec![vec![step(0, 0, 1, 1), step(1, 1, 0, 0)]];
+        let (t, z) = estimate_from_histories(&episodes, 2, 2, 2).unwrap();
+        let mut builder = Pomdp::builder(2, 2, 2).reward_fn(|_, _, _| 0.0);
+        for (a, (ta, za)) in t.into_iter().zip(z).enumerate() {
+            builder = builder.transition(a, ta).observation(a, za);
+        }
+        assert!(builder.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        let episodes = vec![vec![step(5, 0, 0, 0)]];
+        assert!(estimate_from_histories(&episodes, 2, 2, 2).is_err());
+        let episodes = vec![vec![step(0, 0, 0, 9)]];
+        assert!(estimate_from_histories(&episodes, 2, 2, 2).is_err());
+        assert!(estimate_from_histories(&[], 0, 1, 1).is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! Lovejoy's fixed-grid value iteration over the belief simplex.
+//!
+//! The belief simplex is discretized into the regular grid
+//! `{b : b_i = k_i / r, Σ k_i = r}` and value iteration runs over the grid
+//! points, with off-grid beliefs (the Bayes updates) evaluated by
+//! *Freudenthal interpolation* — the barycentric scheme over the simplex
+//! triangulation that makes the approximation an upper bound on the true
+//! value function (Lovejoy, 1991). This is the classic alternative to
+//! point-based methods: dense and regular where PBVI is adaptive.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Belief, Policy, Pomdp};
+
+/// Configuration for [`GridPolicy::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Grid resolution `r`: beliefs are multiples of `1/r`. The grid has
+    /// `C(r + |S| − 1, |S| − 1)` points — keep `r·|S|` modest.
+    pub resolution: usize,
+    /// Maximum value-iteration sweeps.
+    pub iterations: usize,
+    /// Stop when the largest grid-value change falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self {
+            resolution: 4,
+            iterations: 120,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// A solved fixed-grid policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPolicy {
+    /// Grid beliefs, as integer compositions `k` with `Σ k_i = r`.
+    compositions: Vec<Vec<u32>>,
+    /// Value at each grid point.
+    values: Vec<f64>,
+    resolution: usize,
+    /// The model is retained for one-step lookahead at action time.
+    pomdp: Pomdp,
+}
+
+impl GridPolicy {
+    /// Solves `pomdp` by value iteration over the regular belief grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.resolution` is zero.
+    pub fn solve(pomdp: &Pomdp, config: &GridConfig) -> Self {
+        assert!(config.resolution > 0, "grid resolution must be positive");
+        let n = pomdp.states();
+        let r = config.resolution;
+        let compositions = enumerate_compositions(n, r as u32);
+        let index: HashMap<Vec<u32>, usize> = compositions
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
+
+        let mut values = vec![0.0_f64; compositions.len()];
+        for _ in 0..config.iterations {
+            let mut next = vec![0.0_f64; compositions.len()];
+            let mut residual = 0.0_f64;
+            for (i, composition) in compositions.iter().enumerate() {
+                let belief = composition_belief(composition, r);
+                next[i] = bellman_backup(pomdp, &belief, r, &index, &values, &compositions).0;
+                residual = residual.max((next[i] - values[i]).abs());
+            }
+            values = next;
+            if residual < config.tolerance {
+                break;
+            }
+        }
+
+        Self {
+            compositions,
+            values,
+            resolution: r,
+            pomdp: pomdp.clone(),
+        }
+    }
+
+    /// Number of grid points.
+    #[inline]
+    pub fn grid_size(&self) -> usize {
+        self.compositions.len()
+    }
+
+    fn index_map(&self) -> HashMap<Vec<u32>, usize> {
+        self.compositions
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect()
+    }
+}
+
+impl Policy for GridPolicy {
+    fn action(&self, belief: &Belief) -> usize {
+        let index = self.index_map();
+        bellman_backup(
+            &self.pomdp,
+            belief,
+            self.resolution,
+            &index,
+            &self.values,
+            &self.compositions,
+        )
+        .1
+    }
+
+    fn value(&self, belief: &Belief) -> f64 {
+        let index = self.index_map();
+        interpolate(belief, self.resolution, &index, &self.values)
+    }
+}
+
+/// One-step lookahead with interpolated continuation values; returns
+/// `(value, argmax action)`.
+fn bellman_backup(
+    pomdp: &Pomdp,
+    belief: &Belief,
+    resolution: usize,
+    index: &HashMap<Vec<u32>, usize>,
+    values: &[f64],
+    _compositions: &[Vec<u32>],
+) -> (f64, usize) {
+    let mut best = (f64::NEG_INFINITY, 0usize);
+    for a in 0..pomdp.actions() {
+        let immediate = belief.expectation(|s| pomdp.expected_reward(s, a));
+        let mut continuation = 0.0;
+        for o in 0..pomdp.observations() {
+            // P(o | b, a) = Σ_{s'} Ω(o|s',a) Σ_s T(s'|s,a) b(s).
+            let predicted = belief.predict(pomdp, a);
+            let p_o: f64 = (0..pomdp.states())
+                .map(|s2| predicted.prob(s2) * pomdp.observation_prob(s2, a, o))
+                .sum();
+            if p_o <= 1e-12 {
+                continue;
+            }
+            let updated = belief
+                .update(pomdp, a, o)
+                .expect("observation has positive probability");
+            continuation += p_o * interpolate(&updated, resolution, index, values);
+        }
+        let q = immediate + pomdp.discount() * continuation;
+        if q > best.0 {
+            best = (q, a);
+        }
+    }
+    best
+}
+
+/// Freudenthal interpolation of grid values at an arbitrary belief.
+fn interpolate(
+    belief: &Belief,
+    resolution: usize,
+    index: &HashMap<Vec<u32>, usize>,
+    values: &[f64],
+) -> f64 {
+    let mut total = 0.0;
+    for (composition, weight) in freudenthal_vertices(belief.as_slice(), resolution) {
+        let i = *index
+            .get(&composition)
+            .expect("freudenthal vertices lie on the grid");
+        total += weight * values[i];
+    }
+    total
+}
+
+/// The Freudenthal simplex vertices containing `belief` (scaled by `r`),
+/// with barycentric weights. Weights are non-negative and sum to one.
+fn freudenthal_vertices(belief: &[f64], resolution: usize) -> Vec<(Vec<u32>, f64)> {
+    let n = belief.len();
+    let r = resolution as f64;
+    // Staircase coordinates: x_i = r · Σ_{j ≥ i} b_j (non-increasing,
+    // x_0 = r, implicit x_n = 0).
+    let mut x = vec![0.0_f64; n];
+    let mut acc = 0.0;
+    for i in (0..n).rev() {
+        acc += belief[i];
+        x[i] = (r * acc).min(r);
+    }
+    x[0] = r; // exact by construction
+
+    let base: Vec<u32> = x.iter().map(|v| v.floor() as u32).collect();
+    let frac: Vec<f64> = x
+        .iter()
+        .zip(&base)
+        .map(|(v, b)| (v - *b as f64).clamp(0.0, 1.0))
+        .collect();
+
+    // Sort dimensions by descending fractional part; walk the staircase.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| frac[j].partial_cmp(&frac[i]).expect("finite fractions"));
+
+    // Vertex 0 = base; vertex k = vertex k−1 + e_{order[k−1]}.
+    let mut vertices_staircase = Vec::with_capacity(n + 1);
+    let mut current = base.clone();
+    vertices_staircase.push(current.clone());
+    for &dim in &order {
+        current[dim] += 1;
+        vertices_staircase.push(current.clone());
+    }
+    // Barycentric weights: λ_0 = 1 − d_(1), λ_k = d_(k) − d_(k+1), λ_n = d_(n).
+    let mut weights = Vec::with_capacity(n + 1);
+    let sorted: Vec<f64> = order.iter().map(|&i| frac[i]).collect();
+    weights.push(1.0 - sorted.first().copied().unwrap_or(0.0));
+    for k in 0..n {
+        let next = sorted.get(k + 1).copied().unwrap_or(0.0);
+        weights.push(sorted[k] - next);
+    }
+
+    // Convert staircase vertices back to grid compositions:
+    // k_i = x_i − x_{i+1} (with x_n = 0). Some vertices may be invalid
+    // staircases (non-monotone) when their weight is zero; skip those.
+    let mut out = Vec::with_capacity(n + 1);
+    for (vertex, weight) in vertices_staircase.into_iter().zip(weights) {
+        if weight <= 1e-12 {
+            continue;
+        }
+        let mut composition = Vec::with_capacity(n);
+        let mut valid = true;
+        for i in 0..n {
+            let hi = vertex[i];
+            let lo = if i + 1 < n { vertex[i + 1] } else { 0 };
+            if hi < lo {
+                valid = false;
+                break;
+            }
+            composition.push(hi - lo);
+        }
+        if valid && composition.iter().sum::<u32>() == resolution as u32 {
+            out.push((composition, weight));
+        }
+    }
+    // Renormalize in case degenerate vertices were skipped.
+    let total: f64 = out.iter().map(|(_, w)| w).sum();
+    if total > 0.0 {
+        for (_, w) in &mut out {
+            *w /= total;
+        }
+    }
+    out
+}
+
+/// All integer compositions of `total` into `parts` parts.
+fn enumerate_compositions(parts: usize, total: u32) -> Vec<Vec<u32>> {
+    fn recurse(parts: usize, total: u32, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if parts == 1 {
+            prefix.push(total);
+            out.push(prefix.clone());
+            prefix.pop();
+            return;
+        }
+        for k in 0..=total {
+            prefix.push(k);
+            recurse(parts - 1, total - k, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    recurse(parts, total, &mut Vec::new(), &mut out);
+    out
+}
+
+fn composition_belief(composition: &[u32], resolution: usize) -> Belief {
+    Belief::from_weights(
+        composition
+            .iter()
+            .map(|&k| k as f64 / resolution as f64 + 1e-15)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PbviConfig, PbviPolicy, QmdpPolicy};
+
+    fn meter_pomdp() -> Pomdp {
+        let z = |s: usize| {
+            let mut row = vec![0.05, 0.05, 0.05];
+            row[s] = 0.9;
+            row
+        };
+        Pomdp::builder(3, 2, 3)
+            .transition(
+                0,
+                vec![
+                    vec![0.7, 0.3, 0.0],
+                    vec![0.0, 0.7, 0.3],
+                    vec![0.0, 0.0, 1.0],
+                ],
+            )
+            .transition(
+                1,
+                vec![
+                    vec![1.0, 0.0, 0.0],
+                    vec![1.0, 0.0, 0.0],
+                    vec![1.0, 0.0, 0.0],
+                ],
+            )
+            .observation(0, vec![z(0), z(1), z(2)])
+            .observation(1, vec![z(0), z(1), z(2)])
+            .reward_fn(|a, s, _| -4.0 * s as f64 - if a == 1 { 2.0 } else { 0.0 })
+            .discount(0.9)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn composition_enumeration_counts() {
+        // C(r + n − 1, n − 1): n = 3, r = 4 → C(6, 2) = 15.
+        assert_eq!(enumerate_compositions(3, 4).len(), 15);
+        assert_eq!(enumerate_compositions(2, 5).len(), 6);
+        for composition in enumerate_compositions(4, 3) {
+            assert_eq!(composition.iter().sum::<u32>(), 3);
+        }
+    }
+
+    #[test]
+    fn freudenthal_weights_are_barycentric() {
+        for belief in [
+            vec![1.0, 0.0, 0.0],
+            vec![0.25, 0.5, 0.25],
+            vec![0.37, 0.21, 0.42],
+            vec![0.0, 0.0, 1.0],
+        ] {
+            let vertices = freudenthal_vertices(&belief, 4);
+            let total: f64 = vertices.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "weights sum {total}");
+            for (composition, weight) in &vertices {
+                assert!(*weight >= 0.0);
+                assert_eq!(composition.iter().sum::<u32>(), 4);
+            }
+            // The interpolated belief reconstructs the input.
+            for i in 0..belief.len() {
+                let recon: f64 = vertices.iter().map(|(c, w)| w * c[i] as f64 / 4.0).sum();
+                assert!(
+                    (recon - belief[i]).abs() < 1e-9,
+                    "component {i}: {recon} vs {}",
+                    belief[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_exact_on_grid_points() {
+        let pomdp = meter_pomdp();
+        let policy = GridPolicy::solve(&pomdp, &GridConfig::default());
+        let index = policy.index_map();
+        for (i, composition) in policy.compositions.iter().enumerate() {
+            let belief = composition_belief(composition, policy.resolution);
+            let v = interpolate(&belief, policy.resolution, &index, &policy.values);
+            assert!(
+                (v - policy.values[i]).abs() < 1e-9,
+                "grid point {i}: {v} vs {}",
+                policy.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grid_policy_acts_like_other_solvers_at_corners() {
+        let pomdp = meter_pomdp();
+        let grid = GridPolicy::solve(&pomdp, &GridConfig::default());
+        assert_eq!(
+            grid.action(&Belief::point(3, 2)),
+            1,
+            "fix when fully hacked"
+        );
+        assert_eq!(grid.action(&Belief::point(3, 0)), 0, "monitor when clean");
+    }
+
+    #[test]
+    fn grid_value_brackets_pbvi_lower_bound() {
+        // Grid VI is an upper bound on V*; PBVI's alpha vectors are a lower
+        // bound. The gap should be modest for this small problem.
+        let pomdp = meter_pomdp();
+        let grid = GridPolicy::solve(
+            &pomdp,
+            &GridConfig {
+                resolution: 6,
+                ..GridConfig::default()
+            },
+        );
+        let pbvi = PbviPolicy::solve(&pomdp, &PbviConfig::default());
+        let qmdp = QmdpPolicy::solve(&pomdp, 1e-10, 5000);
+        for weights in [vec![1.0, 1.0, 1.0], vec![3.0, 1.0, 0.5]] {
+            let b = Belief::from_weights(weights);
+            let v_grid = grid.value(&b);
+            let v_pbvi = pbvi.value(&b);
+            let v_qmdp = qmdp.value(&b);
+            assert!(
+                v_grid >= v_pbvi - 0.5,
+                "grid {v_grid} should not sit far below pbvi {v_pbvi}"
+            );
+            // QMDP is also an upper bound; both should land in a band.
+            assert!((v_grid - v_qmdp).abs() < 10.0);
+        }
+    }
+
+    #[test]
+    fn finer_grids_do_not_worsen_the_upper_bound() {
+        let pomdp = meter_pomdp();
+        let coarse = GridPolicy::solve(
+            &pomdp,
+            &GridConfig {
+                resolution: 2,
+                ..GridConfig::default()
+            },
+        );
+        let fine = GridPolicy::solve(
+            &pomdp,
+            &GridConfig {
+                resolution: 8,
+                ..GridConfig::default()
+            },
+        );
+        assert!(fine.grid_size() > coarse.grid_size());
+        let b = Belief::uniform(3);
+        // Finer grids tighten (reduce) the upper bound, modulo tolerance.
+        assert!(fine.value(&b) <= coarse.value(&b) + 0.5);
+    }
+}

@@ -1,0 +1,255 @@
+//! Billing: evaluating the cost equations over a complete community
+//! schedule.
+
+use serde::{Deserialize, Serialize};
+
+use nms_smarthome::CommunitySchedule;
+use nms_types::{CustomerId, Dollars, HorizonMismatchError, TimeSeries};
+
+use crate::{CostModel, NetMeteringTariff, PriceSignal};
+
+/// One customer's bill decomposed into purchases and net-metering credits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BillBreakdown {
+    /// Who the bill belongs to.
+    pub customer: CustomerId,
+    /// Dollars paid for purchased energy.
+    pub purchases: Dollars,
+    /// Dollars credited for energy sold back (non-negative).
+    pub credits: Dollars,
+}
+
+impl BillBreakdown {
+    /// Net amount due: purchases minus credits.
+    pub fn net(&self) -> Dollars {
+        self.purchases - self.credits
+    }
+}
+
+/// Bills a [`CommunitySchedule`] under a price signal and tariff.
+///
+/// # Examples
+///
+/// See the `billing_sums_to_community_cost` test: for an all-buying
+/// community the per-customer bills sum to the utility's quadratic
+/// procurement cost.
+#[derive(Debug, Clone)]
+pub struct BillingEngine {
+    prices: PriceSignal,
+    tariff: NetMeteringTariff,
+}
+
+impl BillingEngine {
+    /// Creates a billing engine for the given price signal and tariff.
+    pub fn new(prices: PriceSignal, tariff: NetMeteringTariff) -> Self {
+        Self { prices, tariff }
+    }
+
+    /// The bound price signal.
+    #[inline]
+    pub fn prices(&self) -> &PriceSignal {
+        &self.prices
+    }
+
+    /// The bound tariff.
+    #[inline]
+    pub fn tariff(&self) -> NetMeteringTariff {
+        self.tariff
+    }
+
+    /// Computes each customer's bill under Eqn (2)'s per-slot costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HorizonMismatchError`] if the schedule's horizon disagrees
+    /// with the price signal's.
+    pub fn bill(
+        &self,
+        schedule: &CommunitySchedule,
+    ) -> Result<Vec<BillBreakdown>, HorizonMismatchError> {
+        if schedule.horizon().slots() != self.prices.len() {
+            return Err(HorizonMismatchError {
+                expected: self.prices.len(),
+                actual: schedule.horizon().slots(),
+            });
+        }
+        let model = CostModel::new(&self.prices, self.tariff);
+        let total: &TimeSeries<f64> = schedule.grid_demand();
+        let mut bills = Vec::with_capacity(schedule.customer_schedules().len());
+        for plan in schedule.customer_schedules() {
+            let mut purchases = Dollars::ZERO;
+            let mut credits = Dollars::ZERO;
+            for slot in 0..self.prices.len() {
+                let own = plan.trading()[slot];
+                let others = total[slot] - own;
+                let cost = model.slot_cost(slot, others, own);
+                if cost.value() >= 0.0 {
+                    purchases += cost;
+                } else {
+                    credits += -cost;
+                }
+            }
+            bills.push(BillBreakdown {
+                customer: plan.customer(),
+                purchases,
+                credits,
+            });
+        }
+        Ok(bills)
+    }
+
+    /// Total of all net bills.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BillingEngine::bill`].
+    pub fn total_revenue(
+        &self,
+        schedule: &CommunitySchedule,
+    ) -> Result<Dollars, HorizonMismatchError> {
+        Ok(self.bill(schedule)?.iter().map(BillBreakdown::net).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nms_smarthome::{
+        Appliance, ApplianceKind, ApplianceSchedule, Community, Customer, CustomerSchedule,
+        PowerLevels, PvPanel, TaskSpec,
+    };
+    use nms_types::{ApplianceId, Horizon, Kw, Kwh, TimeSeries};
+
+    fn day() -> Horizon {
+        Horizon::hourly_day()
+    }
+
+    fn buying_community(n: usize) -> CommunitySchedule {
+        let appliance = Appliance::new(
+            ApplianceId::new(0),
+            ApplianceKind::WaterHeater,
+            PowerLevels::on_off(Kw::new(2.0)).unwrap(),
+            TaskSpec::new(Kwh::new(4.0), 0, 23).unwrap(),
+        );
+        let customers: Vec<Customer> = (0..n)
+            .map(|i| {
+                Customer::builder(CustomerId::new(i), day())
+                    .appliance(appliance.clone())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let community = Community::new(day(), customers).unwrap();
+        let schedules = community
+            .iter()
+            .map(|c| {
+                let mut e = TimeSeries::filled(day(), 0.0);
+                e[10] = 2.0;
+                e[11] = 2.0;
+                let s = ApplianceSchedule::new(&c.appliances()[0], day(), e).unwrap();
+                CustomerSchedule::with_idle_battery(c, vec![s]).unwrap()
+            })
+            .collect();
+        CommunitySchedule::new(day(), schedules).unwrap()
+    }
+
+    #[test]
+    fn billing_sums_to_community_cost() {
+        let schedule = buying_community(5);
+        let prices = PriceSignal::flat(day(), 0.02).unwrap();
+        let engine = BillingEngine::new(prices.clone(), NetMeteringTariff::full_retail());
+        let bills = engine.bill(&schedule).unwrap();
+        assert_eq!(bills.len(), 5);
+        let revenue = engine.total_revenue(&schedule).unwrap();
+        let model = CostModel::new(&prices, NetMeteringTariff::full_retail());
+        let community_cost = model.community_cost(schedule.grid_demand());
+        assert!((revenue.value() - community_cost.value()).abs() < 1e-9);
+        for bill in &bills {
+            assert_eq!(bill.credits, Dollars::ZERO);
+            assert!(bill.net().value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn seller_earns_credit() {
+        // One pure PV producer among buyers.
+        let pv_profile = TimeSeries::from_fn(day(), |h| if h == 10 { 3.0 } else { 0.0 });
+        let producer = Customer::builder(CustomerId::new(0), day())
+            .pv(PvPanel::new(Kw::new(3.0), pv_profile).unwrap())
+            .build()
+            .unwrap();
+        let appliance = Appliance::new(
+            ApplianceId::new(0),
+            ApplianceKind::Oven,
+            PowerLevels::on_off(Kw::new(2.0)).unwrap(),
+            TaskSpec::new(Kwh::new(2.0), 10, 11).unwrap(),
+        );
+        let buyer = Customer::builder(CustomerId::new(1), day())
+            .appliance(appliance.clone())
+            .build()
+            .unwrap();
+        let producer_plan = CustomerSchedule::with_idle_battery(&producer, vec![]).unwrap();
+        let mut e = TimeSeries::filled(day(), 0.0);
+        e[10] = 2.0;
+        let buyer_plan = CustomerSchedule::with_idle_battery(
+            &buyer,
+            vec![ApplianceSchedule::new(&appliance, day(), e).unwrap()],
+        )
+        .unwrap();
+        let schedule = CommunitySchedule::new(day(), vec![producer_plan, buyer_plan]).unwrap();
+
+        let prices = PriceSignal::flat(day(), 0.1).unwrap();
+        let engine = BillingEngine::new(prices, NetMeteringTariff::new(2.0).unwrap());
+        let bills = engine.bill(&schedule).unwrap();
+        // Producer sells 3, buyer buys 2; community net is -1 → unit price 0.
+        assert_eq!(bills[0].credits, Dollars::ZERO);
+        // Net community export floors the unit price at this slot.
+        assert_eq!(bills[1].purchases, Dollars::ZERO);
+    }
+
+    #[test]
+    fn seller_credit_when_community_still_imports() {
+        let pv_profile = TimeSeries::from_fn(day(), |h| if h == 10 { 1.0 } else { 0.0 });
+        let producer = Customer::builder(CustomerId::new(0), day())
+            .pv(PvPanel::new(Kw::new(1.0), pv_profile).unwrap())
+            .build()
+            .unwrap();
+        let appliance = Appliance::new(
+            ApplianceId::new(0),
+            ApplianceKind::Oven,
+            PowerLevels::on_off(Kw::new(2.0)).unwrap(),
+            TaskSpec::new(Kwh::new(4.0), 9, 11).unwrap(),
+        );
+        let buyer = Customer::builder(CustomerId::new(1), day())
+            .appliance(appliance.clone())
+            .build()
+            .unwrap();
+        let producer_plan = CustomerSchedule::with_idle_battery(&producer, vec![]).unwrap();
+        let mut e = TimeSeries::filled(day(), 0.0);
+        e[9] = 2.0;
+        e[10] = 2.0;
+        let buyer_plan = CustomerSchedule::with_idle_battery(
+            &buyer,
+            vec![ApplianceSchedule::new(&appliance, day(), e).unwrap()],
+        )
+        .unwrap();
+        let schedule = CommunitySchedule::new(day(), vec![producer_plan, buyer_plan]).unwrap();
+
+        let prices = PriceSignal::flat(day(), 0.1).unwrap();
+        let engine = BillingEngine::new(prices, NetMeteringTariff::new(2.0).unwrap());
+        let bills = engine.bill(&schedule).unwrap();
+        // Slot 10: community net = 1, unit = 0.1; producer sells 1 →
+        // credit = 0.1/2 · 1 = 0.05.
+        assert!((bills[0].credits.value() - 0.05).abs() < 1e-9);
+        assert!((bills[0].net().value() + 0.05).abs() < 1e-9);
+        assert!(bills[1].purchases.value() > 0.0);
+    }
+
+    #[test]
+    fn horizon_mismatch_rejected() {
+        let schedule = buying_community(2);
+        let prices = PriceSignal::flat(Horizon::hourly(48), 0.1).unwrap();
+        let engine = BillingEngine::new(prices, NetMeteringTariff::full_retail());
+        assert!(engine.bill(&schedule).is_err());
+    }
+}

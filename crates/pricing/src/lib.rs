@@ -1,0 +1,47 @@
+//! Pricing substrate (paper §2.3): the quadratic cost model, the
+//! net-metering tariff, guideline-price signals, the utility's price-design
+//! rule, and the billing engine that evaluates Eqns (2)–(3).
+//!
+//! # Sign convention
+//!
+//! The paper's Eqn (2) writes the seller branch as `−(p_h/W)(Σ_i y_i) y_n`.
+//! With a community that is net-importing (`Σ y > 0`) and a customer selling
+//! (`y_n < 0`) that expression is *positive* — a cost for selling — which
+//! contradicts the prose ("the customer is paid with rate `p_h/W`"). We
+//! follow the prose: the grid unit price at slot `h` is
+//! `p_h · max(Σ_i y_i, 0)`, buyers pay it in full and sellers are credited
+//! at `1/W` of it, so a seller's slot cost `(p_h/W)(Σ y) y_n` is negative
+//! (a payment). See `CostModel` for details.
+//!
+//! # Examples
+//!
+//! ```
+//! use nms_pricing::{CostModel, NetMeteringTariff, PriceSignal};
+//! use nms_types::Horizon;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prices = PriceSignal::flat(Horizon::hourly_day(), 0.1)?;
+//! let tariff = NetMeteringTariff::new(1.5)?;
+//! let model = CostModel::new(&prices, tariff);
+//! // Buying 2 kWh when the community draws 10 kWh total:
+//! let buy = model.slot_cost(12, 10.0, 2.0);
+//! assert!(buy.value() > 0.0);
+//! // Selling 2 kWh is credited, at the partial rate:
+//! let sell = model.slot_cost(12, 10.0, -2.0);
+//! assert!(sell.value() < 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod billing;
+mod cost;
+mod signal;
+mod utility;
+
+pub use billing::{BillBreakdown, BillingEngine};
+pub use cost::{CostModel, NetMeteringTariff};
+pub use signal::PriceSignal;
+pub use utility::{Utility, UtilityConfig};

@@ -1,0 +1,238 @@
+//! The guideline-price signal broadcast to smart meters.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use nms_types::{Horizon, PricePerKwh, TimeSeries, ValidateError};
+
+/// A per-slot guideline price `p_h ≥ 0` over a horizon.
+///
+/// The utility broadcasts this signal ahead of time so that smart
+/// controllers can schedule appliances (paper §1). Hacked meters receive a
+/// *manipulated* copy — see `nms-attack`.
+///
+/// # Examples
+///
+/// ```
+/// use nms_pricing::PriceSignal;
+/// use nms_types::Horizon;
+///
+/// let tou = PriceSignal::time_of_use(Horizon::hourly_day(), 0.06, 0.18)?;
+/// // Evening slots are on-peak.
+/// assert!(tou.at(19).value() > tou.at(3).value());
+/// # Ok::<(), nms_types::ValidateError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceSignal {
+    prices: TimeSeries<f64>,
+}
+
+impl PriceSignal {
+    /// Wraps raw per-slot prices (in $/kWh·kWh⁻¹ for the quadratic model;
+    /// see `nms-types::PricePerKwh` on units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when any price is negative or non-finite.
+    pub fn new(prices: TimeSeries<f64>) -> Result<Self, ValidateError> {
+        for (slot, &p) in prices.iter().enumerate() {
+            if !p.is_finite() || p < 0.0 {
+                return Err(ValidateError::new(format!(
+                    "guideline price at slot {slot} must be finite and non-negative, got {p}"
+                )));
+            }
+        }
+        Ok(Self { prices })
+    }
+
+    /// A flat signal at `price` in every slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when `price` is negative or non-finite.
+    pub fn flat(horizon: Horizon, price: f64) -> Result<Self, ValidateError> {
+        Self::new(TimeSeries::filled(horizon, price))
+    }
+
+    /// A classic two-rate time-of-use signal: `off_peak` overnight and
+    /// midday, `on_peak` during the morning (07:00–10:00) and evening
+    /// (17:00–21:00) ramps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when either rate is negative/non-finite or
+    /// `on_peak < off_peak`.
+    pub fn time_of_use(
+        horizon: Horizon,
+        off_peak: f64,
+        on_peak: f64,
+    ) -> Result<Self, ValidateError> {
+        if on_peak < off_peak {
+            return Err(ValidateError::new("on-peak rate below off-peak rate"));
+        }
+        Self::new(TimeSeries::from_fn(horizon, |slot| {
+            let morning = horizon.slot_in_daily_window(slot, 7.0, 10.0);
+            let evening = horizon.slot_in_daily_window(slot, 17.0, 21.0);
+            if morning || evening {
+                on_peak
+            } else {
+                off_peak
+            }
+        }))
+    }
+
+    /// The horizon the signal covers.
+    #[inline]
+    pub fn horizon(&self) -> Horizon {
+        self.prices.horizon()
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Always `false`: horizons are non-empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Price at `slot` as a typed quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the horizon.
+    #[inline]
+    pub fn at(&self, slot: usize) -> PricePerKwh {
+        PricePerKwh::new(self.prices[slot])
+    }
+
+    /// The raw per-slot values.
+    #[inline]
+    pub fn as_series(&self) -> &TimeSeries<f64> {
+        &self.prices
+    }
+
+    /// Consumes the signal, returning the raw series.
+    #[inline]
+    pub fn into_series(self) -> TimeSeries<f64> {
+        self.prices
+    }
+
+    /// Mean price over the horizon.
+    pub fn mean(&self) -> PricePerKwh {
+        PricePerKwh::new(self.prices.mean())
+    }
+
+    /// Slot with the highest price (first on ties).
+    pub fn peak_slot(&self) -> usize {
+        self.prices.peak_slot()
+    }
+
+    /// RMSE against another signal (used to compare predicted vs received
+    /// guideline prices).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the signals cover different slot counts.
+    pub fn rmse(&self, other: &Self) -> Result<f64, nms_types::HorizonMismatchError> {
+        self.prices.rmse(&other.prices)
+    }
+
+    /// Returns a copy with `f` applied to each slot's price, re-validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if `f` produces a negative or non-finite
+    /// price.
+    pub fn map(&self, f: impl FnMut(&f64) -> f64) -> Result<Self, ValidateError> {
+        Self::new(self.prices.map(f))
+    }
+}
+
+impl fmt::Display for PriceSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "price signal: mean {:.4}, peak {:.4} @ slot {}",
+            self.prices.mean(),
+            self.prices.peak(),
+            self.peak_slot()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn day() -> Horizon {
+        Horizon::hourly_day()
+    }
+
+    #[test]
+    fn rejects_negative_and_nan_prices() {
+        let mut s = TimeSeries::filled(day(), 0.1);
+        s[3] = -0.1;
+        assert!(PriceSignal::new(s).is_err());
+        let mut s = TimeSeries::filled(day(), 0.1);
+        s[3] = f64::NAN;
+        assert!(PriceSignal::new(s).is_err());
+    }
+
+    #[test]
+    fn zero_prices_are_legal() {
+        // The paper's attack zeroes prices; the signal type must represent it.
+        assert!(PriceSignal::flat(day(), 0.0).is_ok());
+    }
+
+    #[test]
+    fn time_of_use_shape() {
+        let tou = PriceSignal::time_of_use(day(), 0.06, 0.18).unwrap();
+        assert_eq!(tou.at(8).value(), 0.18); // morning ramp
+        assert_eq!(tou.at(19).value(), 0.18); // evening ramp
+        assert_eq!(tou.at(3).value(), 0.06); // overnight
+        assert_eq!(tou.at(13).value(), 0.06); // midday
+        assert!(PriceSignal::time_of_use(day(), 0.2, 0.1).is_err());
+    }
+
+    #[test]
+    fn time_of_use_repeats_across_days() {
+        let tou = PriceSignal::time_of_use(Horizon::hourly(48), 0.06, 0.18).unwrap();
+        for h in 0..24 {
+            assert_eq!(tou.at(h).value(), tou.at(h + 24).value());
+        }
+    }
+
+    #[test]
+    fn map_revalidates() {
+        let tou = PriceSignal::time_of_use(day(), 0.06, 0.18).unwrap();
+        assert!(tou.map(|p| p * 2.0).is_ok());
+        assert!(tou.map(|p| p - 1.0).is_err());
+    }
+
+    #[test]
+    fn rmse_between_signals() {
+        let a = PriceSignal::flat(day(), 0.1).unwrap();
+        let b = PriceSignal::flat(day(), 0.2).unwrap();
+        assert!((a.rmse(&b).unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_mean() {
+        let text = PriceSignal::flat(day(), 0.1).unwrap().to_string();
+        assert!(text.contains("mean 0.1000"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_flat_signal_mean_is_rate(rate in 0.0_f64..2.0) {
+            let signal = PriceSignal::flat(day(), rate).unwrap();
+            prop_assert!((signal.mean().value() - rate).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The multi-day attack/detection simulation behind Fig 6 and Table 1.
+//!
+//! Per detection day the market clears a clean guideline price; a scripted
+//! attacker compromises meters over time, and compromised homes schedule
+//! against the manipulated signal. Every slot the detector compares the
+//! realized grid demand against its own day-ahead prediction using the
+//! *peak relative demand deviation* — the localized form of §4.1's PAR
+//! comparison, which stays informative at small compromise fractions where
+//! the attack spike has not yet overtaken the natural evening peak. The
+//! statistic is mapped to an observed hacked-meter bucket through a
+//! calibration table built in the detector's own world model, and the
+//! observation feeds the POMDP which decides between monitoring and a
+//! check-&-fix dispatch.
+//!
+//! Hacked homes are modeled as *unilateral deviators*: the day-ahead game
+//! has already closed when the manipulated signal takes effect, so honest
+//! homes keep their committed schedules while each compromised home
+//! re-optimizes alone against the committed aggregate. The realization is
+//! recomputed whenever the compromise set changes.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use nms_attack::{AttackTimeline, CompromiseSet};
+use nms_core::{
+    AccuracyTracker, DetectorAction, FrameworkConfig, LaborTracker, LongTermDetector,
+    ParObservationMap, PricePredictor,
+};
+use nms_forecast::PriceHistory;
+use nms_types::{TimeSeries, ValidateError};
+
+use crate::calibrate::{calibrate_detector, peak_deviation};
+use crate::{Market, PaperScenario, SimError};
+
+/// Configuration for [`run_long_term_detection`].
+#[derive(Debug, Clone)]
+pub struct LongTermRunConfig {
+    /// Days simulated after the training epoch (the paper uses 2 → 48 h).
+    pub detection_days: usize,
+    /// The detector under test; `None` runs the no-detection baseline.
+    pub detector: Option<FrameworkConfig>,
+    /// The scripted attacker.
+    pub timeline: AttackTimeline,
+    /// Hacked-meter buckets for state/observation (bucket `i` ≈
+    /// `i · bucket_fraction_step` of the fleet compromised).
+    pub buckets: usize,
+    /// Fleet fraction per bucket.
+    pub bucket_fraction_step: f64,
+    /// Labor cost per check-&-fix dispatch.
+    pub labor_per_fix: f64,
+    /// Labor cost per meter actually repaired.
+    pub labor_per_meter: f64,
+}
+
+impl LongTermRunConfig {
+    /// Validates the run configuration against a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] for zero days/buckets, a fraction step
+    /// outside `(0, 1]`, negative labor costs, or an invalid detector
+    /// configuration.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.detection_days == 0 {
+            return Err(ValidateError::new("need at least one detection day"));
+        }
+        if self.buckets < 2 {
+            return Err(ValidateError::new("need at least two buckets"));
+        }
+        if !(self.bucket_fraction_step > 0.0 && self.bucket_fraction_step <= 1.0) {
+            return Err(ValidateError::new("bucket fraction step must be in (0, 1]"));
+        }
+        for (name, c) in [
+            ("labor_per_fix", self.labor_per_fix),
+            ("labor_per_meter", self.labor_per_meter),
+        ] {
+            if !c.is_finite() || c < 0.0 {
+                return Err(ValidateError::new(format!("{name} must be non-negative")));
+            }
+        }
+        if let Some(detector) = &self.detector {
+            detector.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of one long-term run.
+#[derive(Debug, Clone)]
+pub struct LongTermRunResult {
+    /// Per-slot observation accuracy (empty for the no-detection baseline).
+    pub accuracy: AccuracyTracker,
+    /// Labor spent on fixes.
+    pub labor: LaborTracker,
+    /// Realized community grid demand, slot by slot across all detection
+    /// days.
+    pub realized_demand: Vec<f64>,
+    /// PAR of the realized demand over the whole run (Table 1's metric).
+    pub par: f64,
+    /// True hacked bucket per slot.
+    pub true_buckets: Vec<usize>,
+    /// Observed bucket per slot (empty for the no-detection baseline).
+    pub observed_buckets: Vec<usize>,
+    /// Global slots at which a fix was dispatched.
+    pub fixes_at: Vec<usize>,
+}
+
+fn bucket_of(count: usize, fleet: usize, buckets: usize, step: f64) -> usize {
+    let fraction = count as f64 / fleet as f64;
+    ((fraction / step).round() as usize).min(buckets - 1)
+}
+
+/// Runs the long-term attack/detection simulation.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid configurations or solver failures.
+pub fn run_long_term_detection(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    rng: &mut impl Rng,
+) -> Result<LongTermRunResult, SimError> {
+    scenario.validate()?;
+    config.validate()?;
+
+    let market = Market::new(scenario)?;
+    let generator = scenario.generator();
+    let slots_per_day = 24usize;
+    let fleet = scenario.customers;
+
+    // --- Training epoch: bootstrap history, train the price predictor, ---
+    // --- calibrate the observation map, solve the POMDP.               ---
+    let mut history: PriceHistory =
+        market.bootstrap_history(&generator, scenario.training_days, rng)?;
+
+    struct DetectorState {
+        framework: FrameworkConfig,
+        price_predictor: PricePredictor,
+        observation_map: ParObservationMap,
+        long_term: LongTermDetector,
+    }
+
+    let mut detector_state = match &config.detector {
+        None => None,
+        Some(framework) => {
+            let calibration = calibrate_detector(
+                scenario,
+                framework,
+                &config.timeline,
+                config.buckets,
+                config.bucket_fraction_step,
+                &market,
+                &generator,
+                &history,
+                rng,
+            )?;
+            let mut long_term_config = framework.long_term;
+            long_term_config.buckets = config.buckets;
+            let long_term = LongTermDetector::with_observation_matrix(
+                long_term_config,
+                calibration.observation_matrix.clone(),
+            )?;
+            Some(DetectorState {
+                framework: framework.clone(),
+                price_predictor: calibration.price_predictor,
+                observation_map: calibration.observation_map,
+                long_term,
+            })
+        }
+    };
+
+    // --- Detection epoch. ---
+    let total_days = scenario.training_days + config.detection_days;
+    let weather = scenario.weather_factors(total_days);
+    let mut compromised = CompromiseSet::new();
+    let mut accuracy = AccuracyTracker::new();
+    let mut labor = LaborTracker::new(config.labor_per_fix, config.labor_per_meter);
+    let mut realized_demand = Vec::with_capacity(config.detection_days * slots_per_day);
+    let mut true_buckets = Vec::new();
+    let mut observed_buckets = Vec::new();
+    let mut fixes_at = Vec::new();
+
+    for day_offset in 0..config.detection_days {
+        let day = scenario.training_days + day_offset;
+        let community = generator.community_for_day(day, weather[day]);
+        let clean = market.clear_day(&community, 2, rng)?;
+        let manipulated = config.timeline.attack().apply(&clean.price);
+        let realization_seed: u64 = rng.gen();
+
+        // The detector's day-ahead view.
+        let day_prediction = match detector_state.as_mut() {
+            None => None,
+            Some(state) => {
+                let theta = community.total_generation();
+                let generation_forecast = state
+                    .price_predictor
+                    .features()
+                    .target_generation
+                    .then_some(&theta);
+                let predicted_price = state.price_predictor.predict_day(
+                    &history,
+                    community.horizon(),
+                    generation_forecast,
+                )?;
+                let mut predicted_rng = ChaCha8Rng::seed_from_u64(realization_seed);
+                let predicted = state.framework.load.predict(
+                    &community,
+                    &predicted_price,
+                    &mut predicted_rng,
+                )?;
+                Some(predicted)
+            }
+        };
+
+        // Realize the day's response for the current compromise set: the
+        // committed (clean) plan with hacked homes deviating unilaterally.
+        let realize =
+            |compromised: &CompromiseSet| -> Result<nms_core::PredictedResponse, SimError> {
+                if compromised.is_empty() {
+                    return Ok(clean.response.clone());
+                }
+                let meters: Vec<nms_types::MeterId> = compromised.iter().collect();
+                let mut child = ChaCha8Rng::seed_from_u64(realization_seed);
+                Ok(market.truth_model().respond_unilaterally(
+                    &community,
+                    &clean.response,
+                    &manipulated,
+                    &meters,
+                    &mut child,
+                )?)
+            };
+        let mut realization = realize(&compromised)?;
+
+        for slot in 0..slots_per_day {
+            let global_slot = day_offset * slots_per_day + slot;
+            let newly = config.timeline.step(global_slot, &mut compromised, fleet);
+            if !newly.is_empty() {
+                realization = realize(&compromised)?;
+            }
+
+            let true_bucket = bucket_of(
+                compromised.count(),
+                fleet,
+                config.buckets,
+                config.bucket_fraction_step,
+            );
+            true_buckets.push(true_bucket);
+
+            if let (Some(state), Some(predicted)) =
+                (detector_state.as_mut(), day_prediction.as_ref())
+            {
+                let statistic = peak_deviation(&realization.grid_demand, &predicted.grid_demand);
+                let observed = state.observation_map.observe(statistic);
+                if std::env::var("NMS_DEBUG_CALIBRATION").is_ok() {
+                    eprintln!(
+                        "slot {global_slot}: stat {statistic:.4} true {true_bucket} obs {observed}"
+                    );
+                }
+                observed_buckets.push(observed);
+                accuracy.record(true_bucket, observed);
+
+                if state.long_term.observe_and_act(observed) == DetectorAction::Fix {
+                    let repaired = compromised.repair_all();
+                    labor.record_fix(repaired);
+                    fixes_at.push(global_slot);
+                    realization = realize(&compromised)?;
+                }
+            }
+
+            realized_demand.push(realization.grid_demand[slot]);
+        }
+
+        // Roll the realized day into the history (the detector keeps
+        // learning from what actually happened). The demand series records
+        // consumption `L_h`, matching the bootstrap epoch's convention.
+        let theta = community.total_generation();
+        for h in 0..slots_per_day {
+            history.push(
+                clean.price.at(h).value(),
+                theta[h],
+                realization.load().at(h).value(),
+            );
+        }
+    }
+
+    let par = {
+        let series = TimeSeries::from_values(
+            nms_types::Horizon::hourly(realized_demand.len()),
+            realized_demand.clone(),
+        )
+        .expect("lengths match by construction");
+        series.par().unwrap_or(1.0)
+    };
+
+    Ok(LongTermRunResult {
+        accuracy,
+        labor,
+        realized_demand,
+        par,
+        true_buckets,
+        observed_buckets,
+        fixes_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nms_attack::PriceAttack;
+    use nms_core::DetectorMode;
+
+    fn timeline() -> AttackTimeline {
+        AttackTimeline::new(
+            vec![(4, 3), (20, 3)],
+            PriceAttack::zero_window(16.0, 18.0).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn run_config(detector: Option<FrameworkConfig>) -> LongTermRunConfig {
+        LongTermRunConfig {
+            detection_days: 1,
+            detector,
+            timeline: timeline(),
+            buckets: 4,
+            bucket_fraction_step: 0.15,
+            labor_per_fix: 10.0,
+            labor_per_meter: 1.0,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(run_config(None).validate().is_ok());
+        let mut c = run_config(None);
+        c.detection_days = 0;
+        assert!(c.validate().is_err());
+        let mut c = run_config(None);
+        c.buckets = 1;
+        assert!(c.validate().is_err());
+        let mut c = run_config(None);
+        c.bucket_fraction_step = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = run_config(None);
+        c.labor_per_fix = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bucket_mapping() {
+        assert_eq!(bucket_of(0, 100, 6, 0.1), 0);
+        assert_eq!(bucket_of(10, 100, 6, 0.1), 1);
+        assert_eq!(bucket_of(14, 100, 6, 0.1), 1);
+        assert_eq!(bucket_of(16, 100, 6, 0.1), 2);
+        assert_eq!(bucket_of(90, 100, 6, 0.1), 5); // clamped to top bucket
+    }
+
+    #[test]
+    fn no_detection_baseline_runs() {
+        let mut scenario = PaperScenario::small(10, 31);
+        scenario.training_days = 3;
+        let config = run_config(None);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let result = run_long_term_detection(&scenario, &config, &mut rng).unwrap();
+        assert_eq!(result.realized_demand.len(), 24);
+        assert!(result.accuracy.accuracy().is_none());
+        assert_eq!(result.labor.fixes(), 0);
+        assert!(result.par >= 1.0);
+        // Attacker hacked meters and nobody fixed them.
+        assert_eq!(result.true_buckets.len(), 24);
+        assert!(*result.true_buckets.last().unwrap() > 0);
+    }
+
+    #[test]
+    fn aware_detector_tracks_and_fixes() {
+        let mut scenario = PaperScenario::small(10, 33);
+        scenario.training_days = 4;
+        let detector = FrameworkConfig::new(DetectorMode::NetMeteringAware, 24);
+        let config = run_config(Some(detector));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let result = run_long_term_detection(&scenario, &config, &mut rng).unwrap();
+        assert_eq!(result.observed_buckets.len(), 24);
+        // A 10-home fleet is far below the paper's scale, so the absolute
+        // accuracy is noisy; this is a smoke test that the full pipeline
+        // (calibration → observation → POMDP action) runs and produces a
+        // coherent trace. Shape assertions live in tests/paper_shapes.rs.
+        assert!(result.accuracy.accuracy().is_some());
+        assert_eq!(result.true_buckets.len(), 24);
+        assert!(result.observed_buckets.iter().all(|&o| o < config.buckets));
+    }
+}

@@ -1,0 +1,198 @@
+//! CSV export of experiment artifacts, for plotting the paper's figures
+//! with external tools.
+//!
+//! The writers take any `io::Write`, so callers decide whether the data
+//! lands in a file, a buffer, or stdout (C-RW-VALUE: pass `&mut file`).
+
+use std::io::{self, Write};
+
+use crate::experiments::{AccuracyExperiment, AttackExperiment, PredictionExperiment};
+use crate::LongTermRunResult;
+
+/// Escapes one CSV cell (quotes fields containing separators or quotes).
+fn cell(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Writes a header plus rows of `f64` columns.
+fn write_csv<W: Write>(
+    mut writer: W,
+    header: &[&str],
+    rows: impl Iterator<Item = Vec<f64>>,
+) -> io::Result<()> {
+    writeln!(
+        writer,
+        "{}",
+        header.iter().map(|h| cell(h)).collect::<Vec<_>>().join(",")
+    )?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(writer, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+/// Exports a Fig 3/4 prediction experiment: one row per slot with the
+/// received price, predicted price, and predicted load.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn export_prediction<W: Write>(
+    writer: W,
+    experiment: &PredictionExperiment,
+) -> io::Result<()> {
+    let slots = experiment.received_price.len();
+    write_csv(
+        writer,
+        &["slot", "received_price", "predicted_price", "predicted_load"],
+        (0..slots).map(|h| {
+            vec![
+                h as f64,
+                experiment.received_price[h],
+                experiment.predicted_price[h],
+                experiment.predicted_load[h],
+            ]
+        }),
+    )
+}
+
+/// Exports a Fig 5 attack experiment: one row per slot with the
+/// manipulated price and attacked load.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn export_attack<W: Write>(writer: W, experiment: &AttackExperiment) -> io::Result<()> {
+    let slots = experiment.manipulated_price.len();
+    write_csv(
+        writer,
+        &["slot", "manipulated_price", "attacked_load"],
+        (0..slots).map(|h| {
+            vec![
+                h as f64,
+                experiment.manipulated_price[h],
+                experiment.attacked_load[h],
+            ]
+        }),
+    )
+}
+
+/// Exports a Fig 6 accuracy experiment: one row per slot with both
+/// detectors' running accuracies.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn export_accuracy<W: Write>(writer: W, experiment: &AccuracyExperiment) -> io::Result<()> {
+    let slots = experiment.aware_running.len().min(experiment.naive_running.len());
+    write_csv(
+        writer,
+        &["slot", "aware_running_accuracy", "naive_running_accuracy"],
+        (0..slots).map(|h| {
+            vec![
+                h as f64,
+                experiment.aware_running[h],
+                experiment.naive_running[h],
+            ]
+        }),
+    )
+}
+
+/// Exports a long-term run trace: one row per slot with realized demand,
+/// true bucket, and (when a detector ran) the observed bucket and whether a
+/// fix was dispatched.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn export_long_term<W: Write>(writer: W, result: &LongTermRunResult) -> io::Result<()> {
+    let slots = result.realized_demand.len();
+    write_csv(
+        writer,
+        &["slot", "realized_demand", "true_bucket", "observed_bucket", "fix"],
+        (0..slots).map(|h| {
+            vec![
+                h as f64,
+                result.realized_demand[h],
+                result.true_buckets.get(h).copied().unwrap_or(0) as f64,
+                result
+                    .observed_buckets
+                    .get(h)
+                    .map(|&o| o as f64)
+                    .unwrap_or(f64::NAN),
+                f64::from(u8::from(result.fixes_at.contains(&h))),
+            ]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{experiments, PaperScenario};
+
+    #[test]
+    fn cell_escaping() {
+        assert_eq!(cell("plain"), "plain");
+        assert_eq!(cell("a,b"), "\"a,b\"");
+        assert_eq!(cell("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn prediction_export_shape() {
+        let mut scenario = PaperScenario::small(8, 3);
+        scenario.training_days = 3;
+        let experiment = experiments::run_fig3(&scenario).unwrap();
+        let mut buffer = Vec::new();
+        export_prediction(&mut buffer, &experiment).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 25); // header + 24 slots
+        assert!(lines[0].starts_with("slot,received_price"));
+        assert_eq!(lines[1].split(',').count(), 4);
+    }
+
+    #[test]
+    fn attack_export_shape() {
+        let mut scenario = PaperScenario::small(8, 3);
+        scenario.training_days = 3;
+        let experiment = experiments::run_fig5(&scenario).unwrap();
+        let mut buffer = Vec::new();
+        export_attack(&mut buffer, &experiment).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text.lines().count(), 25);
+    }
+
+    #[test]
+    fn long_term_export_includes_fixes_column() {
+        use crate::experiments::paper_timeline;
+        use crate::{run_long_term_detection, LongTermRunConfig};
+        use rand::SeedableRng;
+
+        let mut scenario = PaperScenario::small(8, 5);
+        scenario.training_days = 3;
+        let config = LongTermRunConfig {
+            detection_days: 1,
+            detector: None,
+            timeline: paper_timeline(8),
+            buckets: 4,
+            bucket_fraction_step: 0.15,
+            labor_per_fix: 10.0,
+            labor_per_meter: 1.0,
+        };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let result = run_long_term_detection(&scenario, &config, &mut rng).unwrap();
+        let mut buffer = Vec::new();
+        export_long_term(&mut buffer, &result).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.lines().next().unwrap().ends_with("fix"));
+        assert_eq!(text.lines().count(), 25);
+        // No detector: observed buckets are NaN in the CSV.
+        assert!(text.contains("NaN"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Plain-text rendering helpers for experiment outputs (paper-style tables
+//! and hourly series).
+
+/// Renders a table with a header row and aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use nms_sim::render_table;
+///
+/// let text = render_table(
+///     &["metric", "value"],
+///     &[vec!["PAR".to_string(), "1.4112".to_string()]],
+/// );
+/// assert!(text.contains("PAR"));
+/// assert!(text.contains("1.4112"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any row has a different column count than the header.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), header.len(), "row {i} column count");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let mut rule = String::from("|");
+    for w in &widths {
+        rule.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    rule.push('\n');
+    out.push_str(&rule);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Renders an hourly series as `label: v0 v1 …` lines plus a crude ASCII
+/// sparkline, for eyeballing load/price shapes in terminal output.
+pub fn render_series(label: &str, values: &[f64]) -> String {
+    if values.is_empty() {
+        return format!("{label}: (empty)\n");
+    }
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let range = (max - min).max(1e-12);
+    const BARS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let spark: String = values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / range) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect();
+    let numbers: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    format!("{label}: {spark}\n  [{}]\n", numbers.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let text = render_table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines share the same width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_checks_columns() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn series_sparkline() {
+        let text = render_series("load", &[0.0, 0.5, 1.0]);
+        assert!(text.starts_with("load: "));
+        assert!(text.contains('▁'));
+        assert!(text.contains('█'));
+        assert!(text.contains("0.500"));
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(render_series("x", &[]).contains("empty"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let text = render_series("flat", &[2.0, 2.0]);
+        assert!(text.contains("2.000"));
+    }
+}

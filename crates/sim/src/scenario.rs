@@ -1,0 +1,326 @@
+//! Synthetic community generation (the paper's 500-customer setup).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use nms_pricing::{NetMeteringTariff, UtilityConfig};
+use nms_smarthome::{
+    catalog_appliance, clear_sky_profile, Battery, Community, Customer, PvPanel, APPLIANCE_PRESETS,
+};
+use nms_solver::GameConfig;
+use nms_types::{ApplianceId, CustomerId, Horizon, Kw, Kwh, ValidateError};
+
+use crate::WeatherModel;
+
+/// The full experiment scenario: community shape, tariff, utility pricing
+/// rule, weather, game-solver settings, and the master seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperScenario {
+    /// Number of customers `N` (the paper uses 500).
+    pub customers: usize,
+    /// Fraction of homes with a PV panel.
+    pub pv_ownership: f64,
+    /// Nameplate rating range (kW) for installed panels.
+    pub pv_rating: (f64, f64),
+    /// Fraction of homes with a battery.
+    pub battery_ownership: f64,
+    /// Capacity range (kWh) for installed batteries.
+    pub battery_capacity: (f64, f64),
+    /// Range of per-home mean inflexible load (kWh per slot): always-on
+    /// and manually operated devices that no scheduler moves.
+    pub base_load_mean: (f64, f64),
+    /// Net-metering tariff.
+    pub tariff: NetMeteringTariff,
+    /// The utility's price-design rule.
+    pub utility: UtilityConfig,
+    /// Weather model for daily PV clearness.
+    pub weather: WeatherModel,
+    /// Game-solver settings used for ground-truth scheduling.
+    pub game: GameConfig,
+    /// Days of history bootstrapped before detection experiments.
+    pub training_days: usize,
+    /// Master seed: every random draw in the scenario derives from it.
+    pub seed: u64,
+}
+
+impl PaperScenario {
+    /// The paper's evaluation scale: 500 customers.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            customers: 500,
+            ..Self::small(500, seed)
+        }
+    }
+
+    /// A scaled-down scenario for tests and quick runs.
+    pub fn small(customers: usize, seed: u64) -> Self {
+        Self {
+            customers,
+            pv_ownership: 0.35,
+            pv_rating: (1.0, 2.5),
+            battery_ownership: 0.6,
+            battery_capacity: (3.0, 8.0),
+            base_load_mean: (0.8, 1.3),
+            tariff: NetMeteringTariff::default(),
+            utility: UtilityConfig::default(),
+            weather: WeatherModel::default(),
+            game: GameConfig::fast(),
+            training_days: 8,
+            seed,
+        }
+    }
+
+    /// Validates the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] for an empty community, ownership fractions
+    /// outside `[0, 1]`, inverted ranges, or invalid sub-configurations.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.customers == 0 {
+            return Err(ValidateError::new("need at least one customer"));
+        }
+        for (name, p) in [
+            ("pv_ownership", self.pv_ownership),
+            ("battery_ownership", self.battery_ownership),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ValidateError::new(format!("{name} must be in [0, 1]")));
+            }
+        }
+        for (name, (lo, hi)) in [
+            ("pv_rating", self.pv_rating),
+            ("battery_capacity", self.battery_capacity),
+            ("base_load_mean", self.base_load_mean),
+        ] {
+            if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi) {
+                return Err(ValidateError::new(format!(
+                    "{name} range ({lo}, {hi}) invalid"
+                )));
+            }
+        }
+        if self.training_days < 3 {
+            return Err(ValidateError::new(
+                "need at least three training days for the SVR lags",
+            ));
+        }
+        self.utility.validate()?;
+        self.weather.validate()?;
+        self.game.validate()?;
+        Ok(())
+    }
+
+    /// The generator bound to this scenario.
+    pub fn generator(&self) -> CommunityGenerator {
+        CommunityGenerator {
+            scenario: self.clone(),
+        }
+    }
+
+    /// The scenario's daily weather factors for `days` days.
+    pub fn weather_factors(&self, days: usize) -> Vec<f64> {
+        self.weather.daily_factors(days, self.seed ^ 0x77ea7e42)
+    }
+}
+
+/// Stable per-customer equipment (fixed across days) plus per-day task
+/// sampling.
+#[derive(Debug, Clone)]
+pub struct CommunityGenerator {
+    scenario: PaperScenario,
+}
+
+impl CommunityGenerator {
+    /// The bound scenario.
+    #[inline]
+    pub fn scenario(&self) -> &PaperScenario {
+        &self.scenario
+    }
+
+    /// Generates the community for `day`, with PV output scaled by
+    /// `weather` (clearness in `[0, 1]`).
+    ///
+    /// Equipment (PV rating, battery size, appliance ownership) is stable
+    /// across days — it derives from `(seed, customer)` only — while task
+    /// energies and windows are re-sampled per day.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid scenario; call [`PaperScenario::validate`]
+    /// first for user-supplied scenarios.
+    pub fn community_for_day(&self, day: usize, weather: f64) -> Community {
+        let s = &self.scenario;
+        s.validate().expect("invalid scenario");
+        let horizon = Horizon::hourly_day();
+        let customers: Vec<Customer> = (0..s.customers)
+            .map(|i| self.customer_for_day(i, day, weather, horizon))
+            .collect();
+        Community::new(horizon, customers).expect("generated customers are dense and valid")
+    }
+
+    fn customer_for_day(
+        &self,
+        index: usize,
+        day: usize,
+        weather: f64,
+        horizon: Horizon,
+    ) -> Customer {
+        let s = &self.scenario;
+        // Equipment RNG: stable across days.
+        let mut equipment_rng =
+            ChaCha8Rng::seed_from_u64(s.seed ^ (index as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        // Task RNG: varies per day.
+        let mut task_rng = ChaCha8Rng::seed_from_u64(
+            s.seed
+                ^ (index as u64).wrapping_mul(0x9e3779b97f4a7c15)
+                ^ (day as u64 + 1).wrapping_mul(0xc2b2ae3d27d4eb4f),
+        );
+
+        let mut builder = Customer::builder(CustomerId::new(index), horizon);
+
+        let mut appliance_id = 0usize;
+        for preset in APPLIANCE_PRESETS {
+            if equipment_rng.gen_bool(preset.ownership) {
+                let appliance = catalog_appliance(
+                    preset,
+                    ApplianceId::new(appliance_id),
+                    horizon,
+                    &mut task_rng,
+                );
+                builder = builder.appliance(appliance);
+                appliance_id += 1;
+            }
+        }
+
+        if equipment_rng.gen_bool(s.pv_ownership) {
+            let rating = Kw::new(equipment_rng.gen_range(s.pv_rating.0..=s.pv_rating.1));
+            let profile = clear_sky_profile(horizon, rating).scaled(weather.clamp(0.0, 1.0));
+            builder = builder.pv(PvPanel::new(rating, profile).expect("scaled profile under cap"));
+        }
+        if equipment_rng.gen_bool(s.battery_ownership) {
+            let capacity =
+                Kwh::new(equipment_rng.gen_range(s.battery_capacity.0..=s.battery_capacity.1));
+            // Start half charged; charge/discharge at most ~0.15C per hour
+            // (the rate of typical residential packs).
+            let battery = Battery::new(capacity, capacity * 0.5)
+                .expect("capacity range validated")
+                .with_throughput_limit(capacity * 0.15)
+                .expect("limit is non-negative");
+            builder = builder.battery(battery);
+        }
+
+        let mean = equipment_rng.gen_range(s.base_load_mean.0..=s.base_load_mean.1);
+        builder = builder.base_load(base_load_shape(horizon, mean, &mut task_rng));
+
+        builder.build().expect("catalog appliances are schedulable")
+    }
+}
+
+/// The standard residential inflexible-load shape: overnight trough,
+/// morning shoulder, evening peak, scaled to a per-slot `mean` with ±10%
+/// per-slot jitter.
+fn base_load_shape(horizon: Horizon, mean: f64, rng: &mut impl Rng) -> nms_types::TimeSeries<f64> {
+    // Relative hourly weights, averaging 1.0.
+    const SHAPE: [f64; 24] = [
+        0.62, 0.58, 0.55, 0.53, 0.55, 0.62, 0.88, 1.05, 1.00, 0.94, 0.92, 0.93, 0.95, 0.98, 1.05,
+        1.20, 1.42, 1.45, 1.45, 1.42, 1.30, 1.12, 0.95, 0.75,
+    ];
+    let scale = mean / (SHAPE.iter().sum::<f64>() / 24.0);
+    nms_types::TimeSeries::from_fn(horizon, |slot| {
+        let hour = horizon.hour_of_day(slot).floor() as usize % 24;
+        let jitter = rng.gen_range(0.9..=1.1);
+        SHAPE[hour] * scale * jitter * horizon.slot_hours()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(PaperScenario::small(10, 1).validate().is_ok());
+        assert!(PaperScenario::paper(1).validate().is_ok());
+        let mut s = PaperScenario::small(0, 1);
+        assert!(s.validate().is_err());
+        s = PaperScenario::small(10, 1);
+        s.pv_ownership = 1.5;
+        assert!(s.validate().is_err());
+        s = PaperScenario::small(10, 1);
+        s.pv_rating = (5.0, 2.0);
+        assert!(s.validate().is_err());
+        s = PaperScenario::small(10, 1);
+        s.training_days = 1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn equipment_stable_tasks_vary() {
+        let generator = PaperScenario::small(12, 9).generator();
+        let day0 = generator.community_for_day(0, 0.8);
+        let day1 = generator.community_for_day(1, 0.8);
+        for (a, b) in day0.iter().zip(day1.iter()) {
+            // Same equipment.
+            assert_eq!(a.pv().rating(), b.pv().rating());
+            assert_eq!(a.battery().capacity(), b.battery().capacity());
+            assert_eq!(a.appliances().len(), b.appliances().len());
+        }
+        // But at least one task differs somewhere.
+        let differs = day0.iter().zip(day1.iter()).any(|(a, b)| {
+            a.appliances()
+                .iter()
+                .zip(b.appliances())
+                .any(|(x, y)| x.task() != y.task())
+        });
+        assert!(differs, "tasks should be re-sampled per day");
+    }
+
+    #[test]
+    fn weather_scales_generation() {
+        let generator = PaperScenario::small(12, 9).generator();
+        let sunny = generator.community_for_day(0, 1.0);
+        let cloudy = generator.community_for_day(0, 0.3);
+        let sunny_total: f64 = sunny.total_generation().total();
+        let cloudy_total: f64 = cloudy.total_generation().total();
+        assert!(sunny_total > cloudy_total * 2.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let generator = PaperScenario::small(8, 5).generator();
+        assert_eq!(
+            generator.community_for_day(3, 0.7),
+            generator.community_for_day(3, 0.7)
+        );
+    }
+
+    #[test]
+    fn ownership_fractions_roughly_respected() {
+        let scenario = PaperScenario::small(200, 11);
+        let generator = scenario.generator();
+        let community = generator.community_for_day(0, 1.0);
+        let with_pv = community.iter().filter(|c| c.pv().is_generating()).count();
+        let with_battery = community.iter().filter(|c| c.battery().is_usable()).count();
+        let pv_frac = with_pv as f64 / 200.0;
+        let battery_frac = with_battery as f64 / 200.0;
+        assert!(
+            (pv_frac - scenario.pv_ownership).abs() < 0.12,
+            "pv {pv_frac}"
+        );
+        assert!(
+            (battery_frac - scenario.battery_ownership).abs() < 0.12,
+            "battery {battery_frac}"
+        );
+    }
+
+    #[test]
+    fn weather_factors_derive_from_seed() {
+        let a = PaperScenario::small(5, 1).weather_factors(10);
+        let b = PaperScenario::small(5, 1).weather_factors(10);
+        let c = PaperScenario::small(5, 2).weather_factors(10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

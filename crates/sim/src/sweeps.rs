@@ -1,0 +1,197 @@
+//! Parameter sweeps: the "what if" studies around the paper's evaluation.
+//!
+//! These back the ablation benches and the `community_planning` example
+//! with typed, reusable runners: how the net-metering reward rate `W`, the
+//! PV penetration, and the attack window shape the grid's load and the
+//! attack surface.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use nms_attack::PriceAttack;
+use nms_pricing::NetMeteringTariff;
+
+use crate::{Market, PaperScenario, SimError};
+
+/// One row of a sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub parameter: f64,
+    /// Grid PAR of the cleared day.
+    pub par: f64,
+    /// Total energy the community sold back (kWh).
+    pub energy_sold: f64,
+    /// Total midday (11:00–15:00) grid draw (kWh).
+    pub midday_draw: f64,
+}
+
+/// Sweeps the net-metering reward divisor `W` and reports the cleared grid
+/// shape at each setting.
+///
+/// Larger `W` (smaller sell-back reward) weakens the incentive to export,
+/// which shows up as less energy sold and a flatter midday valley.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a sweep point fails to clear.
+pub fn sweep_tariff(
+    scenario: &PaperScenario,
+    w_values: &[f64],
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut points = Vec::with_capacity(w_values.len());
+    for &w in w_values {
+        let mut swept = scenario.clone();
+        swept.tariff = NetMeteringTariff::new(w)?;
+        points.push(clear_point(&swept, w)?);
+    }
+    Ok(points)
+}
+
+/// Sweeps the PV ownership fraction.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a sweep point fails to clear or an ownership
+/// value is outside `[0, 1]`.
+pub fn sweep_pv_ownership(
+    scenario: &PaperScenario,
+    ownership_values: &[f64],
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut points = Vec::with_capacity(ownership_values.len());
+    for &ownership in ownership_values {
+        let mut swept = scenario.clone();
+        swept.pv_ownership = ownership;
+        swept.validate()?;
+        points.push(clear_point(&swept, ownership)?);
+    }
+    Ok(points)
+}
+
+fn clear_point(scenario: &PaperScenario, parameter: f64) -> Result<SweepPoint, SimError> {
+    let market = Market::new(scenario)?;
+    let generator = scenario.generator();
+    let weather = scenario.weather_factors(1);
+    let community = generator.community_for_day(0, weather[0]);
+    let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0x5eeb);
+    let outcome = market.clear_day(&community, 2, &mut rng)?;
+    let energy_sold = outcome
+        .response
+        .schedule
+        .customer_schedules()
+        .iter()
+        .map(|s| s.total_sold().value())
+        .sum();
+    let midday_draw = (11..15).map(|h| outcome.response.grid_demand[h]).sum();
+    Ok(SweepPoint {
+        parameter,
+        par: outcome.response.par,
+        energy_sold,
+        midday_draw,
+    })
+}
+
+/// One row of the attack-window sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackWindowPoint {
+    /// Start hour of the zeroed window.
+    pub from_hour: f64,
+    /// PAR of the full-fleet attacked response.
+    pub attacked_par: f64,
+    /// Slot where the attacked demand peaks.
+    pub peak_slot: usize,
+}
+
+/// Sweeps one-hour zero-price windows across the day: where does the
+/// attacker do the most damage?
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a point fails to clear.
+pub fn sweep_attack_window(
+    scenario: &PaperScenario,
+    start_hours: &[f64],
+) -> Result<Vec<AttackWindowPoint>, SimError> {
+    let market = Market::new(scenario)?;
+    let generator = scenario.generator();
+    let weather = scenario.weather_factors(1);
+    let community = generator.community_for_day(0, weather[0]);
+    let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xa77ac);
+    let clean = market.clear_day(&community, 2, &mut rng)?;
+
+    let mut points = Vec::with_capacity(start_hours.len());
+    for &from_hour in start_hours {
+        let attack = PriceAttack::zero_window(from_hour, from_hour + 1.0)?;
+        let manipulated = attack.apply(&clean.price);
+        let mut attacked_rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xa77ac);
+        let attacked = market
+            .truth_model()
+            .predict(&community, &manipulated, &mut attacked_rng)?;
+        points.push(AttackWindowPoint {
+            from_hour,
+            attacked_par: attacked.par,
+            peak_slot: attacked.grid_demand.peak_slot(),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> PaperScenario {
+        PaperScenario::small(12, 19)
+    }
+
+    #[test]
+    fn tariff_sweep_weakens_exports_with_w() {
+        let points = sweep_tariff(&scenario(), &[1.0, 3.0]).unwrap();
+        assert_eq!(points.len(), 2);
+        // Full retail (W = 1) rewards exporting at least as much as W = 3.
+        assert!(
+            points[0].energy_sold >= points[1].energy_sold - 0.5,
+            "W=1 sold {} vs W=3 sold {}",
+            points[0].energy_sold,
+            points[1].energy_sold
+        );
+        assert!(points.iter().all(|p| p.par >= 1.0));
+    }
+
+    #[test]
+    fn pv_sweep_hollows_midday() {
+        let points = sweep_pv_ownership(&scenario(), &[0.0, 1.0]).unwrap();
+        assert!(
+            points[1].midday_draw < points[0].midday_draw,
+            "full PV midday {} vs none {}",
+            points[1].midday_draw,
+            points[0].midday_draw
+        );
+        // No panels ⇒ only battery arbitrage can export; panels on every
+        // roof export strictly more.
+        assert!(
+            points[1].energy_sold > points[0].energy_sold,
+            "full PV sold {} vs none {}",
+            points[1].energy_sold,
+            points[0].energy_sold
+        );
+    }
+
+    #[test]
+    fn pv_sweep_rejects_bad_fraction() {
+        assert!(sweep_pv_ownership(&scenario(), &[1.5]).is_err());
+    }
+
+    #[test]
+    fn attack_window_sweep_reports_each_window() {
+        let points = sweep_attack_window(&scenario(), &[3.0, 16.0]).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.attacked_par >= 1.0);
+            assert!(p.peak_slot < 24);
+        }
+        // Zeroing 16:00 drags the peak into that slot.
+        assert_eq!(points[1].peak_slot, 16);
+    }
+}

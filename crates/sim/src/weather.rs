@@ -1,0 +1,144 @@
+//! Daily weather (cloud cover) model for PV output.
+//!
+//! The paper assumes PV generation is "approximately known in advance
+//! through prediction" but gives no irradiance data; we substitute a seeded
+//! AR(1) clearness index so that consecutive days are correlated yet
+//! distinct — exactly the property that separates the net-metering-aware
+//! price predictor (which sees the generation forecast) from the naive one
+//! (which can only extrapolate yesterday's prices).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use nms_types::ValidateError;
+
+/// AR(1) clearness-index model: `k_d = μ + φ (k_{d−1} − μ) + σ ε_d`,
+/// clamped to `[min_clearness, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeatherModel {
+    /// Long-run mean clearness (0–1).
+    pub mean: f64,
+    /// Day-to-day persistence `φ ∈ [0, 1)`.
+    pub persistence: f64,
+    /// Innovation scale `σ ≥ 0`.
+    pub volatility: f64,
+    /// Floor on clearness (overcast days still scatter some light).
+    pub min_clearness: f64,
+}
+
+impl WeatherModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] for parameters outside their ranges.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if !(0.0..=1.0).contains(&self.mean) {
+            return Err(ValidateError::new("mean clearness must be in [0, 1]"));
+        }
+        if !(0.0..1.0).contains(&self.persistence) {
+            return Err(ValidateError::new("persistence must be in [0, 1)"));
+        }
+        if !(self.volatility >= 0.0 && self.volatility.is_finite()) {
+            return Err(ValidateError::new("volatility must be non-negative"));
+        }
+        if !(0.0..=1.0).contains(&self.min_clearness) || self.min_clearness > self.mean {
+            return Err(ValidateError::new("min clearness must be in [0, mean]"));
+        }
+        Ok(())
+    }
+
+    /// Generates `days` daily clearness factors, deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid model; call [`validate`](Self::validate) first
+    /// for user-supplied parameters.
+    pub fn daily_factors(&self, days: usize, seed: u64) -> Vec<f64> {
+        self.validate().expect("invalid weather model");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut factors = Vec::with_capacity(days);
+        let mut k = self.mean;
+        for _ in 0..days {
+            // Uniform innovation is plenty here; clamping handles tails.
+            let eps: f64 = rng.gen_range(-1.0..=1.0);
+            k = self.mean + self.persistence * (k - self.mean) + self.volatility * eps;
+            k = k.clamp(self.min_clearness, 1.0);
+            factors.push(k);
+        }
+        factors
+    }
+}
+
+impl Default for WeatherModel {
+    fn default() -> Self {
+        Self {
+            mean: 0.75,
+            persistence: 0.35,
+            volatility: 0.35,
+            min_clearness: 0.15,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(WeatherModel::default().validate().is_ok());
+        assert!(WeatherModel {
+            mean: 1.5,
+            ..WeatherModel::default()
+        }
+        .validate()
+        .is_err());
+        assert!(WeatherModel {
+            persistence: 1.0,
+            ..WeatherModel::default()
+        }
+        .validate()
+        .is_err());
+        assert!(WeatherModel {
+            min_clearness: 0.9,
+            ..WeatherModel::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn factors_in_range_and_deterministic() {
+        let model = WeatherModel::default();
+        let a = model.daily_factors(30, 7);
+        let b = model.daily_factors(30, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        assert!(a.iter().all(|&k| (0.15..=1.0).contains(&k)));
+        // Different seeds give different weather.
+        let c = model.daily_factors(30, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weather_actually_varies() {
+        let factors = WeatherModel::default().daily_factors(30, 3);
+        let mean: f64 = factors.iter().sum::<f64>() / 30.0;
+        let var: f64 = factors.iter().map(|k| (k - mean).powi(2)).sum::<f64>() / 30.0;
+        assert!(var > 1e-3, "weather should vary, var = {var}");
+    }
+
+    #[test]
+    fn zero_volatility_converges_to_mean() {
+        let model = WeatherModel {
+            volatility: 0.0,
+            ..WeatherModel::default()
+        };
+        let factors = model.daily_factors(5, 1);
+        assert!(factors.iter().all(|&k| (k - model.mean).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,259 @@
+//! The rechargeable home battery (paper §2.2).
+//!
+//! The paper constrains only the state of charge, `0 ≤ b_n^h ≤ B_n`
+//! (Eqn 1 drives the dynamics). We additionally support an optional
+//! per-slot charge/discharge rate limit — set it to `None` for the paper's
+//! ideal battery — because rate limits are what make the cross-entropy
+//! battery optimizer's feasible set interesting to test against.
+
+use serde::{Deserialize, Serialize};
+
+use nms_types::{Kwh, ValidateError};
+
+/// A home battery with capacity `B_n`, an initial state of charge, and an
+/// optional symmetric per-slot throughput limit.
+///
+/// # Examples
+///
+/// ```
+/// use nms_smarthome::Battery;
+/// use nms_types::Kwh;
+///
+/// let battery = Battery::new(Kwh::new(10.0), Kwh::new(5.0))?;
+/// assert!(battery.is_valid_charge(Kwh::new(7.5)));
+/// assert!(!battery.is_valid_charge(Kwh::new(11.0)));
+/// # Ok::<(), nms_types::ValidateError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: Kwh,
+    initial_charge: Kwh,
+    slot_throughput_limit: Option<Kwh>,
+}
+
+impl Battery {
+    /// Creates a battery with `capacity` = `B_n` and the given initial state
+    /// of charge, with no throughput limit (the paper's model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the capacity is negative/non-finite or
+    /// the initial charge falls outside `[0, capacity]`.
+    pub fn new(capacity: Kwh, initial_charge: Kwh) -> Result<Self, ValidateError> {
+        if !capacity.is_finite() || !capacity.is_non_negative() {
+            return Err(ValidateError::new(
+                "battery capacity must be finite and non-negative",
+            ));
+        }
+        if !initial_charge.is_finite()
+            || !initial_charge.is_non_negative()
+            || initial_charge.value() > capacity.value() + 1e-9
+        {
+            return Err(ValidateError::new(format!(
+                "initial charge {initial_charge} outside [0, {capacity}]"
+            )));
+        }
+        Ok(Self {
+            capacity,
+            initial_charge,
+            slot_throughput_limit: None,
+        })
+    }
+
+    /// A zero-capacity battery: the customer effectively has none.
+    pub fn none() -> Self {
+        Self {
+            capacity: Kwh::ZERO,
+            initial_charge: Kwh::ZERO,
+            slot_throughput_limit: None,
+        }
+    }
+
+    /// Returns a copy with a symmetric per-slot charge/discharge limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if the limit is negative or non-finite.
+    pub fn with_throughput_limit(mut self, limit: Kwh) -> Result<Self, ValidateError> {
+        if !limit.is_finite() || !limit.is_non_negative() {
+            return Err(ValidateError::new(
+                "throughput limit must be finite and non-negative",
+            ));
+        }
+        self.slot_throughput_limit = Some(limit);
+        Ok(self)
+    }
+
+    /// Usable capacity `B_n`.
+    #[inline]
+    pub fn capacity(&self) -> Kwh {
+        self.capacity
+    }
+
+    /// State of charge at the start of the horizon (`b_n^0`).
+    #[inline]
+    pub fn initial_charge(&self) -> Kwh {
+        self.initial_charge
+    }
+
+    /// The per-slot throughput limit, if any.
+    #[inline]
+    pub fn slot_throughput_limit(&self) -> Option<Kwh> {
+        self.slot_throughput_limit
+    }
+
+    /// Returns `true` for a battery the scheduler can actually use.
+    #[inline]
+    pub fn is_usable(&self) -> bool {
+        self.capacity.value() > 0.0
+    }
+
+    /// Returns `true` when `charge` is an admissible state of charge.
+    pub fn is_valid_charge(&self, charge: Kwh) -> bool {
+        charge.is_finite()
+            && charge.value() >= -1e-9
+            && charge.value() <= self.capacity.value() + 1e-9
+    }
+
+    /// Returns `true` when the transition `from → to` over one slot respects
+    /// both the state bounds and the throughput limit.
+    pub fn is_valid_transition(&self, from: Kwh, to: Kwh) -> bool {
+        if !self.is_valid_charge(from) || !self.is_valid_charge(to) {
+            return false;
+        }
+        match self.slot_throughput_limit {
+            Some(limit) => (to - from).abs().value() <= limit.value() + 1e-9,
+            None => true,
+        }
+    }
+
+    /// Clamps a proposed state of charge into the battery's feasible range
+    /// (used by stochastic optimizers that sample unconstrained values).
+    pub fn clamp_charge(&self, charge: Kwh) -> Kwh {
+        charge.clamp(Kwh::ZERO, self.capacity)
+    }
+
+    /// Validates an entire state-of-charge trajectory `b^0..b^H`.
+    ///
+    /// The trajectory must start at the configured initial charge and every
+    /// step must be a valid transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] describing the first violated constraint.
+    pub fn validate_trajectory(&self, trajectory: &[Kwh]) -> Result<(), ValidateError> {
+        let first = trajectory
+            .first()
+            .ok_or_else(|| ValidateError::new("empty battery trajectory"))?;
+        if (*first - self.initial_charge).abs().value() > 1e-6 {
+            return Err(ValidateError::new(format!(
+                "trajectory starts at {first} but battery starts at {}",
+                self.initial_charge
+            )));
+        }
+        for (h, pair) in trajectory.windows(2).enumerate() {
+            if !self.is_valid_transition(pair[0], pair[1]) {
+                return Err(ValidateError::new(format!(
+                    "invalid battery transition {} -> {} at slot {h}",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Battery {
+    /// The no-battery default, so `Customer` builders can omit storage.
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_bounds() {
+        assert!(Battery::new(Kwh::new(10.0), Kwh::new(5.0)).is_ok());
+        assert!(Battery::new(Kwh::new(-1.0), Kwh::ZERO).is_err());
+        assert!(Battery::new(Kwh::new(5.0), Kwh::new(6.0)).is_err());
+        assert!(Battery::new(Kwh::new(f64::NAN), Kwh::ZERO).is_err());
+    }
+
+    #[test]
+    fn none_battery_is_unusable() {
+        let battery = Battery::none();
+        assert!(!battery.is_usable());
+        assert!(battery.is_valid_charge(Kwh::ZERO));
+        assert!(!battery.is_valid_charge(Kwh::new(0.1)));
+        assert_eq!(Battery::default(), battery);
+    }
+
+    #[test]
+    fn charge_bounds() {
+        let battery = Battery::new(Kwh::new(10.0), Kwh::ZERO).unwrap();
+        assert!(battery.is_valid_charge(Kwh::ZERO));
+        assert!(battery.is_valid_charge(Kwh::new(10.0)));
+        assert!(!battery.is_valid_charge(Kwh::new(10.1)));
+        assert!(!battery.is_valid_charge(Kwh::new(-0.1)));
+        assert!(!battery.is_valid_charge(Kwh::new(f64::NAN)));
+    }
+
+    #[test]
+    fn throughput_limit_constrains_transitions() {
+        let battery = Battery::new(Kwh::new(10.0), Kwh::ZERO)
+            .unwrap()
+            .with_throughput_limit(Kwh::new(2.0))
+            .unwrap();
+        assert!(battery.is_valid_transition(Kwh::new(1.0), Kwh::new(3.0)));
+        assert!(battery.is_valid_transition(Kwh::new(3.0), Kwh::new(1.0)));
+        assert!(!battery.is_valid_transition(Kwh::new(1.0), Kwh::new(3.5)));
+        assert!(Battery::new(Kwh::new(1.0), Kwh::ZERO)
+            .unwrap()
+            .with_throughput_limit(Kwh::new(-1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn unlimited_battery_allows_any_in_range_swing() {
+        let battery = Battery::new(Kwh::new(10.0), Kwh::ZERO).unwrap();
+        assert!(battery.is_valid_transition(Kwh::ZERO, Kwh::new(10.0)));
+        assert!(!battery.is_valid_transition(Kwh::ZERO, Kwh::new(10.5)));
+    }
+
+    #[test]
+    fn clamp_charge() {
+        let battery = Battery::new(Kwh::new(4.0), Kwh::ZERO).unwrap();
+        assert_eq!(battery.clamp_charge(Kwh::new(-2.0)), Kwh::ZERO);
+        assert_eq!(battery.clamp_charge(Kwh::new(9.0)), Kwh::new(4.0));
+        assert_eq!(battery.clamp_charge(Kwh::new(2.5)), Kwh::new(2.5));
+    }
+
+    #[test]
+    fn trajectory_validation() {
+        let battery = Battery::new(Kwh::new(10.0), Kwh::new(2.0)).unwrap();
+        let good = vec![Kwh::new(2.0), Kwh::new(5.0), Kwh::new(0.0)];
+        assert!(battery.validate_trajectory(&good).is_ok());
+
+        let wrong_start = vec![Kwh::new(0.0), Kwh::new(5.0)];
+        assert!(battery.validate_trajectory(&wrong_start).is_err());
+
+        let out_of_range = vec![Kwh::new(2.0), Kwh::new(11.0)];
+        assert!(battery.validate_trajectory(&out_of_range).is_err());
+
+        assert!(battery.validate_trajectory(&[]).is_err());
+    }
+
+    #[test]
+    fn trajectory_respects_throughput() {
+        let battery = Battery::new(Kwh::new(10.0), Kwh::ZERO)
+            .unwrap()
+            .with_throughput_limit(Kwh::new(1.0))
+            .unwrap();
+        let too_fast = vec![Kwh::ZERO, Kwh::new(2.0)];
+        let err = battery.validate_trajectory(&too_fast).unwrap_err();
+        assert!(err.to_string().contains("invalid battery transition"));
+    }
+}

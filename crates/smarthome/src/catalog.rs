@@ -1,0 +1,310 @@
+//! A catalog of typical residential appliances.
+//!
+//! The paper sets up customer energy consumption "similar to the previous
+//! works [8, 7]", whose exact tables are not public. This catalog encodes
+//! the standard residential mix those works draw on; `nms-sim` samples from
+//! it to synthesize communities (see DESIGN.md, substitution table).
+
+use rand::Rng;
+
+use nms_types::{ApplianceId, Horizon, Kw, Kwh};
+
+use crate::{Appliance, ApplianceKind, PowerLevels, TaskSpec};
+
+/// How an appliance's scheduling window relates to the day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowStyle {
+    /// May run any time of day.
+    Anytime,
+    /// Daytime chores (roughly 08:00–20:00).
+    Daytime,
+    /// Evening tasks (17:00–23:00).
+    Evening,
+    /// Overnight tasks such as EV charging (20:00–07:00 → clipped to the
+    /// horizon as late-evening slots plus early-morning slots of the next
+    /// day when the horizon allows).
+    Overnight,
+}
+
+/// A parameterized appliance template.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppliancePreset {
+    /// Which appliance class this template instantiates.
+    pub kind_tag: PresetKind,
+    /// Inclusive range of plausible task energies (kWh per day).
+    pub energy_range: (f64, f64),
+    /// Maximum power draw (kW).
+    pub max_kw: f64,
+    /// Number of discrete power steps between 0 and `max_kw`.
+    pub steps: usize,
+    /// Scheduling-window style.
+    pub window: WindowStyle,
+    /// Probability that a given household owns this appliance.
+    pub ownership: f64,
+}
+
+/// Copyable tag for [`ApplianceKind`] (the enum itself holds a `String` in
+/// its `Custom` variant, so presets store this tag instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum PresetKind {
+    WashingMachine,
+    Dryer,
+    Dishwasher,
+    ElectricVehicle,
+    WaterHeater,
+    AirConditioner,
+    Refrigerator,
+    Lighting,
+    Oven,
+    PoolPump,
+}
+
+impl PresetKind {
+    /// Converts the tag into the full [`ApplianceKind`].
+    pub fn kind(self) -> ApplianceKind {
+        match self {
+            Self::WashingMachine => ApplianceKind::WashingMachine,
+            Self::Dryer => ApplianceKind::Dryer,
+            Self::Dishwasher => ApplianceKind::Dishwasher,
+            Self::ElectricVehicle => ApplianceKind::ElectricVehicle,
+            Self::WaterHeater => ApplianceKind::WaterHeater,
+            Self::AirConditioner => ApplianceKind::AirConditioner,
+            Self::Refrigerator => ApplianceKind::Refrigerator,
+            Self::Lighting => ApplianceKind::Lighting,
+            Self::Oven => ApplianceKind::Oven,
+            Self::PoolPump => ApplianceKind::PoolPump,
+        }
+    }
+}
+
+/// The standard residential appliance mix used by the synthetic community
+/// generator. Energies and powers follow the ranges common in the
+/// demand-response literature (cf. \[9\] and the setups of [8, 7]).
+pub const APPLIANCE_PRESETS: &[AppliancePreset] = &[
+    AppliancePreset {
+        kind_tag: PresetKind::WashingMachine,
+        energy_range: (1.0, 2.0),
+        max_kw: 1.0,
+        steps: 2,
+        window: WindowStyle::Daytime,
+        ownership: 0.9,
+    },
+    AppliancePreset {
+        kind_tag: PresetKind::Dryer,
+        energy_range: (1.8, 3.0),
+        max_kw: 3.0,
+        steps: 2,
+        window: WindowStyle::Daytime,
+        ownership: 0.8,
+    },
+    AppliancePreset {
+        kind_tag: PresetKind::Dishwasher,
+        energy_range: (1.0, 1.8),
+        max_kw: 1.0,
+        steps: 2,
+        window: WindowStyle::Evening,
+        ownership: 0.85,
+    },
+    AppliancePreset {
+        kind_tag: PresetKind::ElectricVehicle,
+        energy_range: (5.0, 9.0),
+        max_kw: 3.3,
+        steps: 3,
+        window: WindowStyle::Overnight,
+        ownership: 0.4,
+    },
+    AppliancePreset {
+        kind_tag: PresetKind::WaterHeater,
+        energy_range: (2.5, 4.0),
+        max_kw: 1.5,
+        steps: 2,
+        window: WindowStyle::Anytime,
+        ownership: 0.7,
+    },
+    AppliancePreset {
+        kind_tag: PresetKind::AirConditioner,
+        energy_range: (3.0, 5.0),
+        max_kw: 1.2,
+        steps: 3,
+        window: WindowStyle::Anytime,
+        ownership: 0.75,
+    },
+    AppliancePreset {
+        kind_tag: PresetKind::Refrigerator,
+        energy_range: (1.5, 2.5),
+        max_kw: 0.25,
+        steps: 1,
+        window: WindowStyle::Anytime,
+        ownership: 1.0,
+    },
+    AppliancePreset {
+        kind_tag: PresetKind::Lighting,
+        energy_range: (1.0, 2.0),
+        max_kw: 0.4,
+        steps: 2,
+        window: WindowStyle::Evening,
+        ownership: 1.0,
+    },
+    AppliancePreset {
+        kind_tag: PresetKind::Oven,
+        energy_range: (1.0, 2.0),
+        max_kw: 1.2,
+        steps: 2,
+        window: WindowStyle::Evening,
+        ownership: 0.9,
+    },
+    AppliancePreset {
+        kind_tag: PresetKind::PoolPump,
+        energy_range: (2.0, 4.0),
+        max_kw: 1.1,
+        steps: 1,
+        window: WindowStyle::Daytime,
+        ownership: 0.15,
+    },
+];
+
+/// Samples a daily window of exactly `length` slots whose anchor matches
+/// the style, returning inclusive `(start, deadline)` hour-of-day indices
+/// on a 24-slot day.
+fn window_hours(style: WindowStyle, length: usize, rng: &mut impl Rng) -> (usize, usize) {
+    let length = length.clamp(1, 24);
+    let start_range = match style {
+        // Anywhere in the day.
+        WindowStyle::Anytime => 0..=(24 - length),
+        // Morning/afternoon chores.
+        WindowStyle::Daytime => 7..=13usize.min(24 - length),
+        // After-work tasks.
+        WindowStyle::Evening => 15..=18usize.min(24 - length),
+        // Late-evening or pre-dawn (clipped to one day).
+        WindowStyle::Overnight => {
+            if rng.gen_bool(0.5) {
+                0..=2usize.min(24 - length)
+            } else {
+                17..=19usize.min(24 - length)
+            }
+        }
+    };
+    let (lo, hi) = start_range.into_inner();
+    let start = if lo >= hi {
+        lo.min(hi)
+    } else {
+        rng.gen_range(lo..=hi)
+    };
+    (start, (start + length - 1).min(23))
+}
+
+/// Instantiates a concrete [`Appliance`] from a preset, drawing its energy
+/// and window from `rng`. Deterministic given a seeded RNG.
+///
+/// Windows are *tight*: the minimum number of full-power slots the task
+/// needs plus 1–4 slots of slack. Wide windows would let the entire
+/// community pile every task into a single cheap hour, which neither real
+/// households nor the paper's PAR figures (1.4–1.9) exhibit.
+///
+/// # Panics
+///
+/// Panics if `horizon` has fewer than 24 slots of one hour each worth of
+/// span (the presets are calibrated for hourly days).
+pub fn catalog_appliance(
+    preset: &AppliancePreset,
+    id: ApplianceId,
+    horizon: Horizon,
+    rng: &mut impl Rng,
+) -> Appliance {
+    assert!(
+        horizon.slots() >= 24,
+        "appliance presets target horizons of at least one hourly day"
+    );
+    let energy = rng.gen_range(preset.energy_range.0..=preset.energy_range.1);
+    let slot_cap = preset.max_kw * horizon.slot_hours();
+    let min_slots = (energy / slot_cap).ceil().max(1.0) as usize;
+    let slack = rng.gen_range(1..=3usize);
+    let (start, deadline) = window_hours(preset.window, min_slots + slack, rng);
+    let window_slots = (deadline - start + 1) as f64;
+    let energy = energy.min(slot_cap * window_slots * 0.95);
+    let levels =
+        PowerLevels::stepped(Kw::new(preset.max_kw), preset.steps).expect("preset levels valid");
+    let task = TaskSpec::new(Kwh::new(energy), start, deadline).expect("preset window valid");
+    Appliance::new(id, preset.kind_tag.kind(), levels, task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nms_types::Horizon;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn every_preset_yields_schedulable_appliances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let horizon = Horizon::hourly_day();
+        for preset in APPLIANCE_PRESETS {
+            for trial in 0..50 {
+                let appliance =
+                    catalog_appliance(preset, ApplianceId::new(trial), horizon, &mut rng);
+                assert!(
+                    appliance.validate(horizon).is_ok(),
+                    "{:?} trial {trial} produced invalid appliance",
+                    preset.kind_tag
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let horizon = Horizon::hourly_day();
+        let a = catalog_appliance(
+            &APPLIANCE_PRESETS[0],
+            ApplianceId::new(0),
+            horizon,
+            &mut ChaCha8Rng::seed_from_u64(42),
+        );
+        let b = catalog_appliance(
+            &APPLIANCE_PRESETS[0],
+            ApplianceId::new(0),
+            horizon,
+            &mut ChaCha8Rng::seed_from_u64(42),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ownership_probabilities_are_probabilities() {
+        for preset in APPLIANCE_PRESETS {
+            assert!(
+                (0.0..=1.0).contains(&preset.ownership),
+                "{:?}",
+                preset.kind_tag
+            );
+            assert!(preset.energy_range.0 <= preset.energy_range.1);
+            assert!(preset.max_kw > 0.0);
+            assert!(preset.steps > 0);
+        }
+    }
+
+    #[test]
+    fn presets_cover_the_standard_mix() {
+        assert!(APPLIANCE_PRESETS.len() >= 8);
+        assert!(APPLIANCE_PRESETS
+            .iter()
+            .any(|p| p.kind_tag == PresetKind::ElectricVehicle));
+        // Refrigerators are universal.
+        let fridge = APPLIANCE_PRESETS
+            .iter()
+            .find(|p| p.kind_tag == PresetKind::Refrigerator)
+            .unwrap();
+        assert_eq!(fridge.ownership, 1.0);
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        assert_eq!(
+            PresetKind::WashingMachine.kind(),
+            ApplianceKind::WashingMachine
+        );
+        assert_eq!(PresetKind::PoolPump.kind(), ApplianceKind::PoolPump);
+    }
+}

@@ -1,0 +1,193 @@
+//! The community of `N` customers served by one utility feeder.
+
+use serde::{Deserialize, Serialize};
+
+use nms_types::{CustomerId, Horizon, Kwh, TimeSeries, ValidateError};
+
+use crate::Customer;
+
+/// A community of `N` customers (the paper evaluates `N = 500`) sharing one
+/// guideline-price signal and one distribution feeder.
+///
+/// Customers are stored densely: `community.customer(CustomerId::new(i))`
+/// is the `i`-th member.
+///
+/// # Examples
+///
+/// ```
+/// use nms_smarthome::{Community, Customer};
+/// use nms_types::{CustomerId, Horizon};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let horizon = Horizon::hourly_day();
+/// let customers = (0..4)
+///     .map(|i| Customer::builder(CustomerId::new(i), horizon).build())
+///     .collect::<Result<Vec<_>, _>>()?;
+/// let community = Community::new(horizon, customers)?;
+/// assert_eq!(community.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Community {
+    horizon: Horizon,
+    customers: Vec<Customer>,
+}
+
+impl Community {
+    /// Builds a community; `customers[i]` must carry `CustomerId::new(i)`
+    /// and plan over the same horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the community is empty, ids are not
+    /// dense-and-ordered, or horizons disagree.
+    pub fn new(horizon: Horizon, customers: Vec<Customer>) -> Result<Self, ValidateError> {
+        if customers.is_empty() {
+            return Err(ValidateError::new(
+                "community must have at least one customer",
+            ));
+        }
+        for (index, customer) in customers.iter().enumerate() {
+            if customer.id().index() != index {
+                return Err(ValidateError::new(format!(
+                    "customer at position {index} carries id {}",
+                    customer.id()
+                )));
+            }
+            if customer.horizon().slots() != horizon.slots() {
+                return Err(ValidateError::new(format!(
+                    "{} plans over {} slots, community over {}",
+                    customer.id(),
+                    customer.horizon().slots(),
+                    horizon.slots()
+                )));
+            }
+        }
+        Ok(Self { horizon, customers })
+    }
+
+    /// The shared scheduling horizon.
+    #[inline]
+    pub fn horizon(&self) -> Horizon {
+        self.horizon
+    }
+
+    /// Number of customers `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.customers.len()
+    }
+
+    /// Always `false`: construction rejects empty communities.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The customers in id order.
+    #[inline]
+    pub fn customers(&self) -> &[Customer] {
+        &self.customers
+    }
+
+    /// Looks up a customer by id.
+    pub fn customer(&self, id: CustomerId) -> Option<&Customer> {
+        self.customers.get(id.index())
+    }
+
+    /// Iterator over the customers in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Customer> {
+        self.customers.iter()
+    }
+
+    /// Community-wide renewable generation `Θ_h = Σ_n θ_n^h` (kWh per slot).
+    pub fn total_generation(&self) -> TimeSeries<f64> {
+        TimeSeries::from_fn(self.horizon, |slot| {
+            self.customers
+                .iter()
+                .map(|c| c.generation(slot).value())
+                .sum()
+        })
+    }
+
+    /// Total schedulable task energy across all homes (`Σ_n Σ_m E_m`).
+    pub fn total_task_energy(&self) -> Kwh {
+        self.customers.iter().map(|c| c.total_task_energy()).sum()
+    }
+
+    /// Number of customers that can trade energy back (PV or battery).
+    pub fn trading_customers(&self) -> usize {
+        self.customers.iter().filter(|c| c.can_trade()).count()
+    }
+}
+
+impl<'a> IntoIterator for &'a Community {
+    type Item = &'a Customer;
+    type IntoIter = std::slice::Iter<'a, Customer>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.customers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clear_sky_profile, PvPanel};
+    use nms_types::Kw;
+
+    fn day() -> Horizon {
+        Horizon::hourly_day()
+    }
+
+    fn plain_customer(i: usize) -> Customer {
+        Customer::builder(CustomerId::new(i), day())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dense_ids_required() {
+        let err = Community::new(day(), vec![plain_customer(1)]).unwrap_err();
+        assert!(err.to_string().contains("position 0"));
+        assert!(Community::new(day(), vec![]).is_err());
+    }
+
+    #[test]
+    fn horizon_agreement_required() {
+        let other = Customer::builder(CustomerId::new(0), Horizon::hourly(48))
+            .build()
+            .unwrap();
+        assert!(Community::new(day(), vec![other]).is_err());
+    }
+
+    #[test]
+    fn total_generation_sums_panels() {
+        let mut customers = Vec::new();
+        for i in 0..3 {
+            customers.push(
+                Customer::builder(CustomerId::new(i), day())
+                    .pv(PvPanel::new(Kw::new(2.0), clear_sky_profile(day(), Kw::new(2.0))).unwrap())
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let community = Community::new(day(), customers).unwrap();
+        let theta = community.total_generation();
+        let single = clear_sky_profile(day(), Kw::new(2.0));
+        assert!((theta[12] - 3.0 * single[12]).abs() < 1e-9);
+        assert_eq!(community.trading_customers(), 3);
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let community = Community::new(day(), (0..5).map(plain_customer).collect()).unwrap();
+        assert_eq!(community.len(), 5);
+        assert!(community.customer(CustomerId::new(4)).is_some());
+        assert!(community.customer(CustomerId::new(5)).is_none());
+        assert_eq!(community.iter().count(), 5);
+        assert_eq!((&community).into_iter().count(), 5);
+        assert_eq!(community.total_task_energy(), Kwh::ZERO);
+        assert_eq!(community.trading_customers(), 0);
+    }
+}

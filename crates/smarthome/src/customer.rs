@@ -1,0 +1,305 @@
+//! A customer: appliances + battery + PV behind one smart meter (paper §2).
+
+use serde::{Deserialize, Serialize};
+
+use nms_types::{ApplianceId, CustomerId, Horizon, Kwh, MeterId, TimeSeries, ValidateError};
+
+use crate::{Appliance, Battery, PvPanel};
+
+/// One household `n ∈ N`: a set of schedulable appliances `A_n`, a battery,
+/// and a PV panel, identified by its smart meter.
+///
+/// Construct with [`Customer::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use nms_smarthome::{Customer, Battery, PvPanel, Appliance, ApplianceKind, PowerLevels, TaskSpec};
+/// use nms_types::{ApplianceId, CustomerId, Horizon, Kw, Kwh};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let horizon = Horizon::hourly_day();
+/// let customer = Customer::builder(CustomerId::new(0), horizon)
+///     .appliance(Appliance::new(
+///         ApplianceId::new(0),
+///         ApplianceKind::Dishwasher,
+///         PowerLevels::on_off(Kw::new(1.0))?,
+///         TaskSpec::new(Kwh::new(1.5), 18, 23)?,
+///     ))
+///     .battery(Battery::new(Kwh::new(8.0), Kwh::new(2.0))?)
+///     .build()?;
+/// assert_eq!(customer.appliances().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Customer {
+    id: CustomerId,
+    horizon: Horizon,
+    appliances: Vec<Appliance>,
+    battery: Battery,
+    pv: PvPanel,
+    base_load: TimeSeries<f64>,
+}
+
+impl Customer {
+    /// Starts building a customer over `horizon`.
+    pub fn builder(id: CustomerId, horizon: Horizon) -> CustomerBuilder {
+        CustomerBuilder {
+            id,
+            horizon,
+            appliances: Vec::new(),
+            battery: Battery::none(),
+            pv: None,
+            base_load: None,
+        }
+    }
+
+    /// The customer's identifier.
+    #[inline]
+    pub fn id(&self) -> CustomerId {
+        self.id
+    }
+
+    /// The smart meter serving this home.
+    #[inline]
+    pub fn meter(&self) -> MeterId {
+        self.id.meter()
+    }
+
+    /// The scheduling horizon this customer plans over.
+    #[inline]
+    pub fn horizon(&self) -> Horizon {
+        self.horizon
+    }
+
+    /// The appliance set `A_n`.
+    #[inline]
+    pub fn appliances(&self) -> &[Appliance] {
+        &self.appliances
+    }
+
+    /// Looks up an appliance by id.
+    pub fn appliance(&self, id: ApplianceId) -> Option<&Appliance> {
+        self.appliances.iter().find(|a| a.id() == id)
+    }
+
+    /// The home battery.
+    #[inline]
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// The PV installation.
+    #[inline]
+    pub fn pv(&self) -> &PvPanel {
+        &self.pv
+    }
+
+    /// Renewable generation `θ_n^h` at `slot`.
+    #[inline]
+    pub fn generation(&self, slot: usize) -> Kwh {
+        self.pv.generation(slot)
+    }
+
+    /// The customer's inflexible (non-schedulable) consumption per slot —
+    /// always-on and manually operated devices that no smart controller
+    /// moves. The paper's `l_n^h` is the sum of this and the scheduled
+    /// appliance draws.
+    #[inline]
+    pub fn base_load(&self) -> &TimeSeries<f64> {
+        &self.base_load
+    }
+
+    /// Total task energy the customer must consume over the horizon
+    /// (`Σ_m E_m`).
+    pub fn total_task_energy(&self) -> Kwh {
+        self.appliances.iter().map(|a| a.task().energy()).sum()
+    }
+
+    /// Returns `true` when the customer participates in net metering in a
+    /// meaningful way: it can generate or store energy to trade back.
+    pub fn can_trade(&self) -> bool {
+        self.pv.is_generating() || self.battery.is_usable()
+    }
+}
+
+/// Builder for [`Customer`]; validates everything against the horizon at
+/// [`build`](CustomerBuilder::build) time.
+#[derive(Debug, Clone)]
+pub struct CustomerBuilder {
+    id: CustomerId,
+    horizon: Horizon,
+    appliances: Vec<Appliance>,
+    battery: Battery,
+    pv: Option<PvPanel>,
+    base_load: Option<TimeSeries<f64>>,
+}
+
+impl CustomerBuilder {
+    /// Adds one appliance.
+    pub fn appliance(mut self, appliance: Appliance) -> Self {
+        self.appliances.push(appliance);
+        self
+    }
+
+    /// Adds every appliance from an iterator.
+    pub fn appliances(mut self, appliances: impl IntoIterator<Item = Appliance>) -> Self {
+        self.appliances.extend(appliances);
+        self
+    }
+
+    /// Sets the battery (defaults to no battery).
+    pub fn battery(mut self, battery: Battery) -> Self {
+        self.battery = battery;
+        self
+    }
+
+    /// Sets the PV panel (defaults to no panel).
+    pub fn pv(mut self, pv: PvPanel) -> Self {
+        self.pv = Some(pv);
+        self
+    }
+
+    /// Sets the inflexible consumption per slot (kWh; defaults to zero).
+    pub fn base_load(mut self, base_load: TimeSeries<f64>) -> Self {
+        self.base_load = Some(base_load);
+        self
+    }
+
+    /// Finalizes the customer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when any appliance fails validation against
+    /// the horizon, two appliances share an id, or the PV profile is on a
+    /// different horizon.
+    pub fn build(self) -> Result<Customer, ValidateError> {
+        for appliance in &self.appliances {
+            appliance.validate(self.horizon)?;
+        }
+        let mut ids: Vec<ApplianceId> = self.appliances.iter().map(|a| a.id()).collect();
+        ids.sort();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ValidateError::new(format!(
+                "duplicate appliance id in {}",
+                self.id
+            )));
+        }
+        let pv = self.pv.unwrap_or_else(|| PvPanel::none(self.horizon));
+        if pv.profile().horizon().slots() != self.horizon.slots() {
+            return Err(ValidateError::new(format!(
+                "pv profile has {} slots but customer horizon has {}",
+                pv.profile().horizon().slots(),
+                self.horizon.slots()
+            )));
+        }
+        let base_load = self
+            .base_load
+            .unwrap_or_else(|| TimeSeries::filled(self.horizon, 0.0));
+        if base_load.len() != self.horizon.slots() {
+            return Err(ValidateError::new(format!(
+                "base load has {} slots but customer horizon has {}",
+                base_load.len(),
+                self.horizon.slots()
+            )));
+        }
+        if base_load.iter().any(|&v| !v.is_finite() || v < 0.0) {
+            return Err(ValidateError::new(
+                "base load must be finite and non-negative in every slot",
+            ));
+        }
+        Ok(Customer {
+            id: self.id,
+            horizon: self.horizon,
+            appliances: self.appliances,
+            battery: self.battery,
+            pv,
+            base_load,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clear_sky_profile, ApplianceKind, PowerLevels, TaskSpec};
+    use nms_types::Kw;
+
+    fn day() -> Horizon {
+        Horizon::hourly_day()
+    }
+
+    fn appliance(id: usize, energy: f64, start: usize, deadline: usize) -> Appliance {
+        Appliance::new(
+            ApplianceId::new(id),
+            ApplianceKind::Dishwasher,
+            PowerLevels::on_off(Kw::new(2.0)).unwrap(),
+            TaskSpec::new(Kwh::new(energy), start, deadline).unwrap(),
+        )
+    }
+
+    #[test]
+    fn builder_assembles_customer() {
+        let customer = Customer::builder(CustomerId::new(3), day())
+            .appliance(appliance(0, 2.0, 8, 20))
+            .appliance(appliance(1, 1.0, 0, 23))
+            .battery(Battery::new(Kwh::new(5.0), Kwh::ZERO).unwrap())
+            .pv(PvPanel::new(Kw::new(3.0), clear_sky_profile(day(), Kw::new(3.0))).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(customer.id(), CustomerId::new(3));
+        assert_eq!(customer.meter(), CustomerId::new(3).meter());
+        assert_eq!(customer.appliances().len(), 2);
+        assert_eq!(customer.total_task_energy(), Kwh::new(3.0));
+        assert!(customer.can_trade());
+        assert!(customer.appliance(ApplianceId::new(1)).is_some());
+        assert!(customer.appliance(ApplianceId::new(9)).is_none());
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_appliance_ids() {
+        let err = Customer::builder(CustomerId::new(0), day())
+            .appliance(appliance(0, 1.0, 0, 23))
+            .appliance(appliance(0, 1.0, 0, 23))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate appliance id"));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_appliance() {
+        let result = Customer::builder(CustomerId::new(0), day())
+            .appliance(appliance(0, 100.0, 0, 2)) // infeasible energy
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_pv_horizon() {
+        let other = Horizon::hourly(48);
+        let result = Customer::builder(CustomerId::new(0), day())
+            .pv(PvPanel::new(Kw::new(3.0), clear_sky_profile(other, Kw::new(3.0))).unwrap())
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn customer_without_der_cannot_trade() {
+        let customer = Customer::builder(CustomerId::new(0), day())
+            .appliance(appliance(0, 1.0, 0, 23))
+            .build()
+            .unwrap();
+        assert!(!customer.can_trade());
+        assert_eq!(customer.generation(12), Kwh::ZERO);
+    }
+
+    #[test]
+    fn appliances_bulk_add() {
+        let customer = Customer::builder(CustomerId::new(0), day())
+            .appliances((0..4).map(|i| appliance(i, 1.0, 0, 23)))
+            .build()
+            .unwrap();
+        assert_eq!(customer.appliances().len(), 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Grid-level load profiles and the peak-to-average ratio (PAR) metric.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use nms_types::{Horizon, HorizonMismatchError, Kwh, TimeSeries};
+
+/// A per-slot energy demand profile (kWh per slot) — either one customer's
+/// consumption `l_n^h` or the community aggregate `L_h`.
+///
+/// The paper's grid-stability metric is the peak-to-average ratio
+/// [`LoadProfile::par`]; pricing cyberattacks are measured by how much they
+/// raise it (§4, §5).
+///
+/// # Examples
+///
+/// ```
+/// use nms_smarthome::LoadProfile;
+/// use nms_types::{Horizon, TimeSeries};
+///
+/// let mut series = TimeSeries::filled(Horizon::hourly_day(), 1.0);
+/// series[18] = 3.0; // evening peak
+/// let load = LoadProfile::new(series);
+/// assert!(load.par().unwrap() > 1.0);
+/// assert_eq!(load.peak_slot(), 18);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    series: TimeSeries<f64>,
+}
+
+impl LoadProfile {
+    /// Wraps a per-slot energy series (kWh per slot).
+    pub fn new(series: TimeSeries<f64>) -> Self {
+        Self { series }
+    }
+
+    /// A flat-zero profile over `horizon`.
+    pub fn zero(horizon: Horizon) -> Self {
+        Self {
+            series: TimeSeries::filled(horizon, 0.0),
+        }
+    }
+
+    /// The horizon this profile is aligned to.
+    #[inline]
+    pub fn horizon(&self) -> Horizon {
+        self.series.horizon()
+    }
+
+    /// The underlying per-slot series.
+    #[inline]
+    pub fn series(&self) -> &TimeSeries<f64> {
+        &self.series
+    }
+
+    /// Consumes the profile, returning the underlying series.
+    #[inline]
+    pub fn into_series(self) -> TimeSeries<f64> {
+        self.series
+    }
+
+    /// Energy demanded at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the horizon.
+    #[inline]
+    pub fn at(&self, slot: usize) -> Kwh {
+        Kwh::new(self.series[slot])
+    }
+
+    /// Total energy over the horizon.
+    pub fn total(&self) -> Kwh {
+        Kwh::new(self.series.total())
+    }
+
+    /// Mean per-slot energy.
+    pub fn mean(&self) -> Kwh {
+        Kwh::new(self.series.mean())
+    }
+
+    /// Largest per-slot energy.
+    pub fn peak(&self) -> Kwh {
+        Kwh::new(self.series.peak())
+    }
+
+    /// Slot index of the peak (first on ties).
+    pub fn peak_slot(&self) -> usize {
+        self.series.peak_slot()
+    }
+
+    /// Peak-to-average ratio; `None` when the mean is not strictly positive.
+    pub fn par(&self) -> Option<f64> {
+        self.series.par()
+    }
+
+    /// Slot-wise sum with another profile (e.g. accumulating customers into
+    /// a community load).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HorizonMismatchError`] on differing slot counts.
+    pub fn add(&self, other: &Self) -> Result<Self, HorizonMismatchError> {
+        Ok(Self {
+            series: self.series.add(&other.series)?,
+        })
+    }
+
+    /// Aggregates many profiles into one (`L_h = Σ_n l_n^h`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HorizonMismatchError`] if any profile disagrees on slot
+    /// count.
+    pub fn aggregate<'a>(
+        horizon: Horizon,
+        profiles: impl IntoIterator<Item = &'a LoadProfile>,
+    ) -> Result<Self, HorizonMismatchError> {
+        let mut acc = TimeSeries::filled(horizon, 0.0);
+        for p in profiles {
+            acc = acc.add(&p.series)?;
+        }
+        Ok(Self { series: acc })
+    }
+}
+
+impl From<TimeSeries<f64>> for LoadProfile {
+    fn from(series: TimeSeries<f64>) -> Self {
+        Self::new(series)
+    }
+}
+
+impl fmt::Display for LoadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.par() {
+            Some(par) => write!(
+                f,
+                "load: total {:.2}, peak {:.2} @ slot {}, PAR {:.4}",
+                self.total(),
+                self.peak(),
+                self.peak_slot(),
+                par
+            ),
+            None => write!(f, "load: empty (total {:.2})", self.total()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn day() -> Horizon {
+        Horizon::hourly_day()
+    }
+
+    #[test]
+    fn par_matches_hand_computation() {
+        let mut series = TimeSeries::filled(day(), 2.0);
+        series[17] = 6.0;
+        let load = LoadProfile::new(series);
+        let mean = (2.0 * 23.0 + 6.0) / 24.0;
+        assert!((load.par().unwrap() - 6.0 / mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_profile_has_no_par() {
+        assert!(LoadProfile::zero(day()).par().is_none());
+    }
+
+    #[test]
+    fn aggregate_sums_customers() {
+        let profiles: Vec<LoadProfile> = (0..10)
+            .map(|i| {
+                let mut s = TimeSeries::filled(day(), 1.0);
+                s[i] += 1.0;
+                LoadProfile::new(s)
+            })
+            .collect();
+        let total = LoadProfile::aggregate(day(), &profiles).unwrap();
+        assert!((total.total().value() - (240.0 + 10.0)).abs() < 1e-9);
+        assert!((total.at(0).value() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_checks_horizons() {
+        let a = LoadProfile::zero(day());
+        let b = LoadProfile::zero(Horizon::hourly(48));
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn display_mentions_par() {
+        let mut series = TimeSeries::filled(day(), 1.0);
+        series[7] = 2.0;
+        let text = LoadProfile::new(series).to_string();
+        assert!(text.contains("PAR"));
+        assert!(LoadProfile::zero(day()).to_string().contains("empty"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_aggregate_par_not_above_max_member_count(
+            values in proptest::collection::vec(0.1_f64..10.0, 24)
+        ) {
+            // Aggregating identical copies never changes PAR.
+            let p = LoadProfile::new(TimeSeries::from_values(day(), values).unwrap());
+            let agg = LoadProfile::aggregate(day(), vec![&p, &p, &p]).unwrap();
+            prop_assert!((agg.par().unwrap() - p.par().unwrap()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_peak_at_least_mean(values in proptest::collection::vec(0.0_f64..10.0, 24)) {
+            let p = LoadProfile::new(TimeSeries::from_values(day(), values).unwrap());
+            prop_assert!(p.peak().value() >= p.mean().value() - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! The cross-entropy optimization method (paper §3.2, following \[3\]).
+//!
+//! The method maintains a Gaussian sampling distribution per dimension,
+//! draws `K` samples, keeps the elite fraction with the best objective
+//! values, and refits the distribution to the elites (the analytic solution
+//! of the Kullback–Leibler projection in Eqn 5 for the Gaussian family),
+//! smoothing the update to avoid premature collapse. Samples are clamped
+//! into the feasible box, which for the battery problem is
+//! `[0, B_n]` per slot.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use nms_types::ValidateError;
+
+/// Draws one standard-normal variate via the Box–Muller transform (keeps
+/// the workspace free of distribution crates; see DESIGN.md §6).
+fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Tuning knobs for [`CrossEntropyOptimizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CeConfig {
+    /// Samples drawn per iteration (`K` in §3.2).
+    pub samples: usize,
+    /// Fraction of samples kept as the elite set (0, 1].
+    pub elite_fraction: f64,
+    /// Maximum refinement iterations.
+    pub max_iters: usize,
+    /// Smoothing factor `α ∈ (0, 1]` applied to mean/std updates
+    /// (1 = replace outright).
+    pub smoothing: f64,
+    /// Initial standard deviation as a fraction of each box width.
+    pub init_std_fraction: f64,
+    /// Stop when every dimension's std falls below this fraction of its box
+    /// width.
+    pub std_tol_fraction: f64,
+}
+
+impl CeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] for out-of-range parameters (zero samples,
+    /// elite fraction outside (0, 1], non-positive smoothing, …).
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.samples < 2 {
+            return Err(ValidateError::new("cross entropy needs at least 2 samples"));
+        }
+        if !(self.elite_fraction > 0.0 && self.elite_fraction <= 1.0) {
+            return Err(ValidateError::new("elite fraction must be in (0, 1]"));
+        }
+        if self.max_iters == 0 {
+            return Err(ValidateError::new("need at least one iteration"));
+        }
+        if !(self.smoothing > 0.0 && self.smoothing <= 1.0) {
+            return Err(ValidateError::new("smoothing must be in (0, 1]"));
+        }
+        if !(self.init_std_fraction > 0.0 && self.init_std_fraction.is_finite()) {
+            return Err(ValidateError::new("init std fraction must be positive"));
+        }
+        if !(self.std_tol_fraction >= 0.0 && self.std_tol_fraction.is_finite()) {
+            return Err(ValidateError::new("std tolerance must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// A lighter preset for inner loops that run thousands of times (fewer
+    /// samples and iterations than [`CeConfig::default`]).
+    pub fn fast() -> Self {
+        Self {
+            samples: 32,
+            elite_fraction: 0.2,
+            max_iters: 25,
+            smoothing: 0.8,
+            init_std_fraction: 0.4,
+            std_tol_fraction: 0.01,
+        }
+    }
+}
+
+impl Default for CeConfig {
+    fn default() -> Self {
+        Self {
+            samples: 64,
+            elite_fraction: 0.15,
+            max_iters: 60,
+            smoothing: 0.7,
+            init_std_fraction: 0.4,
+            std_tol_fraction: 0.005,
+        }
+    }
+}
+
+/// Result of a cross-entropy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CeSolution {
+    /// Best point found (inside the box).
+    pub point: Vec<f64>,
+    /// Objective value at [`point`](Self::point).
+    pub objective: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// `true` when the std-collapse criterion triggered before
+    /// `max_iters`.
+    pub converged: bool,
+}
+
+/// Minimizes black-box objectives over axis-aligned boxes with the
+/// cross-entropy method.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossEntropyOptimizer {
+    config: CeConfig,
+}
+
+impl CrossEntropyOptimizer {
+    /// Creates an optimizer with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use [`CeConfig::validate`]
+    /// first when the configuration is user-supplied.
+    pub fn new(config: CeConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid cross-entropy configuration");
+        Self { config }
+    }
+
+    /// The bound configuration.
+    #[inline]
+    pub fn config(&self) -> &CeConfig {
+        &self.config
+    }
+
+    /// Minimizes `objective` over the box `bounds` (one `(lo, hi)` pair per
+    /// dimension), starting the sampling distribution at `init_mean`.
+    ///
+    /// Returns the best point ever sampled (not merely the final mean), so
+    /// the result can only improve with more iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` and `init_mean` disagree in length, when a bound
+    /// has `lo > hi`, or when the objective returns NaN for a feasible
+    /// point.
+    pub fn minimize(
+        &self,
+        mut objective: impl FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        init_mean: &[f64],
+        rng: &mut impl Rng,
+    ) -> CeSolution {
+        assert_eq!(bounds.len(), init_mean.len(), "bounds/init_mean dimensions");
+        let dim = bounds.len();
+        if dim == 0 {
+            return CeSolution {
+                point: Vec::new(),
+                objective: objective(&[]),
+                iterations: 0,
+                converged: true,
+            };
+        }
+        for (d, &(lo, hi)) in bounds.iter().enumerate() {
+            assert!(
+                lo <= hi && lo.is_finite() && hi.is_finite(),
+                "invalid bounds at dim {d}: ({lo}, {hi})"
+            );
+        }
+
+        let widths: Vec<f64> = bounds
+            .iter()
+            .map(|&(lo, hi)| (hi - lo).max(1e-12))
+            .collect();
+        let mut mean: Vec<f64> = init_mean
+            .iter()
+            .zip(bounds)
+            .map(|(&m, &(lo, hi))| m.clamp(lo, hi))
+            .collect();
+        let mut std: Vec<f64> = widths
+            .iter()
+            .map(|w| w * self.config.init_std_fraction)
+            .collect();
+
+        let elite_count = ((self.config.samples as f64 * self.config.elite_fraction).ceil()
+            as usize)
+            .clamp(1, self.config.samples);
+
+        let mut best_point = mean.clone();
+        let mut best_value = objective(&best_point);
+        assert!(!best_value.is_nan(), "objective returned NaN");
+
+        let mut samples: Vec<(f64, Vec<f64>)> = Vec::with_capacity(self.config.samples);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.config.max_iters {
+            iterations += 1;
+            samples.clear();
+            for _ in 0..self.config.samples {
+                let mut x = Vec::with_capacity(dim);
+                for d in 0..dim {
+                    let v = mean[d] + std[d].max(1e-12) * sample_standard_normal(rng);
+                    x.push(v.clamp(bounds[d].0, bounds[d].1));
+                }
+                let value = objective(&x);
+                assert!(!value.is_nan(), "objective returned NaN");
+                samples.push((value, x));
+            }
+            samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("objective values not NaN"));
+            if samples[0].0 < best_value {
+                best_value = samples[0].0;
+                best_point.clone_from(&samples[0].1);
+            }
+
+            // Refit the Gaussian to the elite set (the KL projection of
+            // Eqn 5 for the normal family) with smoothing.
+            let alpha = self.config.smoothing;
+            for d in 0..dim {
+                let elite_mean = samples[..elite_count]
+                    .iter()
+                    .map(|(_, x)| x[d])
+                    .sum::<f64>()
+                    / elite_count as f64;
+                let elite_var = samples[..elite_count]
+                    .iter()
+                    .map(|(_, x)| (x[d] - elite_mean).powi(2))
+                    .sum::<f64>()
+                    / elite_count as f64;
+                mean[d] = alpha * elite_mean + (1.0 - alpha) * mean[d];
+                std[d] = alpha * elite_var.sqrt() + (1.0 - alpha) * std[d];
+            }
+
+            let collapsed = std
+                .iter()
+                .zip(&widths)
+                .all(|(s, w)| *s <= self.config.std_tol_fraction * w);
+            if collapsed {
+                converged = true;
+                break;
+            }
+        }
+
+        CeSolution {
+            point: best_point,
+            objective: best_value,
+            iterations,
+            converged,
+        }
+    }
+}
+
+impl Default for CrossEntropyOptimizer {
+    fn default() -> Self {
+        Self::new(CeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CeConfig::default().validate().is_ok());
+        assert!(CeConfig::fast().validate().is_ok());
+        assert!(CeConfig {
+            samples: 1,
+            ..CeConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CeConfig {
+            elite_fraction: 0.0,
+            ..CeConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CeConfig {
+            smoothing: 1.5,
+            ..CeConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CeConfig {
+            max_iters: 0,
+            ..CeConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn finds_quadratic_minimum() {
+        let optimizer = CrossEntropyOptimizer::default();
+        let solution = optimizer.minimize(
+            |x| x.iter().map(|v| (v - 0.7).powi(2)).sum(),
+            &[(0.0, 2.0); 6],
+            &[1.8; 6],
+            &mut rng(3),
+        );
+        for v in &solution.point {
+            assert!((v - 0.7).abs() < 0.05, "point {v}");
+        }
+        assert!(solution.converged);
+    }
+
+    #[test]
+    fn respects_box_when_minimum_outside() {
+        let optimizer = CrossEntropyOptimizer::default();
+        let solution =
+            optimizer.minimize(|x| (x[0] + 5.0).powi(2), &[(0.0, 1.0)], &[0.5], &mut rng(4));
+        // Unconstrained minimum at −5 is outside; the box edge wins.
+        assert!(solution.point[0] >= 0.0);
+        assert!(solution.point[0] < 0.05);
+    }
+
+    #[test]
+    fn handles_nonconvex_objective() {
+        // Rastrigin-like in 1-D: many local minima, global at 0.
+        let optimizer = CrossEntropyOptimizer::new(CeConfig {
+            samples: 128,
+            max_iters: 80,
+            ..CeConfig::default()
+        });
+        let solution = optimizer.minimize(
+            |x| x[0] * x[0] + 2.0 * (1.0 - (4.0 * std::f64::consts::PI * x[0]).cos()),
+            &[(-3.0, 3.0)],
+            &[2.5],
+            &mut rng(5),
+        );
+        assert!(solution.point[0].abs() < 0.1, "got {}", solution.point[0]);
+    }
+
+    #[test]
+    fn zero_dimensional_problem() {
+        let optimizer = CrossEntropyOptimizer::default();
+        let solution = optimizer.minimize(|_| 42.0, &[], &[], &mut rng(6));
+        assert_eq!(solution.objective, 42.0);
+        assert!(solution.converged);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let optimizer = CrossEntropyOptimizer::default();
+        let run = |seed| {
+            optimizer.minimize(
+                |x| (x[0] - 0.2).powi(2) + (x[1] - 0.9).powi(2),
+                &[(0.0, 1.0); 2],
+                &[0.5; 2],
+                &mut rng(seed),
+            )
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn best_ever_monotone_in_iterations() {
+        let few = CrossEntropyOptimizer::new(CeConfig {
+            max_iters: 2,
+            std_tol_fraction: 0.0,
+            ..CeConfig::default()
+        });
+        let many = CrossEntropyOptimizer::new(CeConfig {
+            max_iters: 40,
+            std_tol_fraction: 0.0,
+            ..CeConfig::default()
+        });
+        let objective = |x: &[f64]| (x[0] - 0.31).powi(2);
+        let bounds = [(0.0, 1.0)];
+        let a = few.minimize(objective, &bounds, &[0.9], &mut rng(11));
+        let b = many.minimize(objective, &bounds, &[0.9], &mut rng(11));
+        assert!(b.objective <= a.objective + 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds/init_mean")]
+    fn mismatched_dimensions_panic() {
+        CrossEntropyOptimizer::default().minimize(|_| 0.0, &[(0.0, 1.0)], &[], &mut rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn inverted_bounds_panic() {
+        CrossEntropyOptimizer::default().minimize(|_| 0.0, &[(1.0, 0.0)], &[0.5], &mut rng(0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_solution_stays_in_box(
+            lo in -5.0_f64..0.0,
+            width in 0.1_f64..10.0,
+            target in -10.0_f64..10.0,
+            seed in 0_u64..1000,
+        ) {
+            let hi = lo + width;
+            let optimizer = CrossEntropyOptimizer::new(CeConfig::fast());
+            let solution = optimizer.minimize(
+                |x| (x[0] - target).powi(2),
+                &[(lo, hi)],
+                &[(lo + hi) / 2.0],
+                &mut rng(seed),
+            );
+            prop_assert!(solution.point[0] >= lo - 1e-12);
+            prop_assert!(solution.point[0] <= hi + 1e-12);
+            // And it should do at least as well as the box-projected target.
+            let projected = target.clamp(lo, hi);
+            let bound = (projected - target).powi(2);
+            prop_assert!(solution.objective >= bound - 1e-9);
+        }
+    }
+}

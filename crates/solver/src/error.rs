@@ -1,0 +1,78 @@
+//! Solver error type.
+
+use std::error::Error;
+use std::fmt;
+
+use nms_smarthome::ScheduleError;
+use nms_types::ValidateError;
+
+/// Why a solver run failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// The DP could not allocate the task energy within the window — the
+    /// appliance is infeasible for the horizon (should have been caught by
+    /// `Appliance::validate`).
+    Infeasible {
+        /// Description of the infeasible subproblem.
+        detail: String,
+    },
+    /// A produced schedule failed feasibility validation; indicates a bug in
+    /// a solver or a numerically hostile input.
+    Schedule(ScheduleError),
+    /// Invalid solver configuration.
+    Config(ValidateError),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible { detail } => write!(f, "infeasible subproblem: {detail}"),
+            Self::Schedule(err) => write!(f, "solver produced an infeasible schedule: {err}"),
+            Self::Config(err) => write!(f, "invalid solver configuration: {err}"),
+        }
+    }
+}
+
+impl Error for SolverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Schedule(err) => Some(err),
+            Self::Config(err) => Some(err),
+            Self::Infeasible { .. } => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for SolverError {
+    fn from(err: ScheduleError) -> Self {
+        Self::Schedule(err)
+    }
+}
+
+impl From<ValidateError> for SolverError {
+    fn from(err: ValidateError) -> Self {
+        Self::Config(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let err = SolverError::Infeasible {
+            detail: "window too small".into(),
+        };
+        assert!(err.to_string().contains("window too small"));
+        let err: SolverError = ValidateError::new("bad K").into();
+        assert!(err.to_string().contains("bad K"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SolverError>();
+    }
+}

@@ -1,0 +1,531 @@
+//! The community-level best-response iteration (Algorithm 1's outer loop).
+//!
+//! Customers share their trading amounts `y_n^h`; each in turn re-solves
+//! Problem P1 against the aggregate of the others, until the largest
+//! per-slot trading change across a full round falls under a tolerance
+//! (Gauss–Seidel), or for a fixed number of Jacobi rounds when running the
+//! parallel variant.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use nms_pricing::{CostModel, NetMeteringTariff, PriceSignal};
+use nms_smarthome::{Community, CommunitySchedule, CustomerSchedule};
+use nms_types::{TimeSeries, ValidateError};
+
+use crate::{best_response, ResponseConfig, SolverError};
+
+/// Configuration for [`GameEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GameConfig {
+    /// Maximum outer rounds over all customers.
+    pub max_rounds: usize,
+    /// Convergence tolerance on the largest per-slot trading change (kWh).
+    pub tolerance: f64,
+    /// Per-customer best-response settings.
+    pub response: ResponseConfig,
+    /// Number of worker threads for parallel Jacobi rounds; `1` selects the
+    /// sequential Gauss–Seidel iteration (better convergence, the paper's
+    /// formulation).
+    pub threads: usize,
+}
+
+impl GameConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] on zero rounds/threads, a non-positive
+    /// tolerance, or an invalid response configuration.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.max_rounds == 0 {
+            return Err(ValidateError::new("need at least one round"));
+        }
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return Err(ValidateError::new("tolerance must be positive"));
+        }
+        if self.threads == 0 {
+            return Err(ValidateError::new("need at least one thread"));
+        }
+        self.response.validate()
+    }
+
+    /// A faster preset for large-community simulations.
+    pub fn fast() -> Self {
+        Self {
+            max_rounds: 6,
+            tolerance: 0.05,
+            response: ResponseConfig::fast(),
+            threads: 1,
+        }
+    }
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 12,
+            tolerance: 0.01,
+            response: ResponseConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+/// Result of solving the scheduling game.
+#[derive(Debug, Clone)]
+pub struct GameOutcome {
+    /// The converged (or last-round) community schedule.
+    pub schedule: CommunitySchedule,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether the tolerance was met before `max_rounds`.
+    pub converged: bool,
+    /// Largest per-slot trading change after each round (kWh).
+    pub history: Vec<f64>,
+}
+
+/// Which guideline price each customer's smart controller sees.
+///
+/// Under a pricing cyberattack, hacked meters receive a *manipulated*
+/// signal while healthy meters see the broadcast one — the game must let
+/// customers optimize against their own believed prices.
+#[derive(Debug, Clone, Copy)]
+pub enum PriceAssignment<'a> {
+    /// Every customer sees the same signal (the no-attack case).
+    Uniform(&'a PriceSignal),
+    /// `signals[i]` is what customer `i`'s meter reports.
+    PerCustomer(&'a [PriceSignal]),
+}
+
+impl<'a> PriceAssignment<'a> {
+    /// The signal customer `index` optimizes against.
+    #[inline]
+    pub fn for_customer(&self, index: usize) -> &'a PriceSignal {
+        match self {
+            Self::Uniform(signal) => signal,
+            Self::PerCustomer(signals) => &signals[index],
+        }
+    }
+
+    fn validate(&self, customers: usize, slots: usize) -> Result<(), ValidateError> {
+        match self {
+            Self::Uniform(signal) => {
+                if signal.len() != slots {
+                    return Err(ValidateError::new(format!(
+                        "price signal covers {} slots, community horizon {slots}",
+                        signal.len()
+                    )));
+                }
+            }
+            Self::PerCustomer(signals) => {
+                if signals.len() != customers {
+                    return Err(ValidateError::new(format!(
+                        "{} price signals for {customers} customers",
+                        signals.len()
+                    )));
+                }
+                for (i, signal) in signals.iter().enumerate() {
+                    if signal.len() != slots {
+                        return Err(ValidateError::new(format!(
+                            "price signal for customer {i} covers {} slots, horizon {slots}",
+                            signal.len()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves the Net Metering Aware Energy Consumption Scheduling Game for a
+/// community under a guideline price (paper §3.1).
+///
+/// # Examples
+///
+/// See `tests/game_prediction.rs` for an end-to-end run; unit tests below
+/// exercise two-customer communities.
+#[derive(Debug)]
+pub struct GameEngine<'a> {
+    community: &'a Community,
+    prices: PriceAssignment<'a>,
+    tariff: NetMeteringTariff,
+    config: GameConfig,
+}
+
+impl<'a> GameEngine<'a> {
+    /// Binds a community, the broadcast guideline price, and the tariff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the price signal's horizon disagrees
+    /// with the community's, or the configuration is invalid.
+    pub fn new(
+        community: &'a Community,
+        prices: &'a PriceSignal,
+        tariff: NetMeteringTariff,
+        config: GameConfig,
+    ) -> Result<Self, ValidateError> {
+        Self::with_price_assignment(community, PriceAssignment::Uniform(prices), tariff, config)
+    }
+
+    /// Like [`GameEngine::new`] but with per-customer price signals (e.g.
+    /// hacked meters seeing a manipulated price).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when any signal's horizon disagrees with
+    /// the community's, the signal count is wrong, or the configuration is
+    /// invalid.
+    pub fn with_price_assignment(
+        community: &'a Community,
+        prices: PriceAssignment<'a>,
+        tariff: NetMeteringTariff,
+        config: GameConfig,
+    ) -> Result<Self, ValidateError> {
+        config.validate()?;
+        prices.validate(community.len(), community.horizon().slots())?;
+        Ok(Self {
+            community,
+            prices,
+            tariff,
+            config,
+        })
+    }
+
+    /// The bound configuration.
+    #[inline]
+    pub fn config(&self) -> &GameConfig {
+        &self.config
+    }
+
+    /// Runs the iterative best-response loop, deterministically seeded from
+    /// `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolverError`] from any customer's subproblem.
+    pub fn solve(&self, rng: &mut impl Rng) -> Result<GameOutcome, SolverError> {
+        let horizon = self.community.horizon();
+        let n = self.community.len();
+
+        let mut schedules: Vec<Option<CustomerSchedule>> = vec![None; n];
+        let mut tradings: Vec<TimeSeries<f64>> = vec![TimeSeries::filled(horizon, 0.0); n];
+        let mut total = TimeSeries::filled(horizon, 0.0);
+        let mut history = Vec::new();
+        let mut converged = false;
+        let mut rounds = 0;
+
+        for _round in 0..self.config.max_rounds {
+            rounds += 1;
+            // Seeds drawn up front so sequential and parallel rounds use the
+            // same per-customer randomness.
+            let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            let mut round_delta = 0.0_f64;
+
+            if self.config.threads <= 1 {
+                // Gauss–Seidel: each customer sees the freshest totals.
+                for (index, customer) in self.community.iter().enumerate() {
+                    let others = total.sub(&tradings[index]).expect("aligned horizons");
+                    let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
+                    let cost_model = CostModel::new(self.prices.for_customer(index), self.tariff);
+                    let response = best_response(
+                        customer,
+                        &others,
+                        cost_model,
+                        &self.config.response,
+                        schedules[index].as_ref(),
+                        &mut child,
+                    )?;
+                    let delta = max_abs_diff(response.trading(), &tradings[index]);
+                    round_delta = round_delta.max(delta);
+                    total = others.add(response.trading()).expect("aligned horizons");
+                    tradings[index] = response.trading().clone();
+                    schedules[index] = Some(response);
+                }
+            } else {
+                // Jacobi: all respond to the same snapshot, in parallel.
+                let snapshot_total = total.clone();
+                let responses =
+                    self.parallel_round(&snapshot_total, &tradings, &schedules, &seeds)?;
+                for (index, response) in responses.into_iter().enumerate() {
+                    let delta = max_abs_diff(response.trading(), &tradings[index]);
+                    round_delta = round_delta.max(delta);
+                    tradings[index] = response.trading().clone();
+                    schedules[index] = Some(response);
+                }
+                total = TimeSeries::from_fn(horizon, |h| tradings.iter().map(|t| t[h]).sum());
+            }
+
+            history.push(round_delta);
+            if round_delta <= self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        let schedules: Vec<CustomerSchedule> = schedules
+            .into_iter()
+            .map(|s| s.expect("every customer scheduled at least once"))
+            .collect();
+        let schedule = CommunitySchedule::new(horizon, schedules)?;
+        Ok(GameOutcome {
+            schedule,
+            rounds,
+            converged,
+            history,
+        })
+    }
+
+    /// One parallel Jacobi round over all customers.
+    fn parallel_round(
+        &self,
+        snapshot_total: &TimeSeries<f64>,
+        tradings: &[TimeSeries<f64>],
+        schedules: &[Option<CustomerSchedule>],
+        seeds: &[u64],
+    ) -> Result<Vec<CustomerSchedule>, SolverError> {
+        let n = self.community.len();
+        let threads = self.config.threads.min(n);
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Option<Result<CustomerSchedule, SolverError>>> = vec![None; n];
+
+        crossbeam::thread::scope(|scope| {
+            for (t, slots) in results.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                let config = &self.config.response;
+                let community = self.community;
+                let prices = self.prices;
+                let tariff = self.tariff;
+                scope.spawn(move |_| {
+                    for (offset, slot) in slots.iter_mut().enumerate() {
+                        let index = start + offset;
+                        let customer = &community.customers()[index];
+                        let others = snapshot_total
+                            .sub(&tradings[index])
+                            .expect("aligned horizons");
+                        let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
+                        let cost_model = CostModel::new(prices.for_customer(index), tariff);
+                        *slot = Some(best_response(
+                            customer,
+                            &others,
+                            cost_model,
+                            config,
+                            schedules[index].as_ref(),
+                            &mut child,
+                        ));
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every index visited"))
+            .collect()
+    }
+}
+
+fn max_abs_diff(a: &TimeSeries<f64>, b: &TimeSeries<f64>) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nms_smarthome::{
+        clear_sky_profile, Appliance, ApplianceKind, Battery, Customer, PowerLevels, PvPanel,
+        TaskSpec,
+    };
+    use nms_types::{ApplianceId, CustomerId, Horizon, Kw, Kwh};
+
+    fn day() -> Horizon {
+        Horizon::hourly_day()
+    }
+
+    fn small_community(n: usize, with_der: bool) -> Community {
+        let customers: Vec<Customer> = (0..n)
+            .map(|i| {
+                let mut builder = Customer::builder(CustomerId::new(i), day())
+                    .appliance(Appliance::new(
+                        ApplianceId::new(0),
+                        ApplianceKind::WaterHeater,
+                        PowerLevels::stepped(Kw::new(2.0), 2).unwrap(),
+                        TaskSpec::new(Kwh::new(3.0), 0, 23).unwrap(),
+                    ))
+                    .appliance(Appliance::new(
+                        ApplianceId::new(1),
+                        ApplianceKind::Dishwasher,
+                        PowerLevels::on_off(Kw::new(1.0)).unwrap(),
+                        TaskSpec::new(Kwh::new(1.0), 17, 22).unwrap(),
+                    ));
+                if with_der {
+                    builder = builder
+                        .battery(Battery::new(Kwh::new(3.0), Kwh::ZERO).unwrap())
+                        .pv(
+                            PvPanel::new(Kw::new(2.0), clear_sky_profile(day(), Kw::new(2.0)))
+                                .unwrap(),
+                        );
+                }
+                builder.build().unwrap()
+            })
+            .collect();
+        Community::new(day(), customers).unwrap()
+    }
+
+    fn tou_prices() -> PriceSignal {
+        PriceSignal::time_of_use(day(), 0.05, 0.3).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GameConfig::default().validate().is_ok());
+        assert!(GameConfig {
+            max_rounds: 0,
+            ..GameConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GameConfig {
+            tolerance: 0.0,
+            ..GameConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GameConfig {
+            threads: 0,
+            ..GameConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn engine_rejects_mismatched_price_horizon() {
+        let community = small_community(2, false);
+        let prices = PriceSignal::flat(Horizon::hourly(48), 0.1).unwrap();
+        assert!(GameEngine::new(
+            &community,
+            &prices,
+            NetMeteringTariff::default(),
+            GameConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn game_converges_on_small_community() {
+        let community = small_community(4, false);
+        let prices = tou_prices();
+        let engine = GameEngine::new(
+            &community,
+            &prices,
+            NetMeteringTariff::default(),
+            GameConfig::default(),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let outcome = engine.solve(&mut rng).unwrap();
+        assert!(outcome.converged, "history: {:?}", outcome.history);
+        // Flexible load avoids the on-peak windows.
+        let schedule = &outcome.schedule;
+        let peak_demand: f64 = (17..21).map(|h| schedule.grid_demand()[h]).sum();
+        let offpeak_demand: f64 = (0..7).map(|h| schedule.grid_demand()[h]).sum();
+        assert!(offpeak_demand > peak_demand);
+    }
+
+    #[test]
+    fn der_community_draws_less_from_grid() {
+        let prices = tou_prices();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let plain = small_community(3, false);
+        let engine = GameEngine::new(
+            &plain,
+            &prices,
+            NetMeteringTariff::default(),
+            GameConfig::fast(),
+        )
+        .unwrap();
+        let base = engine.solve(&mut rng).unwrap();
+
+        let der = small_community(3, true);
+        let engine = GameEngine::new(
+            &der,
+            &prices,
+            NetMeteringTariff::default(),
+            GameConfig::fast(),
+        )
+        .unwrap();
+        let mut rng2 = ChaCha8Rng::seed_from_u64(11);
+        let with_der = engine.solve(&mut rng2).unwrap();
+
+        let total = |o: &GameOutcome| -> f64 { o.schedule.grid_demand_clamped().total() };
+        assert!(
+            total(&with_der) < total(&base) - 1.0,
+            "der {} vs base {}",
+            total(&with_der),
+            total(&base)
+        );
+    }
+
+    #[test]
+    fn history_is_weakly_informative() {
+        let community = small_community(3, false);
+        let prices = tou_prices();
+        let engine = GameEngine::new(
+            &community,
+            &prices,
+            NetMeteringTariff::default(),
+            GameConfig::default(),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let outcome = engine.solve(&mut rng).unwrap();
+        assert_eq!(outcome.history.len(), outcome.rounds);
+        // The last round's delta is within tolerance iff converged.
+        let last = *outcome.history.last().unwrap();
+        assert_eq!(outcome.converged, last <= engine.config().tolerance);
+    }
+
+    #[test]
+    fn parallel_matches_shape_of_sequential() {
+        let community = small_community(4, true);
+        let prices = tou_prices();
+        let mut sequential_config = GameConfig::fast();
+        sequential_config.max_rounds = 4;
+        let engine = GameEngine::new(
+            &community,
+            &prices,
+            NetMeteringTariff::default(),
+            sequential_config,
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let sequential = engine.solve(&mut rng).unwrap();
+
+        let mut parallel_config = sequential_config;
+        parallel_config.threads = 4;
+        let engine = GameEngine::new(
+            &community,
+            &prices,
+            NetMeteringTariff::default(),
+            parallel_config,
+        )
+        .unwrap();
+        let mut rng2 = ChaCha8Rng::seed_from_u64(13);
+        let parallel = engine.solve(&mut rng2).unwrap();
+
+        // Jacobi and Gauss–Seidel won't agree exactly, but total consumed
+        // energy must (it is constraint-pinned), and demand shapes should
+        // correlate.
+        let seq_total = sequential.schedule.load().total().value();
+        let par_total = parallel.schedule.load().total().value();
+        assert!((seq_total - par_total).abs() < 1e-6);
+    }
+}

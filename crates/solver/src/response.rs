@@ -1,0 +1,367 @@
+//! A single customer's best response (the inner loop of Algorithm 1,
+//! lines 3–6): alternate DP appliance scheduling with cross-entropy battery
+//! optimization until the customer's plan stabilizes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use nms_pricing::CostModel;
+use nms_smarthome::{ApplianceSchedule, Customer, CustomerSchedule};
+use nms_types::{Kwh, TimeSeries, ValidateError};
+
+use crate::{
+    coordinate_descent_battery, optimize_battery, BatteryProblem, CeConfig, CrossEntropyOptimizer,
+    DpScheduler, SolverError,
+};
+
+/// Configuration for [`best_response`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseConfig {
+    /// DP quantum resolution (see [`DpScheduler`]).
+    pub dp_resolution: usize,
+    /// Cross-entropy settings for the battery step.
+    pub ce: CeConfig,
+    /// Alternations between the DP step and the battery step.
+    pub inner_iters: usize,
+    /// When `false` the battery is left idle (used by predictors that model
+    /// customers without storage).
+    pub use_battery: bool,
+}
+
+impl ResponseConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] on a zero resolution/iteration count or an
+    /// invalid CE configuration.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.dp_resolution == 0 {
+            return Err(ValidateError::new("dp resolution must be positive"));
+        }
+        if self.inner_iters == 0 {
+            return Err(ValidateError::new("need at least one inner iteration"));
+        }
+        self.ce.validate()
+    }
+
+    /// A faster preset for large-community simulations.
+    pub fn fast() -> Self {
+        Self {
+            dp_resolution: 2,
+            ce: CeConfig::fast(),
+            inner_iters: 1,
+            use_battery: true,
+        }
+    }
+}
+
+impl Default for ResponseConfig {
+    fn default() -> Self {
+        Self {
+            dp_resolution: 4,
+            ce: CeConfig::fast(),
+            inner_iters: 2,
+            use_battery: true,
+        }
+    }
+}
+
+/// Computes the customer's best response to the other customers' aggregate
+/// trading `others_trading` (`Σ_{i≠n} y_i^h`, kWh per slot).
+///
+/// `previous` warm-starts the appliance allocation and battery trajectory
+/// when available.
+///
+/// # Errors
+///
+/// Returns [`SolverError`] when an appliance subproblem is infeasible or
+/// the assembled schedule fails validation.
+pub fn best_response(
+    customer: &Customer,
+    others_trading: &TimeSeries<f64>,
+    cost_model: CostModel<'_>,
+    config: &ResponseConfig,
+    previous: Option<&CustomerSchedule>,
+    rng: &mut impl Rng,
+) -> Result<CustomerSchedule, SolverError> {
+    config.validate()?;
+    let horizon = customer.horizon();
+    let dp = DpScheduler::new(config.dp_resolution);
+    let ce = CrossEntropyOptimizer::new(config.ce);
+
+    // Working state: per-appliance energies and the battery trajectory.
+    let mut energies: Vec<TimeSeries<f64>> = match previous {
+        Some(prev) if prev.appliance_schedules().len() == customer.appliances().len() => prev
+            .appliance_schedules()
+            .iter()
+            .map(|s| s.energy().clone())
+            .collect(),
+        _ => customer
+            .appliances()
+            .iter()
+            .map(|_| TimeSeries::filled(horizon, 0.0))
+            .collect(),
+    };
+    let mut battery: Vec<Kwh> = match previous {
+        Some(prev) if config.use_battery => prev.battery().to_vec(),
+        _ => vec![customer.battery().initial_charge(); horizon.slots() + 1],
+    };
+
+    let generation = TimeSeries::from_fn(horizon, |h| customer.generation(h).value());
+
+    for _ in 0..config.inner_iters {
+        // Battery contribution to own trading, fixed during the DP step.
+        let battery_delta =
+            TimeSeries::from_fn(horizon, |h| battery[h + 1].value() - battery[h].value());
+
+        // DP step: reschedule each appliance against the others (coordinate
+        // descent over appliances).
+        for (index, appliance) in customer.appliances().iter().enumerate() {
+            let base = TimeSeries::from_fn(horizon, |h| {
+                let other_appliances: f64 = energies
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != index)
+                    .map(|(_, e)| e[h])
+                    .sum();
+                customer.base_load()[h] + other_appliances + battery_delta[h] - generation[h]
+            });
+            let schedule = dp.schedule(appliance, horizon, |slot, energy| {
+                cost_model
+                    .slot_cost(slot, others_trading[slot], base[slot] + energy)
+                    .value()
+            })?;
+            energies[index] = schedule.energy().clone();
+        }
+
+        // Battery step (cross-entropy optimization of Algorithm 1, line 5).
+        if config.use_battery && customer.battery().is_usable() {
+            let load = TimeSeries::from_fn(horizon, |h| {
+                customer.base_load()[h] + energies.iter().map(|e| e[h]).sum::<f64>()
+            });
+            let problem = BatteryProblem::new(
+                customer.battery(),
+                &load,
+                &generation,
+                others_trading,
+                cost_model,
+            );
+            // Warm start: the better of the previous trajectory and one
+            // deterministic coordinate-descent sweep — CE then refines.
+            let previous: Vec<f64> = battery[1..].iter().map(|b| b.value()).collect();
+            let swept = coordinate_descent_battery(&problem, 1);
+            let swept: Vec<f64> = swept[1..].iter().map(|b| b.value()).collect();
+            let warm = if problem.objective(&swept) < problem.objective(&previous) {
+                swept
+            } else {
+                previous
+            };
+            let (trajectory, _) = optimize_battery(&problem, &ce, Some(&warm), rng);
+            battery = trajectory;
+        }
+    }
+
+    let appliance_schedules: Vec<ApplianceSchedule> = customer
+        .appliances()
+        .iter()
+        .zip(energies)
+        .map(|(appliance, energy)| ApplianceSchedule::new(appliance, horizon, energy))
+        .collect::<Result<_, _>>()?;
+    CustomerSchedule::new(customer, appliance_schedules, battery).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nms_pricing::{NetMeteringTariff, PriceSignal};
+    use nms_smarthome::{
+        clear_sky_profile, Appliance, ApplianceKind, Battery, PowerLevels, PvPanel, TaskSpec,
+    };
+    use nms_types::{ApplianceId, CustomerId, Horizon, Kw};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn day() -> Horizon {
+        Horizon::hourly_day()
+    }
+
+    fn evening_peak_prices() -> PriceSignal {
+        PriceSignal::new(TimeSeries::from_fn(day(), |h| {
+            if (17..21).contains(&h) {
+                0.4
+            } else {
+                0.05
+            }
+        }))
+        .unwrap()
+    }
+
+    fn customer_with_flexible_load() -> Customer {
+        Customer::builder(CustomerId::new(0), day())
+            .appliance(Appliance::new(
+                ApplianceId::new(0),
+                ApplianceKind::WaterHeater,
+                PowerLevels::stepped(Kw::new(2.0), 2).unwrap(),
+                TaskSpec::new(Kwh::new(4.0), 0, 23).unwrap(),
+            ))
+            .appliance(Appliance::new(
+                ApplianceId::new(1),
+                ApplianceKind::Dishwasher,
+                PowerLevels::on_off(Kw::new(1.0)).unwrap(),
+                TaskSpec::new(Kwh::new(1.0), 17, 23).unwrap(),
+            ))
+            .battery(Battery::new(Kwh::new(4.0), Kwh::ZERO).unwrap())
+            .pv(PvPanel::new(Kw::new(2.0), clear_sky_profile(day(), Kw::new(2.0))).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ResponseConfig::default().validate().is_ok());
+        assert!(ResponseConfig::fast().validate().is_ok());
+        assert!(ResponseConfig {
+            dp_resolution: 0,
+            ..ResponseConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ResponseConfig {
+            inner_iters: 0,
+            ..ResponseConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn response_avoids_peak_prices() {
+        let customer = customer_with_flexible_load();
+        let prices = evening_peak_prices();
+        let cost_model = CostModel::new(&prices, NetMeteringTariff::default());
+        let others = TimeSeries::filled(day(), 10.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let schedule = best_response(
+            &customer,
+            &others,
+            cost_model,
+            &ResponseConfig::default(),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        // The flexible water heater's 4 kWh should avoid 17:00–21:00.
+        let peak_load: f64 = (17..21)
+            .map(|h| schedule.appliance_schedules()[0].at(h).value())
+            .sum();
+        assert!(peak_load < 0.5, "peak load {peak_load}");
+        // The dishwasher is stuck in the evening window but should prefer
+        // the cheap 21:00–23:00 tail.
+        let dishwasher_cheap: f64 = (21..24)
+            .map(|h| schedule.appliance_schedules()[1].at(h).value())
+            .sum();
+        assert!((dishwasher_cheap - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn response_cost_not_worse_than_idle_battery_plan() {
+        let customer = customer_with_flexible_load();
+        let prices = evening_peak_prices();
+        let cost_model = CostModel::new(&prices, NetMeteringTariff::default());
+        let others = TimeSeries::filled(day(), 10.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let with_battery = best_response(
+            &customer,
+            &others,
+            cost_model,
+            &ResponseConfig::default(),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        let no_battery_config = ResponseConfig {
+            use_battery: false,
+            ..ResponseConfig::default()
+        };
+        let mut rng2 = ChaCha8Rng::seed_from_u64(2);
+        let without_battery = best_response(
+            &customer,
+            &others,
+            cost_model,
+            &no_battery_config,
+            None,
+            &mut rng2,
+        )
+        .unwrap();
+        let cost = |s: &CustomerSchedule| cost_model.customer_cost(&others, s.trading()).value();
+        assert!(cost(&with_battery) <= cost(&without_battery) + 1e-6);
+    }
+
+    #[test]
+    fn warm_start_preserves_feasibility() {
+        let customer = customer_with_flexible_load();
+        let prices = evening_peak_prices();
+        let cost_model = CostModel::new(&prices, NetMeteringTariff::default());
+        let others = TimeSeries::filled(day(), 10.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let first = best_response(
+            &customer,
+            &others,
+            cost_model,
+            &ResponseConfig::fast(),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        let second = best_response(
+            &customer,
+            &others,
+            cost_model,
+            &ResponseConfig::fast(),
+            Some(&first),
+            &mut rng,
+        )
+        .unwrap();
+        // Warm-started responses remain feasible and at least as good.
+        let cost = |s: &CustomerSchedule| cost_model.customer_cost(&others, s.trading()).value();
+        assert!(cost(&second) <= cost(&first) + 1e-6);
+    }
+
+    #[test]
+    fn no_battery_config_keeps_soc_flat() {
+        let customer = customer_with_flexible_load();
+        let prices = evening_peak_prices();
+        let cost_model = CostModel::new(&prices, NetMeteringTariff::default());
+        let others = TimeSeries::filled(day(), 10.0);
+        let config = ResponseConfig {
+            use_battery: false,
+            ..ResponseConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let schedule =
+            best_response(&customer, &others, cost_model, &config, None, &mut rng).unwrap();
+        let initial = customer.battery().initial_charge();
+        assert!(schedule.battery().iter().all(|&b| b == initial));
+    }
+
+    #[test]
+    fn pv_reduces_net_purchases() {
+        let customer = customer_with_flexible_load();
+        let prices = evening_peak_prices();
+        let cost_model = CostModel::new(&prices, NetMeteringTariff::default());
+        let others = TimeSeries::filled(day(), 10.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let schedule = best_response(
+            &customer,
+            &others,
+            cost_model,
+            &ResponseConfig::default(),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        // Total purchases < total task energy because PV feeds part of it.
+        assert!(schedule.total_purchased().value() < customer.total_task_energy().value());
+    }
+}

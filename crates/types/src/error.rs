@@ -1,0 +1,86 @@
+//! Shared error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Two per-slot containers were combined but disagree on slot count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HorizonMismatchError {
+    /// Slot count of the left-hand/expected horizon.
+    pub expected: usize,
+    /// Slot count actually supplied.
+    pub actual: usize,
+}
+
+impl fmt::Display for HorizonMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "horizon mismatch: expected {} slots, got {}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl Error for HorizonMismatchError {}
+
+/// A domain object failed validation when constructed or mutated.
+///
+/// Carried by constructors throughout the workspace (appliance specs whose
+/// deadline precedes their start time, batteries with negative capacity, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    message: String,
+}
+
+impl ValidateError {
+    /// Creates a validation error with a human-readable cause.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable cause.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "validation failed: {}", self.message)
+    }
+}
+
+impl Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_mismatch_displays_both_counts() {
+        let err = HorizonMismatchError {
+            expected: 24,
+            actual: 48,
+        };
+        let text = err.to_string();
+        assert!(text.contains("24"));
+        assert!(text.contains("48"));
+    }
+
+    #[test]
+    fn validate_error_carries_message() {
+        let err = ValidateError::new("deadline precedes start");
+        assert_eq!(err.message(), "deadline precedes start");
+        assert!(err.to_string().contains("deadline precedes start"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<HorizonMismatchError>();
+        assert_err::<ValidateError>();
+    }
+}

@@ -1,0 +1,232 @@
+//! The scheduling horizon: a day (or multi-day window) divided into slots.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A scheduling horizon of `H` equal time slots (paper §2: "the next 24 hours
+/// which is divided into `H` time slots").
+///
+/// The paper's evaluation uses hourly slots (`H = 24` for one day, `H = 48`
+/// for the two-day long-term-detection experiment); the type supports any
+/// slot duration.
+///
+/// # Examples
+///
+/// ```
+/// use nms_types::Horizon;
+///
+/// let day = Horizon::hourly_day();
+/// assert_eq!(day.slots(), 24);
+/// assert!((day.slot_hours() - 1.0).abs() < 1e-12);
+///
+/// let two_days = Horizon::hourly(48);
+/// assert_eq!(two_days.days(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Horizon {
+    slots: usize,
+    slot_hours: f64,
+}
+
+impl Horizon {
+    /// Creates a horizon of `slots` slots, each lasting `slot_hours` hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or `slot_hours` is not strictly positive
+    /// and finite.
+    pub fn new(slots: usize, slot_hours: f64) -> Self {
+        assert!(slots > 0, "a horizon needs at least one slot");
+        assert!(
+            slot_hours.is_finite() && slot_hours > 0.0,
+            "slot duration must be a positive finite number of hours"
+        );
+        Self { slots, slot_hours }
+    }
+
+    /// A horizon of `slots` hourly slots.
+    pub fn hourly(slots: usize) -> Self {
+        Self::new(slots, 1.0)
+    }
+
+    /// The canonical 24-hour day with hourly slots used throughout the paper.
+    pub fn hourly_day() -> Self {
+        Self::hourly(24)
+    }
+
+    /// Number of slots `H` in the horizon.
+    #[inline]
+    pub const fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Duration of one slot in hours.
+    #[inline]
+    pub const fn slot_hours(&self) -> f64 {
+        self.slot_hours
+    }
+
+    /// Total horizon length in hours.
+    #[inline]
+    pub fn total_hours(&self) -> f64 {
+        self.slots as f64 * self.slot_hours
+    }
+
+    /// Total horizon length in days.
+    #[inline]
+    pub fn days(&self) -> f64 {
+        self.total_hours() / 24.0
+    }
+
+    /// Iterator over all slot indices `0..H`.
+    pub fn slot_indices(&self) -> std::ops::Range<usize> {
+        0..self.slots
+    }
+
+    /// Wall-clock hour-of-day (0–23) at the *start* of slot `slot`.
+    ///
+    /// Multi-day horizons wrap: with hourly slots, slot 25 starts at 01:00.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.slots()`.
+    pub fn hour_of_day(&self, slot: usize) -> f64 {
+        assert!(
+            slot < self.slots,
+            "slot {slot} out of horizon ({})",
+            self.slots
+        );
+        (slot as f64 * self.slot_hours) % 24.0
+    }
+
+    /// Returns `true` when `slot` starts within `[from_hour, to_hour)`
+    /// wall-clock hours (used by PV models and attack windows).
+    ///
+    /// Handles wrapping windows such as 22:00–06:00.
+    pub fn slot_in_daily_window(&self, slot: usize, from_hour: f64, to_hour: f64) -> bool {
+        let h = self.hour_of_day(slot);
+        if from_hour <= to_hour {
+            h >= from_hour && h < to_hour
+        } else {
+            h >= from_hour || h < to_hour
+        }
+    }
+
+    /// A clock that labels each slot for display, e.g. in experiment tables.
+    pub fn clock(&self) -> SlotClock {
+        SlotClock { horizon: *self }
+    }
+}
+
+impl Default for Horizon {
+    fn default() -> Self {
+        Self::hourly_day()
+    }
+}
+
+impl fmt::Display for Horizon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} slots × {} h", self.slots, self.slot_hours)
+    }
+}
+
+/// Formats slot indices of a [`Horizon`] as wall-clock labels (`16:00`).
+///
+/// ```
+/// use nms_types::Horizon;
+///
+/// let clock = Horizon::hourly_day().clock();
+/// assert_eq!(clock.label(16), "16:00");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SlotClock {
+    horizon: Horizon,
+}
+
+impl SlotClock {
+    /// Wall-clock label for the start of `slot` (`HH:MM`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the horizon.
+    pub fn label(&self, slot: usize) -> String {
+        let h = self.horizon.hour_of_day(slot);
+        let hours = h.floor() as u32;
+        let minutes = ((h - h.floor()) * 60.0).round() as u32;
+        format!("{hours:02}:{minutes:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_day_has_24_slots() {
+        let day = Horizon::hourly_day();
+        assert_eq!(day.slots(), 24);
+        assert_eq!(day.total_hours(), 24.0);
+        assert_eq!(day.days(), 1.0);
+    }
+
+    #[test]
+    fn hour_of_day_wraps_on_multiday() {
+        let h = Horizon::hourly(48);
+        assert_eq!(h.hour_of_day(0), 0.0);
+        assert_eq!(h.hour_of_day(25), 1.0);
+        assert_eq!(h.hour_of_day(47), 23.0);
+    }
+
+    #[test]
+    fn sub_hourly_slots() {
+        let h = Horizon::new(96, 0.25);
+        assert_eq!(h.total_hours(), 24.0);
+        assert_eq!(h.hour_of_day(5), 1.25);
+        assert_eq!(h.clock().label(5), "01:15");
+    }
+
+    #[test]
+    fn daily_window_plain_and_wrapping() {
+        let h = Horizon::hourly(48);
+        // Plain window 16:00–18:00 matches both days.
+        assert!(h.slot_in_daily_window(16, 16.0, 18.0));
+        assert!(h.slot_in_daily_window(17, 16.0, 18.0));
+        assert!(!h.slot_in_daily_window(18, 16.0, 18.0));
+        assert!(h.slot_in_daily_window(40, 16.0, 18.0)); // 16:00 of day 2
+                                                         // Wrapping night window 22:00–06:00.
+        assert!(h.slot_in_daily_window(23, 22.0, 6.0));
+        assert!(h.slot_in_daily_window(2, 22.0, 6.0));
+        assert!(!h.slot_in_daily_window(12, 22.0, 6.0));
+    }
+
+    #[test]
+    fn clock_labels() {
+        let clock = Horizon::hourly_day().clock();
+        assert_eq!(clock.label(0), "00:00");
+        assert_eq!(clock.label(16), "16:00");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = Horizon::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn non_positive_slot_duration_rejected() {
+        let _ = Horizon::new(24, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of horizon")]
+    fn hour_of_day_bounds_checked() {
+        let _ = Horizon::hourly_day().hour_of_day(24);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Horizon::hourly_day().to_string(), "24 slots × 1 h");
+    }
+}

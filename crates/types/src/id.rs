@@ -1,0 +1,128 @@
+//! Opaque identifiers for the entities of the smart home model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from its dense index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the dense index backing this identifier.
+            ///
+            /// Entities are stored in `Vec`s throughout the workspace, so the
+            /// index doubles as the storage position.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// Identifies one customer (household) `n ∈ {0, …, N-1}` in a community.
+    CustomerId,
+    "customer-"
+);
+
+entity_id!(
+    /// Identifies one appliance `m ∈ A_n` within a customer's home.
+    ///
+    /// Appliance ids are scoped to their owning [`CustomerId`]; two customers
+    /// may both own an `appliance-0`.
+    ApplianceId,
+    "appliance-"
+);
+
+entity_id!(
+    /// Identifies one smart meter. In this model each customer owns exactly
+    /// one meter, so meter indices coincide with customer indices, but the
+    /// distinct type keeps attack-surface code (which manipulates *meters*)
+    /// separate from scheduling code (which reasons about *customers*).
+    MeterId,
+    "meter-"
+);
+
+impl MeterId {
+    /// The customer whose home this meter is attached to.
+    #[inline]
+    pub const fn customer(self) -> CustomerId {
+        CustomerId::new(self.index())
+    }
+}
+
+impl CustomerId {
+    /// The smart meter attached to this customer's home.
+    #[inline]
+    pub const fn meter(self) -> MeterId {
+        MeterId::new(self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(CustomerId::new(7).to_string(), "customer-7");
+        assert_eq!(ApplianceId::new(0).to_string(), "appliance-0");
+        assert_eq!(MeterId::new(3).to_string(), "meter-3");
+    }
+
+    #[test]
+    fn round_trips_through_usize() {
+        let id = CustomerId::from(42usize);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn meter_customer_correspondence() {
+        let meter = MeterId::new(9);
+        assert_eq!(meter.customer(), CustomerId::new(9));
+        assert_eq!(CustomerId::new(9).meter(), meter);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(MeterId::new(1));
+        set.insert(MeterId::new(1));
+        set.insert(MeterId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(CustomerId::new(1) < CustomerId::new(2));
+    }
+}

@@ -1,0 +1,109 @@
+//! Regenerates every figure and table of the paper's evaluation (§5).
+//!
+//! ```sh
+//! # Quick run on a scaled-down community:
+//! cargo run --release --example paper_experiments
+//!
+//! # Choose the community size, seed, and specific artifacts:
+//! cargo run --release --example paper_experiments -- --customers 500 --seed 7 fig3 fig4
+//! ```
+//!
+//! Artifacts: `fig3`, `fig4`, `fig5`, `fig6`, `table1`, or `all`
+//! (default). The paper's scale is `--customers 500`; the default of 40
+//! finishes in well under a minute on a laptop.
+
+use std::error::Error;
+
+use netmeter_sentinel::sim::{experiments, export, PaperScenario};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut customers = 40usize;
+    let mut seed = 2015u64;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut artifacts: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--customers" | "-n" => {
+                customers = args.next().ok_or("--customers needs a value")?.parse()?;
+            }
+            "--seed" | "-s" => {
+                seed = args.next().ok_or("--seed needs a value")?.parse()?;
+            }
+            "--csv" => {
+                csv_dir = Some(args.next().ok_or("--csv needs a directory")?.into());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: paper_experiments [--customers N] [--seed S] [--csv DIR] [fig3|fig4|fig5|fig6|table1|all]..."
+                );
+                return Ok(());
+            }
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() || artifacts.iter().any(|a| a == "all") {
+        artifacts = ["fig3", "fig4", "fig5", "fig6", "table1"]
+            .map(String::from)
+            .to_vec();
+    }
+
+    let scenario = if customers >= 500 {
+        PaperScenario::paper(seed)
+    } else {
+        PaperScenario::small(customers, seed)
+    };
+    println!(
+        "scenario: {} customers, seed {seed}, {} training days\n",
+        scenario.customers, scenario.training_days
+    );
+
+    for artifact in &artifacts {
+        match artifact.as_str() {
+            "fig3" => {
+                let result = experiments::run_fig3(&scenario)?;
+                println!("{}", result.render());
+                if let Some(dir) = &csv_dir {
+                    std::fs::create_dir_all(dir)?;
+                    let file = std::fs::File::create(dir.join("fig3.csv"))?;
+                    export::export_prediction(file, &result)?;
+                }
+            }
+            "fig4" => {
+                let result = experiments::run_fig4(&scenario)?;
+                println!("{}", result.render());
+                if let Some(dir) = &csv_dir {
+                    std::fs::create_dir_all(dir)?;
+                    let file = std::fs::File::create(dir.join("fig4.csv"))?;
+                    export::export_prediction(file, &result)?;
+                }
+            }
+            "fig5" => {
+                let result = experiments::run_fig5(&scenario)?;
+                println!("{}", result.render());
+                if let Some(dir) = &csv_dir {
+                    std::fs::create_dir_all(dir)?;
+                    let file = std::fs::File::create(dir.join("fig5.csv"))?;
+                    export::export_attack(file, &result)?;
+                }
+            }
+            "fig6" => {
+                let result = experiments::run_fig6(&scenario)?;
+                println!("{}", result.render());
+                if let Some(dir) = &csv_dir {
+                    std::fs::create_dir_all(dir)?;
+                    let file = std::fs::File::create(dir.join("fig6.csv"))?;
+                    export::export_accuracy(file, &result)?;
+                }
+            }
+            "table1" => {
+                let result = experiments::run_table1(&scenario)?;
+                println!("Table 1 — Simulation Results for Detection Techniques");
+                println!("{}", result.render());
+            }
+            other => return Err(format!("unknown artifact {other:?}").into()),
+        }
+    }
+    Ok(())
+}

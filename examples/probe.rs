@@ -1,0 +1,15 @@
+use netmeter_sentinel::sim::{experiments, PaperScenario};
+fn main() {
+    for vol in [0.35f64, 0.28] {
+        for seed in [1u64, 2, 7, 11, 2015] {
+            let mut s = PaperScenario::small(100, seed);
+            s.weather.volatility = vol;
+            let fig6 = experiments::run_fig6(&s).unwrap();
+            println!(
+                "vol {vol} seed {seed}: aware {:.1}% naive {:.1}%",
+                fig6.aware_accuracy * 100.0,
+                fig6.naive_accuracy * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end tests of the detection framework: single-event detection,
+//! unilateral attack realizations, and the long-term POMDP loop.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use netmeter_sentinel::attack::{AttackTimeline, PriceAttack};
+use netmeter_sentinel::core::{DetectorMode, FrameworkConfig, SingleEventDetector};
+use netmeter_sentinel::sim::{run_long_term_detection, LongTermRunConfig, Market, PaperScenario};
+use netmeter_sentinel::types::MeterId;
+
+fn scenario() -> PaperScenario {
+    PaperScenario::small(12, 1234)
+}
+
+fn attack() -> PriceAttack {
+    PriceAttack::zero_window(16.0, 17.0).unwrap()
+}
+
+#[test]
+fn single_event_detector_flags_real_attack_not_clean_day() {
+    let s = scenario();
+    let market = Market::new(&s).unwrap();
+    let generator = s.generator();
+    let weather = s.weather_factors(1);
+    let community = generator.community_for_day(0, weather[0]);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let clean = market.clear_day(&community, 2, &mut rng).unwrap();
+    let manipulated = attack().apply(&clean.price);
+
+    let framework = FrameworkConfig::new(DetectorMode::NetMeteringAware, 24);
+    let detector = SingleEventDetector::new(framework.load, 0.05).unwrap();
+
+    // Clean: price matches → no alarm.
+    let outcome = detector
+        .detect(&community, &clean.price, &clean.price, &mut rng)
+        .unwrap();
+    assert!(!outcome.attack_detected);
+    assert_eq!(outcome.par_excess, 0.0);
+
+    // Attacked: the zero window drags load in → alarm.
+    let outcome = detector
+        .detect(&community, &clean.price, &manipulated, &mut rng)
+        .unwrap();
+    assert!(
+        outcome.attack_detected,
+        "PAR excess {} under attack",
+        outcome.par_excess
+    );
+}
+
+#[test]
+fn unilateral_deviation_scales_with_hacked_count() {
+    let s = scenario();
+    let market = Market::new(&s).unwrap();
+    let generator = s.generator();
+    let weather = s.weather_factors(1);
+    let community = generator.community_for_day(0, weather[0]);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let clean = market.clear_day(&community, 2, &mut rng).unwrap();
+    let manipulated = attack().apply(&clean.price);
+
+    let mut last_excess = 0.0;
+    for k in [0usize, 4, 12] {
+        let meters: Vec<MeterId> = (0..k).map(MeterId::new).collect();
+        let mut child = ChaCha8Rng::seed_from_u64(3);
+        let mixed = market
+            .truth_model()
+            .respond_unilaterally(
+                &community,
+                &clean.response,
+                &manipulated,
+                &meters,
+                &mut child,
+            )
+            .unwrap();
+        let excess: f64 = (0..24)
+            .map(|h| mixed.grid_demand[h] - clean.response.grid_demand[h])
+            .fold(f64::NEG_INFINITY, f64::max);
+        if k == 0 {
+            assert!(excess.abs() < 1e-9, "no hacked homes, excess {excess}");
+        } else {
+            assert!(
+                excess >= last_excess - 0.5,
+                "k={k}: excess {excess} below previous {last_excess}"
+            );
+        }
+        last_excess = excess;
+    }
+    assert!(last_excess > 1.0, "full compromise should move real load");
+}
+
+#[test]
+fn honest_homes_keep_their_plans_under_unilateral_deviation() {
+    let s = scenario();
+    let market = Market::new(&s).unwrap();
+    let generator = s.generator();
+    let weather = s.weather_factors(1);
+    let community = generator.community_for_day(0, weather[0]);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let clean = market.clear_day(&community, 2, &mut rng).unwrap();
+    let manipulated = attack().apply(&clean.price);
+
+    let meters = vec![MeterId::new(0), MeterId::new(1)];
+    let mut child = ChaCha8Rng::seed_from_u64(5);
+    let mixed = market
+        .truth_model()
+        .respond_unilaterally(
+            &community,
+            &clean.response,
+            &manipulated,
+            &meters,
+            &mut child,
+        )
+        .unwrap();
+    for index in 2..community.len() {
+        let before = &clean.response.schedule.customer_schedules()[index];
+        let after = &mixed.schedule.customer_schedules()[index];
+        assert_eq!(before, after, "honest customer {index} was rescheduled");
+    }
+}
+
+#[test]
+fn long_term_run_is_deterministic_under_seed() {
+    let mut s = PaperScenario::small(8, 7);
+    s.training_days = 4;
+    let config = LongTermRunConfig {
+        detection_days: 1,
+        detector: Some(FrameworkConfig::new(DetectorMode::NetMeteringAware, 24)),
+        timeline: AttackTimeline::new(vec![(4, 2)], attack()).unwrap(),
+        buckets: 4,
+        bucket_fraction_step: 0.15,
+        labor_per_fix: 10.0,
+        labor_per_meter: 1.0,
+    };
+    let run = |seed: u64| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        run_long_term_detection(&s, &config, &mut rng).unwrap()
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a.observed_buckets, b.observed_buckets);
+    assert_eq!(a.true_buckets, b.true_buckets);
+    assert_eq!(a.fixes_at, b.fixes_at);
+    assert!((a.par - b.par).abs() < 1e-12);
+}
+
+#[test]
+fn no_detection_run_never_repairs() {
+    let mut s = PaperScenario::small(8, 8);
+    s.training_days = 3;
+    let config = LongTermRunConfig {
+        detection_days: 1,
+        detector: None,
+        timeline: AttackTimeline::new(vec![(2, 3)], attack()).unwrap(),
+        buckets: 4,
+        bucket_fraction_step: 0.15,
+        labor_per_fix: 10.0,
+        labor_per_meter: 1.0,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let result = run_long_term_detection(&s, &config, &mut rng).unwrap();
+    assert_eq!(result.labor.fixes(), 0);
+    assert!(result.fixes_at.is_empty());
+    // Compromise persists to the end of the run.
+    assert!(*result.true_buckets.last().unwrap() > 0);
+}
+
+#[test]
+fn detector_with_long_lag_requires_enough_training_days() {
+    let mut s = PaperScenario::small(8, 9);
+    s.training_days = 3; // aware features need 48-slot lags + backtest day
+    let config = LongTermRunConfig {
+        detection_days: 1,
+        detector: Some(FrameworkConfig::new(DetectorMode::NetMeteringAware, 24)),
+        timeline: AttackTimeline::new(vec![(2, 2)], attack()).unwrap(),
+        buckets: 4,
+        bucket_fraction_step: 0.15,
+        labor_per_fix: 10.0,
+        labor_per_meter: 1.0,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let err = run_long_term_detection(&s, &config, &mut rng).unwrap_err();
+    assert!(err.to_string().contains("training days"));
+}

@@ -1,0 +1,156 @@
+//! Cross-checks between the three POMDP solvers (QMDP, PBVI, fixed-grid
+//! value iteration) on detector-shaped models: they should agree where the
+//! problem is easy and bracket each other's value estimates elsewhere.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use netmeter_sentinel::pomdp::{
+    rollout, Belief, GridConfig, GridPolicy, PbviConfig, PbviPolicy, Policy, Pomdp, QmdpPolicy,
+};
+
+/// A detector-flavored POMDP: buckets of hacked meters, monitor vs fix.
+fn detector_pomdp(buckets: usize, drift: f64, accuracy: f64, labor: f64) -> Pomdp {
+    let transition_monitor: Vec<Vec<f64>> = (0..buckets)
+        .map(|s| {
+            let mut row = vec![0.0; buckets];
+            if s + 1 < buckets {
+                row[s] = 1.0 - drift;
+                row[s + 1] = drift;
+            } else {
+                row[s] = 1.0;
+            }
+            row
+        })
+        .collect();
+    let transition_fix: Vec<Vec<f64>> = (0..buckets)
+        .map(|_| {
+            let mut row = vec![0.0; buckets];
+            row[0] = 1.0;
+            row
+        })
+        .collect();
+    let observation: Vec<Vec<f64>> = (0..buckets)
+        .map(|s| {
+            let off = (1.0 - accuracy) / (buckets - 1) as f64;
+            let mut row = vec![off; buckets];
+            row[s] = accuracy;
+            row
+        })
+        .collect();
+    Pomdp::builder(buckets, 2, buckets)
+        .transition(0, transition_monitor)
+        .transition(1, transition_fix)
+        .observation(0, observation.clone())
+        .observation(1, observation)
+        .reward_fn(move |a, s, _| -3.0 * s as f64 - if a == 1 { labor } else { 0.0 })
+        .discount(0.9)
+        .build()
+        .expect("valid detector POMDP")
+}
+
+#[test]
+fn all_solvers_agree_on_corner_beliefs() {
+    let pomdp = detector_pomdp(4, 0.25, 0.9, 4.0);
+    let qmdp = QmdpPolicy::solve(&pomdp, 1e-10, 5000);
+    let pbvi = PbviPolicy::solve(&pomdp, &PbviConfig::default());
+    let grid = GridPolicy::solve(&pomdp, &GridConfig::default());
+
+    let clean = Belief::point(4, 0);
+    let hacked = Belief::point(4, 3);
+    for (name, action_clean, action_hacked) in [
+        ("qmdp", qmdp.action(&clean), qmdp.action(&hacked)),
+        ("pbvi", pbvi.action(&clean), pbvi.action(&hacked)),
+        ("grid", grid.action(&clean), grid.action(&hacked)),
+    ] {
+        assert_eq!(action_clean, 0, "{name} should monitor a clean fleet");
+        assert_eq!(action_hacked, 1, "{name} should fix a saturated fleet");
+    }
+}
+
+#[test]
+fn value_estimates_bracket_sensibly() {
+    let pomdp = detector_pomdp(4, 0.3, 0.85, 5.0);
+    let qmdp = QmdpPolicy::solve(&pomdp, 1e-10, 5000);
+    let pbvi = PbviPolicy::solve(
+        &pomdp,
+        &PbviConfig {
+            iterations: 60,
+            belief_points: 96,
+            ..PbviConfig::default()
+        },
+    );
+    let grid = GridPolicy::solve(
+        &pomdp,
+        &GridConfig {
+            resolution: 6,
+            ..GridConfig::default()
+        },
+    );
+    for weights in [vec![1.0; 4], vec![4.0, 2.0, 1.0, 0.5], vec![0.1, 0.1, 1.0, 2.0]] {
+        let belief = Belief::from_weights(weights);
+        let v_pbvi = pbvi.value(&belief); // lower bound on V*
+        let v_qmdp = qmdp.value(&belief); // upper bound on V*
+        let v_grid = grid.value(&belief); // upper bound on V*
+        assert!(
+            v_pbvi <= v_qmdp + 1e-6,
+            "pbvi {v_pbvi} should not exceed qmdp {v_qmdp}"
+        );
+        assert!(
+            v_pbvi <= v_grid + 0.5,
+            "pbvi {v_pbvi} should not sit above grid {v_grid}"
+        );
+        // All three estimate the same quantity: they must be within a
+        // plausible band of each other for this small model.
+        assert!((v_qmdp - v_grid).abs() < 10.0);
+    }
+}
+
+#[test]
+fn rollout_returns_are_comparable_across_solvers() {
+    let pomdp = detector_pomdp(4, 0.25, 0.9, 4.0);
+    let qmdp = QmdpPolicy::solve(&pomdp, 1e-10, 5000);
+    let pbvi = PbviPolicy::solve(&pomdp, &PbviConfig::default());
+    let grid = GridPolicy::solve(&pomdp, &GridConfig::default());
+
+    let average = |policy: &dyn Policy| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..30u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            total += rollout(&pomdp, policy, 0, 48, &mut rng).discounted_return;
+        }
+        total / 30.0
+    };
+    let r_qmdp = average(&qmdp);
+    let r_pbvi = average(&pbvi);
+    let r_grid = average(&grid);
+    // No solver should be drastically worse than the best on this easy
+    // model (same observation stream, same dynamics).
+    let best = r_qmdp.max(r_pbvi).max(r_grid);
+    for (name, r) in [("qmdp", r_qmdp), ("pbvi", r_pbvi), ("grid", r_grid)] {
+        assert!(
+            r > best - 8.0,
+            "{name} return {r} far below best {best} (qmdp {r_qmdp}, pbvi {r_pbvi}, grid {r_grid})"
+        );
+    }
+}
+
+#[test]
+fn higher_labor_cost_makes_every_solver_lazier() {
+    // With labor far above damage, fixing is never worth it at low beliefs.
+    let cheap = detector_pomdp(4, 0.2, 0.9, 1.0);
+    let pricey = detector_pomdp(4, 0.2, 0.9, 60.0);
+    let belief = Belief::from_weights(vec![1.0, 1.0, 0.5, 0.25]);
+
+    let actions = |pomdp: &Pomdp| -> [usize; 3] {
+        [
+            QmdpPolicy::solve(pomdp, 1e-10, 5000).action(&belief),
+            PbviPolicy::solve(pomdp, &PbviConfig::default()).action(&belief),
+            GridPolicy::solve(pomdp, &GridConfig::default()).action(&belief),
+        ]
+    };
+    // Cheap labor: everyone fixes early. Exorbitant labor: everyone keeps
+    // monitoring.
+    assert_eq!(actions(&cheap), [1, 1, 1]);
+    assert_eq!(actions(&pricey), [0, 0, 0]);
+}

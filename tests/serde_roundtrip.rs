@@ -1,0 +1,61 @@
+//! Serde round-trips for the workspace's data-structure types (C-SERDE):
+//! scenario files and experiment artifacts must survive serialization.
+
+use netmeter_sentinel::attack::{AttackerConfig, PriceAttack};
+use netmeter_sentinel::pricing::{NetMeteringTariff, PriceSignal, UtilityConfig};
+use netmeter_sentinel::sim::PaperScenario;
+use netmeter_sentinel::smarthome::{Appliance, ApplianceKind, PowerLevels, TaskSpec};
+use netmeter_sentinel::solver::{CeConfig, GameConfig};
+use netmeter_sentinel::types::{Horizon, Kw, Kwh, TimeSeries};
+
+/// JSON round-trip through serde; equality must hold.
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(*value, back);
+}
+
+#[test]
+fn quantities_and_series_roundtrip() {
+    roundtrip(&Kwh::new(3.25));
+    roundtrip(&Kw::new(1.5));
+    roundtrip(&Horizon::hourly_day());
+    roundtrip(&TimeSeries::from_fn(Horizon::hourly_day(), |h| h as f64));
+}
+
+#[test]
+fn smarthome_types_roundtrip() {
+    let appliance = Appliance::new(
+        netmeter_sentinel::types::ApplianceId::new(3),
+        ApplianceKind::ElectricVehicle,
+        PowerLevels::stepped(Kw::new(3.3), 3).unwrap(),
+        TaskSpec::new(Kwh::new(7.5), 18, 23).unwrap(),
+    );
+    roundtrip(&appliance);
+    roundtrip(&ApplianceKind::Custom("sauna".into()));
+}
+
+#[test]
+fn pricing_types_roundtrip() {
+    roundtrip(&NetMeteringTariff::new(1.75).unwrap());
+    roundtrip(&UtilityConfig::default());
+    roundtrip(&PriceSignal::time_of_use(Horizon::hourly_day(), 0.05, 0.2).unwrap());
+}
+
+#[test]
+fn attack_types_roundtrip() {
+    roundtrip(&PriceAttack::zero_window(16.0, 17.0).unwrap());
+    roundtrip(&PriceAttack::InvertAroundMean);
+    roundtrip(&AttackerConfig::default());
+}
+
+#[test]
+fn solver_and_scenario_configs_roundtrip() {
+    roundtrip(&CeConfig::default());
+    roundtrip(&GameConfig::fast());
+    roundtrip(&PaperScenario::small(20, 42));
+    roundtrip(&PaperScenario::paper(7));
+}
