@@ -1,0 +1,46 @@
+//! Robustness sweep bench: detection accuracy vs telemetry fault rate.
+//!
+//! Regenerates the fault-tolerance artifact (both detector modes at each
+//! corruption level, with degradation tallies) and then times one
+//! clean-vs-faulted sweep pair at the smaller timing scale. The interesting
+//! question for the timing loop is the *overhead* of the robustness layer:
+//! fault injection + sanitization run per realized day, so the faulted
+//! sweep should cost only marginally more than the pristine one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nms_bench::{bench_scenario, timing_scenario};
+use nms_sim::sweeps::sweep_fault_tolerance;
+
+fn bench(c: &mut Criterion) {
+    let mut scenario = bench_scenario();
+    scenario.training_days = scenario.training_days.max(4);
+    let rates = [0.0, 0.05, 0.2];
+    let points = sweep_fault_tolerance(&scenario, &rates).expect("sweep runs");
+    println!("\n=== Fault tolerance (accuracy vs telemetry fault rate) ===");
+    for p in &points {
+        println!(
+            "rate {:>5.1}% | aware {:>6.2}% | naive {:>6.2}% | {} faults, {} slots imputed",
+            p.fault_rate * 100.0,
+            p.aware_accuracy * 100.0,
+            p.naive_accuracy * 100.0,
+            p.faults_injected,
+            p.slots_imputed
+        );
+    }
+
+    let mut timing = timing_scenario();
+    timing.training_days = timing.training_days.max(4);
+    let mut group = c.benchmark_group("fault_tolerance");
+    group.sample_size(10);
+    group.bench_function("sweep_pristine_48h", |b| {
+        b.iter(|| sweep_fault_tolerance(&timing, &[0.0]).expect("sweep runs"))
+    });
+    group.bench_function("sweep_faulted_48h", |b| {
+        b.iter(|| sweep_fault_tolerance(&timing, &[0.1]).expect("sweep runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

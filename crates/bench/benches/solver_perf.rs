@@ -121,7 +121,7 @@ fn bench_game(c: &mut Criterion) {
     let prices = PriceSignal::time_of_use(community.horizon(), 0.05, 0.2).unwrap();
     let mut group = c.benchmark_group("game");
     group.sample_size(10);
-    group.bench_function(format!("equilibrium_n{}", community.len()), |b| {
+    group.bench_function(&format!("equilibrium_n{}", community.len()), |b| {
         b.iter_batched(
             || ChaCha8Rng::seed_from_u64(3),
             |mut rng| {

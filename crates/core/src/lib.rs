@@ -40,6 +40,7 @@ mod metrics;
 mod pipeline;
 mod predict_load;
 mod predict_price;
+mod sanitize;
 mod single_event;
 
 pub use long_term::{
@@ -48,5 +49,6 @@ pub use long_term::{
 pub use metrics::{AccuracyTracker, DetectionReport, LaborTracker};
 pub use pipeline::{DetectorMode, FrameworkConfig};
 pub use predict_load::{LoadPredictor, PredictedResponse};
-pub use predict_price::{PredictPriceError, PricePredictor};
+pub use predict_price::{PredictPriceError, PricePredictor, TrainReport};
+pub use sanitize::{sanitize_series, SanitizeConfig, SanitizeReport};
 pub use single_event::{ParObservationMap, SingleEventDetector, SingleEventOutcome};

@@ -3,9 +3,11 @@
 use std::error::Error;
 use std::fmt;
 
-use nms_forecast::{FeatureConfig, Kernel, PriceHistory, Svr, SvrParams, TrainSvrError};
+use nms_forecast::{
+    seasonal_mean_forecast, FeatureConfig, Kernel, PriceHistory, Svr, SvrParams, TrainSvrError,
+};
 use nms_pricing::PriceSignal;
-use nms_types::{Horizon, TimeSeries, ValidateError};
+use nms_types::{FallbackRecord, Horizon, RetryPolicy, TimeSeries, ValidateError};
 
 /// Why price prediction failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +54,17 @@ impl From<ValidateError> for PredictPriceError {
     }
 }
 
+/// Outcome of [`PricePredictor::train_robust`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Extra SMO attempts consumed beyond the first.
+    pub retries: usize,
+    /// The winning fit converged (false implies `fallback` is set).
+    pub converged: bool,
+    /// Set when the predictor dropped to the seasonal-mean baseline.
+    pub fallback: Option<FallbackRecord>,
+}
+
 /// Day-ahead guideline-price prediction with SVR.
 ///
 /// The *naive* variant reproduces the state of the art of \[8\]: the model
@@ -64,6 +77,7 @@ pub struct PricePredictor {
     features: FeatureConfig,
     params: SvrParams,
     model: Option<Svr>,
+    baseline_fallback: bool,
 }
 
 impl PricePredictor {
@@ -73,6 +87,7 @@ impl PricePredictor {
             features: FeatureConfig::naive(slots_per_day),
             params: Self::default_params(),
             model: None,
+            baseline_fallback: false,
         }
     }
 
@@ -82,6 +97,7 @@ impl PricePredictor {
             features: FeatureConfig::net_metering_aware(slots_per_day),
             params: Self::default_params(),
             model: None,
+            baseline_fallback: false,
         }
     }
 
@@ -91,6 +107,7 @@ impl PricePredictor {
             features,
             params,
             model: None,
+            baseline_fallback: false,
         }
     }
 
@@ -110,10 +127,19 @@ impl PricePredictor {
         &self.features
     }
 
-    /// `true` once [`train`](Self::train) has succeeded.
+    /// `true` once [`train`](Self::train) or
+    /// [`train_robust`](Self::train_robust) has succeeded — possibly by
+    /// dropping to the seasonal baseline.
     #[inline]
     pub fn is_trained(&self) -> bool {
-        self.model.is_some()
+        self.model.is_some() || self.baseline_fallback
+    }
+
+    /// `true` when predictions come from the seasonal-mean baseline rather
+    /// than a fitted SVR.
+    #[inline]
+    pub fn is_baseline_fallback(&self) -> bool {
+        self.baseline_fallback
     }
 
     /// Fits the SVR on the recorded history.
@@ -133,7 +159,74 @@ impl PricePredictor {
             ))));
         }
         self.model = Some(Svr::fit(&dataset.xs, &dataset.ys, &self.params)?);
+        self.baseline_fallback = false;
         Ok(())
+    }
+
+    /// Fits the SVR under a [`RetryPolicy`], degrading instead of failing:
+    /// retries escalate the SMO pass budget, and when every attempt either
+    /// fails to converge or trips on non-finite (corrupted) data the
+    /// predictor drops to the seasonal-mean baseline so the pipeline can
+    /// keep producing verdicts. The drop is reported as a
+    /// [`FallbackRecord`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictPriceError`] only for structural problems — invalid
+    /// features/policy/hyperparameters or a history too short to yield any
+    /// training sample. Numerical trouble degrades; it does not error.
+    pub fn train_robust(
+        &mut self,
+        history: &PriceHistory,
+        policy: &RetryPolicy,
+    ) -> Result<TrainReport, PredictPriceError> {
+        self.features.validate()?;
+        let dataset = history.training_set(&self.features);
+        if dataset.is_empty() {
+            return Err(PredictPriceError::History(ValidateError::new(format!(
+                "history of {} slots yields no training samples (max lag {})",
+                history.len(),
+                self.features.max_lag()
+            ))));
+        }
+        match Svr::fit_with_retry(&dataset.xs, &dataset.ys, &self.params, policy) {
+            Ok((model, report)) if report.converged => {
+                self.model = Some(model);
+                self.baseline_fallback = false;
+                Ok(TrainReport {
+                    retries: report.attempts - 1,
+                    converged: true,
+                    fallback: None,
+                })
+            }
+            Ok((_, report)) => Ok(self.drop_to_baseline(
+                report.attempts - 1,
+                format!(
+                    "SMO exhausted {} attempt(s) without converging",
+                    report.attempts
+                ),
+            )),
+            Err(TrainSvrError::NonFiniteData) => Ok(self.drop_to_baseline(
+                0,
+                "training data contains non-finite values".to_string(),
+            )),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    fn drop_to_baseline(&mut self, retries: usize, reason: String) -> TrainReport {
+        self.model = None;
+        self.baseline_fallback = true;
+        TrainReport {
+            retries,
+            converged: false,
+            fallback: Some(FallbackRecord::new(
+                "price-predictor",
+                "svr",
+                "seasonal-baseline",
+                reason,
+            )),
+        }
     }
 
     /// Predicts the guideline price for the `horizon.slots()` slots
@@ -153,7 +246,12 @@ impl PricePredictor {
         horizon: Horizon,
         generation_forecast: Option<&TimeSeries<f64>>,
     ) -> Result<PriceSignal, PredictPriceError> {
-        let model = self.model.as_ref().ok_or(PredictPriceError::NotTrained)?;
+        let Some(model) = self.model.as_ref() else {
+            if self.baseline_fallback {
+                return self.predict_baseline(history, horizon);
+            }
+            return Err(PredictPriceError::NotTrained);
+        };
         let forecast_vec: Option<Vec<f64>> =
             generation_forecast.map(|g| g.iter().copied().collect());
         let predictions = history.forecast(
@@ -164,6 +262,20 @@ impl PricePredictor {
         )?;
         let series = TimeSeries::from_values(horizon, predictions)
             .expect("forecast length matches horizon by construction");
+        PriceSignal::new(series).map_err(PredictPriceError::History)
+    }
+
+    /// Seasonal-mean guideline prices for the degraded path: the mean price
+    /// at each time-of-day slot across the recorded history. Prices can
+    /// never be negative, so the baseline needs no clamping.
+    fn predict_baseline(
+        &self,
+        history: &PriceHistory,
+        horizon: Horizon,
+    ) -> Result<PriceSignal, PredictPriceError> {
+        let values = seasonal_mean_forecast(history, horizon.slots())?;
+        let series = TimeSeries::from_values(horizon, values)
+            .expect("baseline forecast length matches horizon by construction");
         PriceSignal::new(series).map_err(PredictPriceError::History)
     }
 }
@@ -301,6 +413,78 @@ mod tests {
             rmse(&aware_pred),
             rmse(&naive_pred)
         );
+    }
+
+    #[test]
+    fn train_robust_converges_like_train() {
+        let (history, forecast) = coupled_history(8);
+        let mut aware = PricePredictor::net_metering_aware(24);
+        let report = aware
+            .train_robust(&history, &RetryPolicy::default())
+            .unwrap();
+        assert!(report.converged);
+        assert!(report.fallback.is_none());
+        assert!(!aware.is_baseline_fallback());
+        aware
+            .predict_day(&history, Horizon::hourly_day(), Some(&forecast))
+            .unwrap();
+    }
+
+    #[test]
+    fn strangled_smo_drops_to_seasonal_baseline() {
+        let (history, _) = coupled_history(8);
+        let mut naive = PricePredictor::with_config(
+            FeatureConfig::naive(24),
+            SvrParams {
+                max_passes: 1,
+                tolerance: 0.0, // improvements can never drop below zero
+                ..SvrParams::default()
+            },
+        );
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            iteration_growth: 1.0,
+            reseed_stride: 1,
+        };
+        let report = naive.train_robust(&history, &policy).unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.retries, 1);
+        let record = report.fallback.expect("fallback recorded");
+        assert_eq!(record.component, "price-predictor");
+        assert_eq!(record.from, "svr");
+        assert_eq!(record.to, "seasonal-baseline");
+        assert!(naive.is_trained() && naive.is_baseline_fallback());
+
+        // The degraded predictor still produces a full price signal — the
+        // seasonal mean of the history.
+        let predicted = naive
+            .predict_day(&history, Horizon::hourly_day(), None)
+            .unwrap();
+        assert_eq!(predicted.len(), 24);
+        let expected = seasonal_mean_forecast(&history, 24).unwrap();
+        for (h, &want) in expected.iter().enumerate() {
+            assert!((predicted.at(h).value() - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn corrupted_history_drops_to_seasonal_baseline() {
+        // A NaN reading slips past construction-time validation through
+        // `push`: training data is poisoned, but the seasonal baseline
+        // skips non-finite entries, so the degraded path stays finite.
+        let (mut history, _) = coupled_history(8);
+        history.push(f64::NAN, 0.0, 120.0);
+        let mut naive = PricePredictor::naive(24);
+        let report = naive
+            .train_robust(&history, &RetryPolicy::default())
+            .unwrap();
+        assert!(!report.converged);
+        assert!(report.fallback.is_some());
+        assert!(naive.is_baseline_fallback());
+        let predicted = naive
+            .predict_day(&history, Horizon::hourly_day(), None)
+            .unwrap();
+        assert!(predicted.as_series().iter().all(|p| p.is_finite()));
     }
 
     #[test]

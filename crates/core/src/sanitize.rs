@@ -1,0 +1,175 @@
+//! Input sanitization for observed telemetry (robustness layer).
+//!
+//! Faulted meters hand the detector readings that are missing (NaN),
+//! garbage (absurd magnitudes), or stale. Rather than letting one bad slot
+//! poison the peak-deviation statistic — or crash the pipeline — the
+//! sanitizer screens each slot and imputes a replacement:
+//!
+//! 1. **Reference fill** (the seasonal role, cf. `nms_forecast`'s
+//!    `seasonal_mean_forecast`): the detector always holds a predicted
+//!    series for the same horizon, which is the best available estimate of
+//!    what the corrupted slot *should* have read;
+//! 2. **Last-good fill** (the persistence role, cf. `persistence_forecast`)
+//!    when the reference slot is itself unusable;
+//! 3. **Zero fill** when nothing earlier in the day survived either.
+//!
+//! The report says how many slots were touched so the caller's
+//! [`RunHealth`](nms_types::RunHealth) ledger can expose the degradation.
+
+use serde::{Deserialize, Serialize};
+
+use nms_types::{TimeSeries, ValidateError};
+
+/// Screening thresholds for [`sanitize_series`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SanitizeConfig {
+    /// A finite reading is declared garbage when its magnitude exceeds
+    /// `outlier_factor × (max |reference| + 1)`.
+    pub outlier_factor: f64,
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        Self {
+            outlier_factor: 10.0,
+        }
+    }
+}
+
+impl SanitizeConfig {
+    /// Checks the thresholds are usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when `outlier_factor` is not finite and
+    /// greater than 1.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if !(self.outlier_factor > 1.0 && self.outlier_factor.is_finite()) {
+            return Err(ValidateError::new(format!(
+                "outlier factor must be finite and > 1, got {}",
+                self.outlier_factor
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What [`sanitize_series`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizeReport {
+    /// The screened series: every slot finite, corrupt slots imputed.
+    pub cleaned: TimeSeries<f64>,
+    /// Number of slots that were replaced.
+    pub imputed_slots: usize,
+}
+
+/// Screens `observed` against `reference` (the prediction for the same
+/// horizon), imputing every non-finite or absurd-magnitude slot. The result
+/// is always fully finite.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the horizons differ or the config is
+/// invalid.
+pub fn sanitize_series(
+    observed: &TimeSeries<f64>,
+    reference: &TimeSeries<f64>,
+    config: &SanitizeConfig,
+) -> Result<SanitizeReport, ValidateError> {
+    config.validate()?;
+    if observed.horizon() != reference.horizon() {
+        return Err(ValidateError::new(format!(
+            "observed horizon ({} slots) differs from reference ({} slots)",
+            observed.horizon().slots(),
+            reference.horizon().slots()
+        )));
+    }
+
+    let scale = reference
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0_f64, |acc, &v| acc.max(v.abs()))
+        + 1.0;
+    let threshold = config.outlier_factor * scale;
+
+    let mut cleaned = observed.clone();
+    let mut imputed = 0usize;
+    let mut last_good: Option<f64> = None;
+    for h in 0..cleaned.horizon().slots() {
+        let value = cleaned[h];
+        if value.is_finite() && value.abs() <= threshold {
+            last_good = Some(value);
+            continue;
+        }
+        let fill = if reference[h].is_finite() {
+            reference[h]
+        } else {
+            last_good.unwrap_or(0.0)
+        };
+        cleaned[h] = fill;
+        imputed += 1;
+    }
+
+    Ok(SanitizeReport {
+        cleaned,
+        imputed_slots: imputed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nms_types::Horizon;
+
+    fn day() -> Horizon {
+        Horizon::hourly_day()
+    }
+
+    #[test]
+    fn clean_series_passes_through_untouched() {
+        let observed = TimeSeries::from_fn(day(), |h| h as f64);
+        let reference = TimeSeries::filled(day(), 10.0);
+        let report = sanitize_series(&observed, &reference, &SanitizeConfig::default()).unwrap();
+        assert_eq!(report.imputed_slots, 0);
+        assert_eq!(report.cleaned, observed);
+    }
+
+    #[test]
+    fn nan_and_outlier_slots_take_the_reference_value() {
+        let mut observed = TimeSeries::filled(day(), 5.0);
+        observed[3] = f64::NAN;
+        observed[7] = 1e9; // garbage against a reference scale of ~10
+        let reference = TimeSeries::from_fn(day(), |h| h as f64);
+        let report = sanitize_series(&observed, &reference, &SanitizeConfig::default()).unwrap();
+        assert_eq!(report.imputed_slots, 2);
+        assert_eq!(report.cleaned[3], 3.0);
+        assert_eq!(report.cleaned[7], 7.0);
+        assert_eq!(report.cleaned[0], 5.0);
+    }
+
+    #[test]
+    fn last_good_then_zero_when_reference_is_unusable() {
+        let mut observed = TimeSeries::filled(day(), 2.0);
+        observed[0] = f64::INFINITY;
+        observed[5] = f64::NAN;
+        let mut reference = TimeSeries::filled(day(), 1.0);
+        reference[0] = f64::NAN;
+        reference[5] = f64::NAN;
+        let report = sanitize_series(&observed, &reference, &SanitizeConfig::default()).unwrap();
+        assert_eq!(report.imputed_slots, 2);
+        // Slot 0 has no earlier good value: zero fill.
+        assert_eq!(report.cleaned[0], 0.0);
+        // Slot 5 persists the last good reading.
+        assert_eq!(report.cleaned[5], 2.0);
+        assert!(report.cleaned.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn horizon_mismatch_and_bad_config_error() {
+        let observed = TimeSeries::filled(day(), 1.0);
+        let reference = TimeSeries::filled(Horizon::new(12, 1.0), 1.0);
+        assert!(sanitize_series(&observed, &reference, &SanitizeConfig::default()).is_err());
+        let bad = SanitizeConfig { outlier_factor: 1.0 };
+        assert!(sanitize_series(&observed, &observed, &bad).is_err());
+    }
+}

@@ -33,7 +33,9 @@ pub fn persistence_forecast(
 }
 
 /// Seasonal-mean forecast: each future slot takes the average recorded
-/// price of its slot-of-day.
+/// price of its slot-of-day. Non-finite recordings (corrupted telemetry
+/// that slipped in via [`PriceHistory::push`]) are skipped, so the forecast
+/// is finite whenever at least one clean sample exists per slot-of-day.
 ///
 /// # Errors
 ///
@@ -56,8 +58,10 @@ pub fn seasonal_mean_forecast(
     let mut sums = vec![0.0; spd];
     let mut counts = vec![0usize; spd];
     for (t, &p) in history.prices().iter().enumerate() {
-        sums[t % spd] += p;
-        counts[t % spd] += 1;
+        if p.is_finite() {
+            sums[t % spd] += p;
+            counts[t % spd] += 1;
+        }
     }
     let means: Vec<f64> = sums
         .iter()

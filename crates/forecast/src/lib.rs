@@ -45,4 +45,4 @@ pub use features::{FeatureConfig, PriceHistory, SlidingWindowDataset};
 pub use kernel::Kernel;
 pub use metrics::{mae, mape, rmse};
 pub use scaler::StandardScaler;
-pub use svr::{Svr, SvrParams, TrainSvrError};
+pub use svr::{Svr, SvrFitReport, SvrParams, TrainSvrError};

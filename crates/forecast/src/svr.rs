@@ -18,6 +18,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use nms_types::RetryPolicy;
+
 use crate::{Kernel, StandardScaler};
 
 /// Hyperparameters for [`Svr::fit`].
@@ -84,6 +86,18 @@ impl fmt::Display for TrainSvrError {
 
 impl Error for TrainSvrError {}
 
+/// How an SMO fit went — fuel for the caller's health ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SvrFitReport {
+    /// The pass loop stopped because improvements fell below tolerance
+    /// (rather than exhausting `max_passes`).
+    pub converged: bool,
+    /// Passes actually executed by the winning fit.
+    pub passes: usize,
+    /// Fit attempts consumed (1 unless trained via [`Svr::fit_with_retry`]).
+    pub attempts: usize,
+}
+
 /// A trained ε-SVR model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Svr {
@@ -102,6 +116,20 @@ impl Svr {
     /// Returns [`TrainSvrError`] on empty/ragged/non-finite data or invalid
     /// hyperparameters.
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &SvrParams) -> Result<Self, TrainSvrError> {
+        Self::fit_with_report(xs, ys, params).map(|(model, _)| model)
+    }
+
+    /// Like [`Svr::fit`], but also reports whether the SMO pass loop
+    /// converged and how many passes it spent.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Svr::fit`].
+    pub fn fit_with_report(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        params: &SvrParams,
+    ) -> Result<(Self, SvrFitReport), TrainSvrError> {
         if xs.is_empty() {
             return Err(TrainSvrError::EmptyTrainingSet);
         }
@@ -160,7 +188,10 @@ impl Svr {
         // g[i] = (Kβ)_i, kept incrementally.
         let mut g = vec![0.0_f64; n];
 
+        let mut converged = false;
+        let mut passes = 0usize;
         for _pass in 0..params.max_passes {
+            passes += 1;
             let mut best_improvement = 0.0_f64;
             for i in 0..n {
                 let j = (i + 1) % n;
@@ -197,6 +228,7 @@ impl Svr {
                 }
             }
             if best_improvement < params.tolerance {
+                converged = true;
                 break;
             }
         }
@@ -230,13 +262,55 @@ impl Svr {
             }
         }
 
-        Ok(Self {
-            support_vectors,
-            betas,
-            bias,
-            kernel: params.kernel,
-            scaler,
-        })
+        Ok((
+            Self {
+                support_vectors,
+                betas,
+                bias,
+                kernel: params.kernel,
+                scaler,
+            },
+            SvrFitReport {
+                converged,
+                passes,
+                attempts: 1,
+            },
+        ))
+    }
+
+    /// Trains with escalating pass budgets under a [`RetryPolicy`]: attempt
+    /// `k` gets `policy.budget(params.max_passes, k)` passes. Stops at the
+    /// first converged fit; when every attempt exhausts its budget the last
+    /// (unconverged) model is returned with `converged: false` so callers
+    /// can decide whether to fall back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainSvrError::InvalidParams`] for an invalid policy, and
+    /// the same data/parameter errors as [`Svr::fit`].
+    pub fn fit_with_retry(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        params: &SvrParams,
+        policy: &RetryPolicy,
+    ) -> Result<(Self, SvrFitReport), TrainSvrError> {
+        policy.validate().map_err(|e| TrainSvrError::InvalidParams {
+            detail: format!("retry policy: {e}"),
+        })?;
+        let mut last = None;
+        for attempt in 0..policy.max_attempts {
+            let escalated = SvrParams {
+                max_passes: policy.budget(params.max_passes, attempt),
+                ..*params
+            };
+            let (model, mut report) = Self::fit_with_report(xs, ys, &escalated)?;
+            report.attempts = attempt + 1;
+            if report.converged {
+                return Ok((model, report));
+            }
+            last = Some((model, report));
+        }
+        Ok(last.expect("max_attempts >= 1 is enforced by validate"))
     }
 
     /// Exactly minimizes the pairwise subproblem, returning the objective
@@ -486,6 +560,80 @@ mod tests {
     fn single_sample_degenerates_to_bias() {
         let model = Svr::fit(&[vec![1.0]], &[5.0], &SvrParams::default()).unwrap();
         assert!((model.predict(&[1.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_report_tracks_convergence() {
+        let (xs, ys) = linear_data(30);
+        let params = SvrParams {
+            kernel: Kernel::Linear,
+            ..SvrParams::default()
+        };
+        let (_, report) = Svr::fit_with_report(&xs, &ys, &params).unwrap();
+        assert!(report.converged);
+        assert!(report.passes <= params.max_passes);
+        assert_eq!(report.attempts, 1);
+
+        // A one-pass budget with an unreachable tolerance cannot converge.
+        let strangled = SvrParams {
+            max_passes: 1,
+            tolerance: 0.0,
+            ..params
+        };
+        let (_, report) = Svr::fit_with_report(&xs, &ys, &strangled).unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.passes, 1);
+    }
+
+    #[test]
+    fn retry_escalates_pass_budget_until_convergence() {
+        let (xs, ys) = linear_data(30);
+        // One pass is not enough for this tolerance; the retry doubles the
+        // budget each attempt until the fit converges.
+        let params = SvrParams {
+            kernel: Kernel::Linear,
+            max_passes: 1,
+            tolerance: 1e-10,
+            ..SvrParams::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            iteration_growth: 2.0,
+            reseed_stride: 1,
+        };
+        let (model, report) = Svr::fit_with_retry(&xs, &ys, &params, &policy).unwrap();
+        assert!(report.converged, "report {report:?}");
+        assert!(report.attempts > 1, "report {report:?}");
+        let preds = model.predict_all(&xs);
+        assert!(rmse(&preds, &ys) < 0.05);
+    }
+
+    #[test]
+    fn retry_returns_unconverged_model_when_budget_exhausts() {
+        let (xs, ys) = linear_data(30);
+        let params = SvrParams {
+            kernel: Kernel::Linear,
+            max_passes: 1,
+            tolerance: 0.0, // improvements can never drop below zero
+            ..SvrParams::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            iteration_growth: 1.0,
+            reseed_stride: 1,
+        };
+        let (_, report) = Svr::fit_with_retry(&xs, &ys, &params, &policy).unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.attempts, 2);
+
+        let bad_policy = RetryPolicy {
+            max_attempts: 0,
+            ..policy
+        };
+        assert!(matches!(
+            Svr::fit_with_retry(&xs, &ys, &params, &bad_policy),
+            Err(TrainSvrError::InvalidParams { .. })
+        ));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use rand_chacha::ChaCha8Rng;
 use nms_attack::AttackTimeline;
 use nms_core::{FrameworkConfig, ParObservationMap, PricePredictor};
 use nms_forecast::PriceHistory;
-use nms_types::{MeterId, TimeSeries, ValidateError};
+use nms_types::{MeterId, RetryPolicy, RunHealth, TimeSeries, ValidateError};
 
 use crate::{CommunityGenerator, Market, PaperScenario, SimError};
 
@@ -49,6 +49,8 @@ pub struct DetectorCalibration {
     pub observation_matrix: Vec<Vec<f64>>,
     /// Raw calibration statistics, `[backtest_day][bucket]` (diagnostics).
     pub statistics: Vec<Vec<f64>>,
+    /// Retries and fallbacks consumed while training the predictors.
+    pub health: RunHealth,
 }
 
 /// The detection statistic: peak positive deviation of `observed` demand
@@ -99,6 +101,8 @@ pub(crate) fn calibrate_detector(
     // stat[d][b]: the emulated runtime statistic on backtest day d with b
     // buckets' worth of meters compromised.
     let mut statistics: Vec<Vec<f64>> = Vec::with_capacity(backtest_days);
+    let mut health = RunHealth::new();
+    let retry_policy = RetryPolicy::default();
 
     for back in 0..backtest_days {
         let day = scenario.training_days - 1 - back;
@@ -109,7 +113,11 @@ pub(crate) fn calibrate_detector(
         // The detector's day-ahead view of this (past) day.
         let mut backtest_predictor = framework.price_predictor();
         let sub_history = history.truncated(day * 24);
-        backtest_predictor.train(&sub_history)?;
+        let report = backtest_predictor.train_robust(&sub_history, &retry_policy)?;
+        health.record_retries(report.retries);
+        if let Some(fallback) = report.fallback {
+            health.record_fallback(fallback);
+        }
         let theta = community.total_generation();
         let generation_forecast = backtest_predictor
             .features()
@@ -213,13 +221,18 @@ pub(crate) fn calibrate_detector(
     }
 
     let mut price_predictor = framework.price_predictor();
-    price_predictor.train(history)?;
+    let report = price_predictor.train_robust(history, &retry_policy)?;
+    health.record_retries(report.retries);
+    if let Some(fallback) = report.fallback {
+        health.record_fallback(fallback);
+    }
 
     Ok(DetectorCalibration {
         price_predictor,
         observation_map,
         observation_matrix,
         statistics,
+        health,
     })
 }
 

@@ -24,13 +24,14 @@ use rand_chacha::ChaCha8Rng;
 
 use nms_attack::{AttackTimeline, CompromiseSet};
 use nms_core::{
-    AccuracyTracker, DetectorAction, FrameworkConfig, LaborTracker, LongTermDetector,
-    ParObservationMap, PricePredictor,
+    sanitize_series, AccuracyTracker, DetectorAction, FrameworkConfig, LaborTracker,
+    LongTermDetector, ParObservationMap, PredictedResponse, PricePredictor, SanitizeConfig,
 };
 use nms_forecast::PriceHistory;
-use nms_types::{TimeSeries, ValidateError};
+use nms_types::{RunHealth, TimeSeries, ValidateError};
 
 use crate::calibrate::{calibrate_detector, peak_deviation};
+use crate::faults::{corrupt_day, FaultPlan};
 use crate::{Market, PaperScenario, SimError};
 
 /// Configuration for [`run_long_term_detection`].
@@ -51,6 +52,9 @@ pub struct LongTermRunConfig {
     pub labor_per_fix: f64,
     /// Labor cost per meter actually repaired.
     pub labor_per_meter: f64,
+    /// Telemetry fault injection; `None` (or a no-op plan) leaves the
+    /// detector's view pristine.
+    pub faults: Option<FaultPlan>,
 }
 
 impl LongTermRunConfig {
@@ -82,6 +86,9 @@ impl LongTermRunConfig {
         if let Some(detector) = &self.detector {
             detector.validate()?;
         }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
         Ok(())
     }
 }
@@ -104,11 +111,40 @@ pub struct LongTermRunResult {
     pub observed_buckets: Vec<usize>,
     /// Global slots at which a fix was dispatched.
     pub fixes_at: Vec<usize>,
+    /// Degradation ledger: faults seen, slots imputed, retries and
+    /// fallbacks consumed anywhere in the pipeline.
+    pub health: RunHealth,
 }
 
 fn bucket_of(count: usize, fleet: usize, buckets: usize, step: f64) -> usize {
     let fraction = count as f64 / fleet as f64;
     ((fraction / step).round() as usize).min(buckets - 1)
+}
+
+/// Builds the detector's telemetry view of one realized day: corrupt the
+/// per-meter reports under `plan`, then sanitize the re-aggregated series
+/// against the detector's own prediction. Fault and imputation tallies are
+/// recorded once per day (rebuilds within a day redraw the identical
+/// faults).
+fn faulted_view(
+    plan: &FaultPlan,
+    day: usize,
+    realization: &PredictedResponse,
+    predicted: &TimeSeries<f64>,
+    health: &mut RunHealth,
+    day_recorded: &mut bool,
+) -> Result<TimeSeries<f64>, SimError> {
+    let corrupted = corrupt_day(plan, day, &realization.schedule);
+    let report = sanitize_series(&corrupted.observed, predicted, &SanitizeConfig::default())
+        .map_err(|err| SimError::Telemetry {
+            detail: err.to_string(),
+        })?;
+    if !*day_recorded {
+        health.faults_injected.merge(&corrupted.injected);
+        health.slots_imputed += report.imputed_slots;
+        *day_recorded = true;
+    }
+    Ok(report.cleaned)
 }
 
 /// Runs the long-term attack/detection simulation.
@@ -124,6 +160,8 @@ pub fn run_long_term_detection(
     scenario.validate()?;
     config.validate()?;
 
+    let mut health = RunHealth::new();
+    let fault_plan = config.faults.as_ref().filter(|plan| !plan.is_noop());
     let market = Market::new(scenario)?;
     let generator = scenario.generator();
     let slots_per_day = 24usize;
@@ -155,6 +193,7 @@ pub fn run_long_term_detection(
                 &history,
                 rng,
             )?;
+            health.merge(&calibration.health);
             let mut long_term_config = framework.long_term;
             long_term_config.buckets = config.buckets;
             let long_term = LongTermDetector::with_observation_matrix(
@@ -231,12 +270,17 @@ pub fn run_long_term_detection(
                 )?)
             };
         let mut realization = realize(&compromised)?;
+        // The telemetry view of the current realization, rebuilt lazily
+        // whenever the realization changes mid-day.
+        let mut observed_view: Option<TimeSeries<f64>> = None;
+        let mut day_faults_recorded = false;
 
         for slot in 0..slots_per_day {
             let global_slot = day_offset * slots_per_day + slot;
             let newly = config.timeline.step(global_slot, &mut compromised, fleet);
             if !newly.is_empty() {
                 realization = realize(&compromised)?;
+                observed_view = None;
             }
 
             let true_bucket = bucket_of(
@@ -250,7 +294,22 @@ pub fn run_long_term_detection(
             if let (Some(state), Some(predicted)) =
                 (detector_state.as_mut(), day_prediction.as_ref())
             {
-                let statistic = peak_deviation(&realization.grid_demand, &predicted.grid_demand);
+                if fault_plan.is_some() && observed_view.is_none() {
+                    if let Some(plan) = fault_plan {
+                        observed_view = Some(faulted_view(
+                            plan,
+                            day,
+                            &realization,
+                            &predicted.grid_demand,
+                            &mut health,
+                            &mut day_faults_recorded,
+                        )?);
+                    }
+                }
+                let telemetry: &TimeSeries<f64> =
+                    observed_view.as_ref().unwrap_or(&realization.grid_demand);
+                let statistic = peak_deviation(telemetry, &predicted.grid_demand);
+                health.slots_observed += 1;
                 let observed = state.observation_map.observe(statistic);
                 if std::env::var("NMS_DEBUG_CALIBRATION").is_ok() {
                     eprintln!(
@@ -265,6 +324,7 @@ pub fn run_long_term_detection(
                     labor.record_fix(repaired);
                     fixes_at.push(global_slot);
                     realization = realize(&compromised)?;
+                    observed_view = None;
                 }
             }
 
@@ -289,7 +349,7 @@ pub fn run_long_term_detection(
             nms_types::Horizon::hourly(realized_demand.len()),
             realized_demand.clone(),
         )
-        .expect("lengths match by construction");
+        .map_err(|err| SimError::Config(ValidateError::new(err.to_string())))?;
         series.par().unwrap_or(1.0)
     };
 
@@ -301,6 +361,7 @@ pub fn run_long_term_detection(
         true_buckets,
         observed_buckets,
         fixes_at,
+        health,
     })
 }
 
@@ -327,6 +388,7 @@ mod tests {
             bucket_fraction_step: 0.15,
             labor_per_fix: 10.0,
             labor_per_meter: 1.0,
+            faults: None,
         }
     }
 

@@ -17,6 +17,11 @@ pub enum SimError {
     Prediction(PredictPriceError),
     /// A scenario or run configuration was invalid.
     Config(ValidateError),
+    /// Telemetry was too corrupted to use even after sanitization.
+    Telemetry {
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -25,6 +30,7 @@ impl fmt::Display for SimError {
             Self::Solver(err) => write!(f, "solver failure: {err}"),
             Self::Prediction(err) => write!(f, "prediction failure: {err}"),
             Self::Config(err) => write!(f, "configuration failure: {err}"),
+            Self::Telemetry { detail } => write!(f, "telemetry failure: {detail}"),
         }
     }
 }
@@ -35,6 +41,7 @@ impl Error for SimError {
             Self::Solver(err) => Some(err),
             Self::Prediction(err) => Some(err),
             Self::Config(err) => Some(err),
+            Self::Telemetry { .. } => None,
         }
     }
 }

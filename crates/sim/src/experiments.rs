@@ -240,6 +240,7 @@ fn long_term_config(
         bucket_fraction_step: 0.1,
         labor_per_fix: 10.0,
         labor_per_meter: 1.0,
+        faults: None,
     }
 }
 

@@ -7,6 +7,7 @@
 use std::io::{self, Write};
 
 use crate::experiments::{AccuracyExperiment, AttackExperiment, PredictionExperiment};
+use crate::sweeps::FaultTolerancePoint;
 use crate::LongTermRunResult;
 
 /// Escapes one CSV cell (quotes fields containing separators or quotes).
@@ -131,6 +132,41 @@ pub fn export_long_term<W: Write>(writer: W, result: &LongTermRunResult) -> io::
     )
 }
 
+/// Exports a fault-tolerance sweep: one row per fault rate with both
+/// detectors' accuracy and PAR plus the degradation tallies.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn export_fault_tolerance<W: Write>(
+    writer: W,
+    points: &[FaultTolerancePoint],
+) -> io::Result<()> {
+    write_csv(
+        writer,
+        &[
+            "fault_rate",
+            "aware_accuracy",
+            "naive_accuracy",
+            "aware_par",
+            "naive_par",
+            "slots_imputed",
+            "faults_injected",
+        ],
+        points.iter().map(|p| {
+            vec![
+                p.fault_rate,
+                p.aware_accuracy,
+                p.naive_accuracy,
+                p.aware_par,
+                p.naive_par,
+                p.slots_imputed as f64,
+                p.faults_injected as f64,
+            ]
+        }),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +205,37 @@ mod tests {
     }
 
     #[test]
+    fn fault_tolerance_export_shape() {
+        let points = vec![
+            FaultTolerancePoint {
+                fault_rate: 0.0,
+                aware_accuracy: 0.95,
+                naive_accuracy: 0.66,
+                aware_par: 1.5,
+                naive_par: 1.8,
+                slots_imputed: 0,
+                faults_injected: 0,
+            },
+            FaultTolerancePoint {
+                fault_rate: 0.1,
+                aware_accuracy: 0.9,
+                naive_accuracy: 0.6,
+                aware_par: 1.6,
+                naive_par: 1.9,
+                slots_imputed: 7,
+                faults_injected: 120,
+            },
+        ];
+        let mut buffer = Vec::new();
+        export_fault_tolerance(&mut buffer, &points).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("fault_rate,aware_accuracy"));
+        assert_eq!(lines[2].split(',').count(), 7);
+    }
+
+    #[test]
     fn long_term_export_includes_fixes_column() {
         use crate::experiments::paper_timeline;
         use crate::{run_long_term_detection, LongTermRunConfig};
@@ -184,6 +251,7 @@ mod tests {
             bucket_fraction_step: 0.15,
             labor_per_fix: 10.0,
             labor_per_meter: 1.0,
+            faults: None,
         };
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let result = run_long_term_detection(&scenario, &config, &mut rng).unwrap();

@@ -1,0 +1,312 @@
+//! Seeded telemetry fault injection (robustness layer).
+//!
+//! The detector never sees the community's physical demand directly — it
+//! sees what the smart meters *report*. A [`FaultPlan`] corrupts that
+//! reporting layer between the realized schedules and the detection
+//! statistic: readings drop out, meters emit NaN or garbage, stick at their
+//! first reading, skew their clocks by one slot, or stop reporting for the
+//! day entirely. The physical world is untouched; only the detector's view
+//! degrades.
+//!
+//! Corruption is deterministic: each `(plan seed, day, meter)` triple seeds
+//! its own stream, and every fault decision is drawn in a fixed order that
+//! does not depend on the telemetry values. Re-deriving the corrupted view
+//! for the same day — which the detection loop does whenever the compromise
+//! set changes mid-day — therefore injects the *same* faults.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use nms_smarthome::CommunitySchedule;
+use nms_types::{FaultCounts, FaultKind, TimeSeries, ValidateError};
+
+/// A serializable, seeded plan for corrupting one run's meter telemetry.
+///
+/// Slot-level rates (`drop_rate`, `nan_rate`, `garbage_rate`) apply per
+/// meter-slot; day-level rates (`stuck_rate`, `skew_rate`, and the
+/// complement of `report_rate`) apply per meter-day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the fault streams (independent of the simulation RNG).
+    pub seed: u64,
+    /// Probability a meter-slot reading is dropped (arrives as missing).
+    pub drop_rate: f64,
+    /// Probability a meter-slot reading arrives as NaN.
+    pub nan_rate: f64,
+    /// Probability a meter-slot reading is replaced by garbage.
+    pub garbage_rate: f64,
+    /// Magnitude multiplier for garbage readings (relative to the true
+    /// reading's scale).
+    pub garbage_scale: f64,
+    /// Probability a meter spends the whole day stuck at its first reading.
+    pub stuck_rate: f64,
+    /// Probability a meter's clock skews one slot behind for the day.
+    pub skew_rate: f64,
+    /// Probability a meter reports at all on a given day.
+    pub report_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (every meter reports cleanly).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.0,
+            nan_rate: 0.0,
+            garbage_rate: 0.0,
+            garbage_scale: 100.0,
+            stuck_rate: 0.0,
+            skew_rate: 0.0,
+            report_rate: 1.0,
+        }
+    }
+
+    /// A mixed degradation profile anchored on `rate`: `rate` dropped
+    /// readings, with NaN/garbage/stuck/skew/no-report faults at fractions
+    /// of it. `degraded(seed, 0.05)` is the ISSUE's "5% dropped" shape.
+    pub fn degraded(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            drop_rate: rate,
+            nan_rate: rate / 5.0,
+            garbage_rate: rate / 10.0,
+            garbage_scale: 100.0,
+            stuck_rate: rate / 2.0,
+            skew_rate: rate / 4.0,
+            report_rate: 1.0 - rate / 2.0,
+        }
+    }
+
+    /// `true` when the plan cannot inject any fault.
+    pub fn is_noop(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.nan_rate == 0.0
+            && self.garbage_rate == 0.0
+            && self.stuck_rate == 0.0
+            && self.skew_rate == 0.0
+            && self.report_rate >= 1.0
+    }
+
+    /// Checks every rate is a probability and the garbage scale is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when a rate leaves `[0, 1]` or
+    /// `garbage_scale` is not finite and positive.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        for (name, rate) in [
+            ("drop_rate", self.drop_rate),
+            ("nan_rate", self.nan_rate),
+            ("garbage_rate", self.garbage_rate),
+            ("stuck_rate", self.stuck_rate),
+            ("skew_rate", self.skew_rate),
+            ("report_rate", self.report_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+                return Err(ValidateError::new(format!(
+                    "{name} must be a probability, got {rate}"
+                )));
+            }
+        }
+        if !(self.garbage_scale > 0.0 && self.garbage_scale.is_finite()) {
+            return Err(ValidateError::new(format!(
+                "garbage_scale must be finite and positive, got {}",
+                self.garbage_scale
+            )));
+        }
+        Ok(())
+    }
+
+    fn meter_stream(&self, day: usize, meter: usize) -> ChaCha8Rng {
+        let mixed = self
+            .seed
+            .wrapping_add((day as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((meter as u64).wrapping_mul(0xd1b5_4a32_d192_ed03));
+        ChaCha8Rng::seed_from_u64(mixed)
+    }
+}
+
+/// One day of corrupted telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptedDay {
+    /// The aggregate grid demand the detector receives: per-slot mean of
+    /// the finite meter reports scaled to fleet size, clamped at zero like
+    /// the clean aggregate, and NaN where no meter reported a usable value.
+    pub observed: TimeSeries<f64>,
+    /// Tally of the faults actually injected (day-level faults count once
+    /// per meter, slot-level faults once per meter-slot).
+    pub injected: FaultCounts,
+}
+
+/// Corrupts one day of per-meter telemetry and re-aggregates it into the
+/// community grid-demand series the detector will see.
+///
+/// Deterministic in `(plan.seed, day, meter index)`; the schedule's values
+/// never influence *which* faults fire, only the magnitudes of garbage
+/// readings.
+pub fn corrupt_day(plan: &FaultPlan, day: usize, schedule: &CommunitySchedule) -> CorruptedDay {
+    let horizon = schedule.horizon();
+    let slots = horizon.slots();
+    let meters = schedule.customer_schedules();
+    let fleet = meters.len();
+
+    let mut injected = FaultCounts::default();
+    let mut sums = vec![0.0_f64; slots];
+    let mut counts = vec![0usize; slots];
+
+    for (meter_idx, customer) in meters.iter().enumerate() {
+        let mut rng = plan.meter_stream(day, meter_idx);
+        // Day-level draws, fixed order.
+        let reported = rng.gen_bool(plan.report_rate);
+        let stuck = rng.gen_bool(plan.stuck_rate);
+        let skewed = rng.gen_bool(plan.skew_rate);
+        if !reported {
+            injected.record(FaultKind::Unreported);
+            continue;
+        }
+        if stuck {
+            injected.record(FaultKind::Stuck);
+        } else if skewed {
+            injected.record(FaultKind::Skewed);
+        }
+
+        let trading = customer.trading();
+        for h in 0..slots {
+            // Slot-level draws, fixed order and always consumed.
+            let dropped = rng.gen_bool(plan.drop_rate);
+            let nan = rng.gen_bool(plan.nan_rate);
+            let garbage = rng.gen_bool(plan.garbage_rate);
+            let magnitude: f64 = rng.gen_range(-1.0..=1.0);
+
+            if dropped {
+                injected.record(FaultKind::Dropped);
+                continue;
+            }
+            let base = if stuck {
+                trading[0]
+            } else if skewed {
+                trading[(h + slots - 1) % slots]
+            } else {
+                trading[h]
+            };
+            let reading = if nan {
+                injected.record(FaultKind::NonFinite);
+                f64::NAN
+            } else if garbage {
+                injected.record(FaultKind::Garbage);
+                plan.garbage_scale * magnitude * (base.abs() + 1.0)
+            } else {
+                base
+            };
+            if reading.is_finite() {
+                sums[h] += reading;
+                counts[h] += 1;
+            }
+        }
+    }
+
+    let observed = TimeSeries::from_fn(horizon, |h| {
+        if counts[h] == 0 {
+            f64::NAN
+        } else {
+            (sums[h] / counts[h] as f64 * fleet as f64).max(0.0)
+        }
+    });
+
+    CorruptedDay { observed, injected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Market, PaperScenario};
+
+    fn realized_schedule() -> CommunitySchedule {
+        let scenario = PaperScenario::small(6, 17);
+        let market = Market::new(&scenario).unwrap();
+        let generator = scenario.generator();
+        let community = generator.community_for_day(0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        market
+            .clear_day(&community, 2, &mut rng)
+            .unwrap()
+            .response
+            .schedule
+    }
+
+    #[test]
+    fn noop_plan_reproduces_clean_aggregate() {
+        let schedule = realized_schedule();
+        let plan = FaultPlan::none(9);
+        assert!(plan.is_noop());
+        let corrupted = corrupt_day(&plan, 0, &schedule);
+        assert_eq!(corrupted.injected.total(), 0);
+        let clean = schedule.grid_demand_clamped();
+        for h in 0..schedule.horizon().slots() {
+            assert!(
+                (corrupted.observed[h] - clean[h]).abs() < 1e-9,
+                "slot {h}: {} vs {}",
+                corrupted.observed[h],
+                clean[h]
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed_and_day() {
+        let schedule = realized_schedule();
+        let plan = FaultPlan::degraded(3, 0.2);
+        let a = corrupt_day(&plan, 4, &schedule);
+        let b = corrupt_day(&plan, 4, &schedule);
+        assert_eq!(a, b);
+        // A different day draws a different fault pattern.
+        let c = corrupt_day(&plan, 5, &schedule);
+        assert!(a.observed != c.observed || a.injected != c.injected);
+    }
+
+    #[test]
+    fn heavy_faults_are_injected_and_counted() {
+        let schedule = realized_schedule();
+        let plan = FaultPlan {
+            seed: 11,
+            drop_rate: 0.3,
+            nan_rate: 0.2,
+            garbage_rate: 0.1,
+            garbage_scale: 50.0,
+            stuck_rate: 0.3,
+            skew_rate: 0.3,
+            report_rate: 0.7,
+        };
+        plan.validate().unwrap();
+        let corrupted = corrupt_day(&plan, 1, &schedule);
+        assert!(corrupted.injected.total() > 0);
+        assert!(corrupted.injected.dropped > 0);
+        assert!(corrupted.injected.non_finite > 0);
+    }
+
+    #[test]
+    fn fully_unreported_day_is_nan() {
+        let schedule = realized_schedule();
+        let mut plan = FaultPlan::none(2);
+        plan.report_rate = 0.0;
+        let corrupted = corrupt_day(&plan, 0, &schedule);
+        assert_eq!(
+            corrupted.injected.unreported,
+            schedule.customer_schedules().len()
+        );
+        assert!(corrupted.observed.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        let mut plan = FaultPlan::none(0);
+        plan.drop_rate = 1.5;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::none(0);
+        plan.garbage_scale = f64::NAN;
+        assert!(plan.validate().is_err());
+        assert!(FaultPlan::degraded(1, 0.05).validate().is_ok());
+    }
+}

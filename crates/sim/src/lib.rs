@@ -38,6 +38,7 @@ mod calibrate;
 mod detection;
 mod error;
 pub mod experiments;
+mod faults;
 pub mod export;
 mod market;
 mod report;
@@ -48,6 +49,7 @@ mod weather;
 pub use calibrate::DetectorCalibration;
 pub use detection::{run_long_term_detection, LongTermRunConfig, LongTermRunResult};
 pub use error::SimError;
+pub use faults::{corrupt_day, CorruptedDay, FaultPlan};
 pub use market::{DayOutcome, Market};
 pub use report::{render_series, render_table};
 pub use scenario::{CommunityGenerator, PaperScenario};

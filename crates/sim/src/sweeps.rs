@@ -10,9 +10,14 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use nms_attack::PriceAttack;
+use nms_core::{DetectorMode, FrameworkConfig};
 use nms_pricing::NetMeteringTariff;
 
-use crate::{Market, PaperScenario, SimError};
+use crate::experiments::paper_timeline;
+use crate::{
+    run_long_term_detection, FaultPlan, LongTermRunConfig, LongTermRunResult, Market,
+    PaperScenario, SimError,
+};
 
 /// One row of a sweep result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -137,6 +142,73 @@ pub fn sweep_attack_window(
     Ok(points)
 }
 
+/// One row of the fault-tolerance sweep: detection quality for both
+/// detector modes as telemetry corruption grows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTolerancePoint {
+    /// The anchor fault rate fed to [`FaultPlan::degraded`].
+    pub fault_rate: f64,
+    /// Observation accuracy, net-metering-aware detector.
+    pub aware_accuracy: f64,
+    /// Observation accuracy, net-metering-ignorant detector.
+    pub naive_accuracy: f64,
+    /// Realized-demand PAR under the aware detector.
+    pub aware_par: f64,
+    /// Realized-demand PAR under the naive detector.
+    pub naive_par: f64,
+    /// Telemetry slots imputed by the sanitizer (both runs combined).
+    pub slots_imputed: usize,
+    /// Faults injected into the telemetry (both runs combined).
+    pub faults_injected: usize,
+}
+
+/// Sweeps telemetry corruption: the paper's 48-hour detection run repeated
+/// at each fault rate for both [`DetectorMode`]s, with degradation tallies.
+///
+/// Rate 0 runs the pristine pipeline, so the first point doubles as the
+/// robustness baseline.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a run fails outright (fault injection itself
+/// degrades instead of failing).
+pub fn sweep_fault_tolerance(
+    scenario: &PaperScenario,
+    fault_rates: &[f64],
+) -> Result<Vec<FaultTolerancePoint>, SimError> {
+    let mut points = Vec::with_capacity(fault_rates.len());
+    for &rate in fault_rates {
+        let plan = (rate > 0.0).then(|| FaultPlan::degraded(scenario.seed ^ 0xfa_017, rate));
+        let run = |mode: DetectorMode| -> Result<LongTermRunResult, SimError> {
+            let config = LongTermRunConfig {
+                detection_days: 2,
+                detector: Some(FrameworkConfig::new(mode, 24)),
+                timeline: paper_timeline(scenario.customers),
+                buckets: 6,
+                bucket_fraction_step: 0.1,
+                labor_per_fix: 10.0,
+                labor_per_meter: 1.0,
+                faults: plan,
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xfa_417);
+            run_long_term_detection(scenario, &config, &mut rng)
+        };
+        let aware = run(DetectorMode::NetMeteringAware)?;
+        let naive = run(DetectorMode::IgnoreNetMetering)?;
+        points.push(FaultTolerancePoint {
+            fault_rate: rate,
+            aware_accuracy: aware.accuracy.accuracy().unwrap_or(0.0),
+            naive_accuracy: naive.accuracy.accuracy().unwrap_or(0.0),
+            aware_par: aware.par,
+            naive_par: naive.par,
+            slots_imputed: aware.health.slots_imputed + naive.health.slots_imputed,
+            faults_injected: aware.health.faults_injected.total()
+                + naive.health.faults_injected.total(),
+        });
+    }
+    Ok(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +253,20 @@ mod tests {
     #[test]
     fn pv_sweep_rejects_bad_fraction() {
         assert!(sweep_pv_ownership(&scenario(), &[1.5]).is_err());
+    }
+
+    #[test]
+    fn fault_tolerance_sweep_reports_degradation() {
+        let mut scenario = PaperScenario::small(8, 21);
+        scenario.training_days = 4;
+        let points = sweep_fault_tolerance(&scenario, &[0.25]).unwrap();
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!((0.0..=1.0).contains(&p.aware_accuracy));
+        assert!((0.0..=1.0).contains(&p.naive_accuracy));
+        assert!(p.aware_par.is_finite() && p.naive_par.is_finite());
+        // A quarter of all meter-slots dropping must actually register.
+        assert!(p.faults_injected > 0, "no faults injected");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use nms_smarthome::Battery;
 use nms_types::{Kwh, TimeSeries};
 use rand::Rng;
 
-use crate::{CeSolution, CrossEntropyOptimizer};
+use crate::{CeSolution, CrossEntropyOptimizer, SolverError};
 
 /// Penalty weight for violating the optional per-slot throughput limit;
 /// the box `[0, B]` handles the state bounds exactly, the penalty handles
@@ -139,13 +139,33 @@ impl<'a> BatteryProblem<'a> {
 ///
 /// # Panics
 ///
-/// Panics if `warm_start` is provided with the wrong dimension.
+/// Panics if `warm_start` is provided with the wrong dimension, or if the
+/// objective turns numerically hostile (NaN); use
+/// [`try_optimize_battery`] for a typed error instead.
 pub fn optimize_battery(
     problem: &BatteryProblem<'_>,
     optimizer: &CrossEntropyOptimizer,
     warm_start: Option<&[f64]>,
     rng: &mut impl Rng,
 ) -> (Vec<Kwh>, CeSolution) {
+    try_optimize_battery(problem, optimizer, warm_start, rng)
+        .unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`optimize_battery`]: NaN objectives and
+/// mis-dimensioned warm starts become [`SolverError::Numeric`] so callers
+/// can retry or fall back.
+///
+/// # Errors
+///
+/// Returns [`SolverError::Numeric`] when `warm_start` has the wrong
+/// dimension or the cost model produces NaN for a feasible trajectory.
+pub fn try_optimize_battery(
+    problem: &BatteryProblem<'_>,
+    optimizer: &CrossEntropyOptimizer,
+    warm_start: Option<&[f64]>,
+    rng: &mut impl Rng,
+) -> Result<(Vec<Kwh>, CeSolution), SolverError> {
     if !problem.battery().is_usable() {
         let interior = problem.idle_interior();
         let solution = CeSolution {
@@ -154,18 +174,26 @@ pub fn optimize_battery(
             iterations: 0,
             converged: true,
         };
-        return (problem.full_trajectory(&interior), solution);
+        return Ok((problem.full_trajectory(&interior), solution));
     }
     let capacity = problem.battery().capacity().value();
     let bounds = vec![(0.0, capacity); problem.dim()];
     let init = match warm_start {
         Some(point) => {
-            assert_eq!(point.len(), problem.dim(), "warm start dimension");
+            if point.len() != problem.dim() {
+                return Err(SolverError::Numeric {
+                    detail: format!(
+                        "warm start dimension: {} vs {}",
+                        point.len(),
+                        problem.dim()
+                    ),
+                });
+            }
             point.to_vec()
         }
         None => problem.idle_interior(),
     };
-    let mut solution = optimizer.minimize(|x| problem.objective(x), &bounds, &init, rng);
+    let mut solution = optimizer.try_minimize(|x| problem.objective(x), &bounds, &init, rng)?;
     // Never return something worse than the warm start or doing nothing.
     for candidate in [
         Some(init),
@@ -181,7 +209,7 @@ pub fn optimize_battery(
             solution.objective = cost;
         }
     }
-    (problem.full_trajectory(&solution.point), solution)
+    Ok((problem.full_trajectory(&solution.point), solution))
 }
 
 /// Deterministic baseline: cyclic projected coordinate descent with a

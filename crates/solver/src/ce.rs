@@ -13,6 +13,8 @@ use serde::{Deserialize, Serialize};
 
 use nms_types::ValidateError;
 
+use crate::SolverError;
+
 /// Draws one standard-normal variate via the Box–Muller transform (keeps
 /// the workspace free of distribution crates; see DESIGN.md §6).
 fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
@@ -152,29 +154,60 @@ impl CrossEntropyOptimizer {
     ///
     /// Panics when `bounds` and `init_mean` disagree in length, when a bound
     /// has `lo > hi`, or when the objective returns NaN for a feasible
-    /// point.
+    /// point. Use [`CrossEntropyOptimizer::try_minimize`] to get a typed
+    /// error instead.
     pub fn minimize(
+        &self,
+        objective: impl FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        init_mean: &[f64],
+        rng: &mut impl Rng,
+    ) -> CeSolution {
+        self.try_minimize(objective, bounds, init_mean, rng)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible variant of [`CrossEntropyOptimizer::minimize`]: dimension
+    /// mismatches, invalid bounds, and NaN objective values become
+    /// [`SolverError::Numeric`] instead of panics, so callers can retry or
+    /// fall back (see [`solve_battery_robust`](crate::solve_battery_robust)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Numeric`] when `bounds` and `init_mean`
+    /// disagree in length, a bound has `lo > hi` or is non-finite, or the
+    /// objective returns NaN for a feasible point.
+    pub fn try_minimize(
         &self,
         mut objective: impl FnMut(&[f64]) -> f64,
         bounds: &[(f64, f64)],
         init_mean: &[f64],
         rng: &mut impl Rng,
-    ) -> CeSolution {
-        assert_eq!(bounds.len(), init_mean.len(), "bounds/init_mean dimensions");
+    ) -> Result<CeSolution, SolverError> {
+        if bounds.len() != init_mean.len() {
+            return Err(SolverError::Numeric {
+                detail: format!(
+                    "bounds/init_mean dimensions: {} vs {}",
+                    bounds.len(),
+                    init_mean.len()
+                ),
+            });
+        }
         let dim = bounds.len();
         if dim == 0 {
-            return CeSolution {
+            return Ok(CeSolution {
                 point: Vec::new(),
                 objective: objective(&[]),
                 iterations: 0,
                 converged: true,
-            };
+            });
         }
         for (d, &(lo, hi)) in bounds.iter().enumerate() {
-            assert!(
-                lo <= hi && lo.is_finite() && hi.is_finite(),
-                "invalid bounds at dim {d}: ({lo}, {hi})"
-            );
+            if !(lo <= hi && lo.is_finite() && hi.is_finite()) {
+                return Err(SolverError::Numeric {
+                    detail: format!("invalid bounds at dim {d}: ({lo}, {hi})"),
+                });
+            }
         }
 
         let widths: Vec<f64> = bounds
@@ -197,7 +230,11 @@ impl CrossEntropyOptimizer {
 
         let mut best_point = mean.clone();
         let mut best_value = objective(&best_point);
-        assert!(!best_value.is_nan(), "objective returned NaN");
+        if best_value.is_nan() {
+            return Err(SolverError::Numeric {
+                detail: "objective returned NaN at the initial mean".into(),
+            });
+        }
 
         let mut samples: Vec<(f64, Vec<f64>)> = Vec::with_capacity(self.config.samples);
         let mut iterations = 0;
@@ -213,9 +250,14 @@ impl CrossEntropyOptimizer {
                     x.push(v.clamp(bounds[d].0, bounds[d].1));
                 }
                 let value = objective(&x);
-                assert!(!value.is_nan(), "objective returned NaN");
+                if value.is_nan() {
+                    return Err(SolverError::Numeric {
+                        detail: "objective returned NaN for a sampled point".into(),
+                    });
+                }
                 samples.push((value, x));
             }
+            // No NaN can reach this sort: every sample was checked above.
             samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("objective values not NaN"));
             if samples[0].0 < best_value {
                 best_value = samples[0].0;
@@ -250,12 +292,12 @@ impl CrossEntropyOptimizer {
             }
         }
 
-        CeSolution {
+        Ok(CeSolution {
             point: best_point,
             objective: best_value,
             iterations,
             converged,
-        }
+        })
     }
 }
 
@@ -387,6 +429,20 @@ mod tests {
         let a = few.minimize(objective, &bounds, &[0.9], &mut rng(11));
         let b = many.minimize(objective, &bounds, &[0.9], &mut rng(11));
         assert!(b.objective <= a.objective + 1e-15);
+    }
+
+    #[test]
+    fn try_minimize_reports_nan_objective_as_error() {
+        let optimizer = CrossEntropyOptimizer::default();
+        let err = optimizer
+            .try_minimize(|_| f64::NAN, &[(0.0, 1.0)], &[0.5], &mut rng(0))
+            .unwrap_err();
+        assert!(err.to_string().contains("NaN"), "{err}");
+        // A well-posed problem succeeds through the same path.
+        let ok = optimizer
+            .try_minimize(|x| x[0] * x[0], &[(-1.0, 1.0)], &[0.9], &mut rng(1))
+            .unwrap();
+        assert!(ok.point[0].abs() < 0.05);
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub enum SolverError {
     Schedule(ScheduleError),
     /// Invalid solver configuration.
     Config(ValidateError),
+    /// A numerical failure inside an optimizer: a NaN objective value,
+    /// invalid bounds, or a mis-dimensioned problem.
+    Numeric {
+        /// Description of the numerical failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -30,6 +36,7 @@ impl fmt::Display for SolverError {
             Self::Infeasible { detail } => write!(f, "infeasible subproblem: {detail}"),
             Self::Schedule(err) => write!(f, "solver produced an infeasible schedule: {err}"),
             Self::Config(err) => write!(f, "invalid solver configuration: {err}"),
+            Self::Numeric { detail } => write!(f, "numeric failure: {detail}"),
         }
     }
 }
@@ -39,7 +46,7 @@ impl Error for SolverError {
         match self {
             Self::Schedule(err) => Some(err),
             Self::Config(err) => Some(err),
-            Self::Infeasible { .. } => None,
+            Self::Infeasible { .. } | Self::Numeric { .. } => None,
         }
     }
 }

@@ -45,11 +45,15 @@ mod error;
 mod game;
 mod nash;
 mod response;
+mod retry;
 
-pub use battery::{coordinate_descent_battery, optimize_battery, BatteryProblem};
+pub use battery::{
+    coordinate_descent_battery, optimize_battery, try_optimize_battery, BatteryProblem,
+};
 pub use ce::{CeConfig, CeSolution, CrossEntropyOptimizer};
 pub use dp::DpScheduler;
 pub use error::SolverError;
 pub use game::{GameConfig, GameEngine, GameOutcome, PriceAssignment};
 pub use nash::{nash_gap, NashGap};
 pub use response::{best_response, ResponseConfig};
+pub use retry::{solve_battery_robust, BatterySolveStage, RobustBatteryOutcome};

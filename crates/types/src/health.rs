@@ -1,0 +1,312 @@
+//! Run-health reporting and retry policies for graceful degradation.
+//!
+//! Real meter telemetry is lossy — readings drop, values arrive garbled,
+//! clocks skew — and numerical subroutines occasionally fail to converge.
+//! Rather than panic, the detection pipeline degrades: corrupted inputs are
+//! imputed, optimizers are retried under a deterministic [`RetryPolicy`],
+//! and exhausted components fall back to simpler models. [`RunHealth`] is
+//! the ledger of all of it, attached to every long-term run result so a
+//! verdict can be weighed against how much of its input was reconstructed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ValidateError;
+
+/// One category of telemetry fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A meter-slot reading never arrived.
+    Dropped,
+    /// A reading arrived as NaN/∞.
+    NonFinite,
+    /// A reading arrived with a garbage magnitude.
+    Garbage,
+    /// A meter reported its first reading all day (stuck-at fault).
+    Stuck,
+    /// A meter's readings were shifted by one slot (clock skew).
+    Skewed,
+    /// A meter did not report at all (partial community reporting).
+    Unreported,
+}
+
+/// Per-kind fault tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Meter-slot readings dropped.
+    pub dropped: usize,
+    /// Readings corrupted to NaN/∞.
+    pub non_finite: usize,
+    /// Readings corrupted to garbage magnitudes.
+    pub garbage: usize,
+    /// Meters stuck at their first reading for a day.
+    pub stuck: usize,
+    /// Meters with a one-slot clock skew for a day.
+    pub skewed: usize,
+    /// Meters that reported nothing for a day.
+    pub unreported: usize,
+}
+
+impl FaultCounts {
+    /// Increments the tally for `kind`.
+    pub fn record(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Dropped => self.dropped += 1,
+            FaultKind::NonFinite => self.non_finite += 1,
+            FaultKind::Garbage => self.garbage += 1,
+            FaultKind::Stuck => self.stuck += 1,
+            FaultKind::Skewed => self.skewed += 1,
+            FaultKind::Unreported => self.unreported += 1,
+        }
+    }
+
+    /// Total faults across every category.
+    pub fn total(&self) -> usize {
+        self.dropped + self.non_finite + self.garbage + self.stuck + self.skewed + self.unreported
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &FaultCounts) {
+        self.dropped += other.dropped;
+        self.non_finite += other.non_finite;
+        self.garbage += other.garbage;
+        self.stuck += other.stuck;
+        self.skewed += other.skewed;
+        self.unreported += other.unreported;
+    }
+}
+
+/// A component switching to a simpler backend after its primary failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FallbackRecord {
+    /// The component that degraded (e.g. `"battery-optimizer"`).
+    pub component: String,
+    /// The backend given up on (e.g. `"cross-entropy"`).
+    pub from: String,
+    /// The backend switched to (e.g. `"coordinate-descent"`).
+    pub to: String,
+    /// Why the primary was abandoned.
+    pub reason: String,
+}
+
+impl FallbackRecord {
+    /// Builds a record from its four parts.
+    pub fn new(
+        component: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        reason: impl Into<String>,
+    ) -> Self {
+        Self {
+            component: component.into(),
+            from: from.into(),
+            to: to.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Deterministic retry schedule for stochastic or iterative subroutines.
+///
+/// Attempt `k` (zero-based) runs with an iteration budget of
+/// `base · iteration_growth^k` and — for seeded solvers — an RNG reseeded
+/// to `seed + k · reseed_stride`, so a retried run is reproducible from the
+/// original seed alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (≥ 1; 1 means no retries).
+    pub max_attempts: usize,
+    /// Multiplier applied to the iteration budget per retry (≥ 1).
+    pub iteration_growth: f64,
+    /// Seed offset per retry (any odd constant decorrelates the streams).
+    pub reseed_stride: u64,
+}
+
+impl RetryPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] for zero attempts or a shrinking growth
+    /// factor.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.max_attempts == 0 {
+            return Err(ValidateError::new("retry policy needs at least one attempt"));
+        }
+        if !(self.iteration_growth >= 1.0 && self.iteration_growth.is_finite()) {
+            return Err(ValidateError::new("iteration growth must be finite and ≥ 1"));
+        }
+        Ok(())
+    }
+
+    /// A policy that never retries (single attempt, unchanged budget).
+    pub fn single_attempt() -> Self {
+        Self {
+            max_attempts: 1,
+            iteration_growth: 1.0,
+            reseed_stride: 0,
+        }
+    }
+
+    /// The iteration budget for zero-based attempt `attempt`.
+    pub fn budget(&self, base: usize, attempt: usize) -> usize {
+        let grown = base as f64 * self.iteration_growth.powi(attempt as i32);
+        (grown.ceil() as usize).max(1)
+    }
+
+    /// The RNG seed for zero-based attempt `attempt` (attempt 0 keeps the
+    /// caller's seed).
+    pub fn reseed(&self, seed: u64, attempt: usize) -> u64 {
+        seed.wrapping_add((attempt as u64).wrapping_mul(self.reseed_stride))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            iteration_growth: 2.0,
+            reseed_stride: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Health ledger of one pipeline run: what was corrupted, what was
+/// reconstructed, and which components had to degrade.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunHealth {
+    /// Telemetry faults injected (or, outside simulations, detected at
+    /// ingest) during the run.
+    pub faults_injected: FaultCounts,
+    /// Detector observation slots processed.
+    pub slots_observed: usize,
+    /// Slot values the sanitizer replaced with imputed ones (counted per
+    /// sanitizer invocation; a slot re-sanitized after a mid-day
+    /// recomputation counts again).
+    pub slots_imputed: usize,
+    /// Extra solver/trainer attempts consumed by retries.
+    pub retries_consumed: usize,
+    /// Every component fallback taken, in order.
+    pub fallbacks: Vec<FallbackRecord>,
+}
+
+impl RunHealth {
+    /// A clean ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when anything at all went wrong (faults seen, slots imputed,
+    /// retries spent, or fallbacks taken).
+    pub fn degraded(&self) -> bool {
+        self.faults_injected.total() > 0
+            || self.slots_imputed > 0
+            || self.retries_consumed > 0
+            || !self.fallbacks.is_empty()
+    }
+
+    /// Records a component fallback.
+    pub fn record_fallback(&mut self, record: FallbackRecord) {
+        self.fallbacks.push(record);
+    }
+
+    /// Records `count` retry attempts consumed.
+    pub fn record_retries(&mut self, count: usize) {
+        self.retries_consumed += count;
+    }
+
+    /// Folds another ledger into this one.
+    pub fn merge(&mut self, other: &RunHealth) {
+        self.faults_injected.merge(&other.faults_injected);
+        self.slots_observed += other.slots_observed;
+        self.slots_imputed += other.slots_imputed;
+        self.retries_consumed += other.retries_consumed;
+        self.fallbacks.extend(other.fallbacks.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_counts_record_and_total() {
+        let mut counts = FaultCounts::default();
+        counts.record(FaultKind::Dropped);
+        counts.record(FaultKind::Dropped);
+        counts.record(FaultKind::NonFinite);
+        counts.record(FaultKind::Garbage);
+        counts.record(FaultKind::Stuck);
+        counts.record(FaultKind::Skewed);
+        counts.record(FaultKind::Unreported);
+        assert_eq!(counts.dropped, 2);
+        assert_eq!(counts.total(), 7);
+        let mut other = FaultCounts::default();
+        other.record(FaultKind::Garbage);
+        counts.merge(&other);
+        assert_eq!(counts.garbage, 2);
+        assert_eq!(counts.total(), 8);
+    }
+
+    #[test]
+    fn retry_policy_validation() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy::single_attempt().validate().is_ok());
+        let mut p = RetryPolicy::default();
+        p.max_attempts = 0;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::default();
+        p.iteration_growth = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::default();
+        p.iteration_growth = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn retry_policy_budget_escalates() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            iteration_growth: 2.0,
+            reseed_stride: 1,
+        };
+        assert_eq!(policy.budget(10, 0), 10);
+        assert_eq!(policy.budget(10, 1), 20);
+        assert_eq!(policy.budget(10, 2), 40);
+        // A zero base still yields a usable budget.
+        assert_eq!(policy.budget(0, 0), 1);
+    }
+
+    #[test]
+    fn retry_policy_reseed_is_deterministic_and_distinct() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.reseed(42, 0), 42);
+        let first = policy.reseed(42, 1);
+        let second = policy.reseed(42, 2);
+        assert_ne!(first, 42);
+        assert_ne!(first, second);
+        assert_eq!(first, policy.reseed(42, 1));
+    }
+
+    #[test]
+    fn run_health_degradation_flag() {
+        let mut health = RunHealth::new();
+        assert!(!health.degraded());
+        health.slots_observed = 24;
+        assert!(!health.degraded());
+        health.record_retries(1);
+        assert!(health.degraded());
+
+        let mut other = RunHealth::new();
+        other.faults_injected.record(FaultKind::Dropped);
+        other.record_fallback(FallbackRecord::new(
+            "battery-optimizer",
+            "cross-entropy",
+            "coordinate-descent",
+            "did not converge",
+        ));
+        health.merge(&other);
+        assert_eq!(health.faults_injected.dropped, 1);
+        assert_eq!(health.fallbacks.len(), 1);
+        assert_eq!(health.fallbacks[0].to, "coordinate-descent");
+    }
+}

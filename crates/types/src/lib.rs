@@ -21,12 +21,14 @@
 #![warn(missing_docs)]
 
 mod error;
+mod health;
 mod horizon;
 mod id;
 mod quantity;
 mod series;
 
 pub use error::{HorizonMismatchError, ValidateError};
+pub use health::{FallbackRecord, FaultCounts, FaultKind, RetryPolicy, RunHealth};
 pub use horizon::{Horizon, SlotClock};
 pub use id::{ApplianceId, CustomerId, MeterId};
 pub use quantity::{Dollars, Kw, Kwh, PricePerKwh};

@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             bucket_fraction_step: 0.1,
             labor_per_fix: 10.0,
             labor_per_meter: 1.0,
+            faults: None,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xf1906);
         let result = run_long_term_detection(&scenario, &config, &mut rng)?;

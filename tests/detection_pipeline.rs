@@ -132,6 +132,7 @@ fn long_term_run_is_deterministic_under_seed() {
         bucket_fraction_step: 0.15,
         labor_per_fix: 10.0,
         labor_per_meter: 1.0,
+        faults: None,
     };
     let run = |seed: u64| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -157,6 +158,7 @@ fn no_detection_run_never_repairs() {
         bucket_fraction_step: 0.15,
         labor_per_fix: 10.0,
         labor_per_meter: 1.0,
+        faults: None,
     };
     let mut rng = ChaCha8Rng::seed_from_u64(12);
     let result = run_long_term_detection(&s, &config, &mut rng).unwrap();
@@ -178,6 +180,7 @@ fn detector_with_long_lag_requires_enough_training_days() {
         bucket_fraction_step: 0.15,
         labor_per_fix: 10.0,
         labor_per_meter: 1.0,
+        faults: None,
     };
     let mut rng = ChaCha8Rng::seed_from_u64(13);
     let err = run_long_term_detection(&s, &config, &mut rng).unwrap_err();

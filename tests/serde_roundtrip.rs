@@ -59,3 +59,35 @@ fn solver_and_scenario_configs_roundtrip() {
     roundtrip(&PaperScenario::small(20, 42));
     roundtrip(&PaperScenario::paper(7));
 }
+
+#[test]
+fn robustness_types_roundtrip() {
+    use netmeter_sentinel::sim::FaultPlan;
+    use netmeter_sentinel::types::{FallbackRecord, FaultKind, FaultCounts, RetryPolicy, RunHealth};
+
+    roundtrip(&FaultPlan::none(3));
+    roundtrip(&FaultPlan::degraded(11, 0.05));
+    roundtrip(&RetryPolicy::default());
+    roundtrip(&RetryPolicy::single_attempt());
+
+    let mut counts = FaultCounts::default();
+    counts.record(FaultKind::Dropped);
+    counts.record(FaultKind::NonFinite);
+    counts.record(FaultKind::Garbage);
+    roundtrip(&counts);
+
+    let mut health = RunHealth::new();
+    health.faults_injected = counts;
+    health.slots_observed = 48;
+    health.slots_imputed = 3;
+    health.record_retries(2);
+    health.record_fallback(FallbackRecord::new(
+        "battery-optimizer",
+        "cross-entropy",
+        "coordinate-descent",
+        "did not converge",
+    ));
+    roundtrip(&health);
+    assert!(health.degraded());
+    roundtrip(&RunHealth::new());
+}
