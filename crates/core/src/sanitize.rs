@@ -61,11 +61,17 @@ pub struct SanitizeReport {
     pub cleaned: TimeSeries<f64>,
     /// Number of slots that were replaced.
     pub imputed_slots: usize,
+    /// `false` when the reference series had no finite slot, so the outlier
+    /// screen was anchored on the observed values themselves (weaker: a day
+    /// of uniformly absurd readings would pass).
+    pub reference_anchored: bool,
 }
 
 /// Screens `observed` against `reference` (the prediction for the same
 /// horizon), imputing every non-finite or absurd-magnitude slot. The result
-/// is always fully finite.
+/// is always fully finite. When the reference has no finite slot at all the
+/// screen anchors on the finite observed magnitudes instead (reported via
+/// [`SanitizeReport::reference_anchored`]).
 ///
 /// # Errors
 ///
@@ -85,10 +91,23 @@ pub fn sanitize_series(
         )));
     }
 
-    let scale = reference
-        .iter()
-        .filter(|v| v.is_finite())
-        .fold(0.0_f64, |acc, &v| acc.max(v.abs()))
+    // Anchor the outlier screen on the reference magnitude; when the
+    // reference is entirely non-finite, fall back to the finite observed
+    // magnitudes so legitimate large readings (e.g. grid demand in the
+    // hundreds) are not wholesale flagged against a unit scale.
+    let finite_max = |series: &TimeSeries<f64>| {
+        series
+            .iter()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc: Option<f64>, &v| {
+                Some(acc.map_or(v.abs(), |a| a.max(v.abs())))
+            })
+    };
+    let reference_max = finite_max(reference);
+    let reference_anchored = reference_max.is_some();
+    let scale = reference_max
+        .or_else(|| finite_max(observed))
+        .unwrap_or(0.0)
         + 1.0;
     let threshold = config.outlier_factor * scale;
 
@@ -113,6 +132,7 @@ pub fn sanitize_series(
     Ok(SanitizeReport {
         cleaned,
         imputed_slots: imputed,
+        reference_anchored,
     })
 }
 
@@ -162,6 +182,21 @@ mod tests {
         // Slot 5 persists the last good reading.
         assert_eq!(report.cleaned[5], 2.0);
         assert!(report.cleaned.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn non_finite_reference_anchors_on_observed_scale() {
+        // A fully unusable prediction must not shrink the outlier screen to
+        // unit scale and zero out a legitimate high-demand day.
+        let mut observed = TimeSeries::filled(day(), 480.0);
+        observed[6] = f64::NAN;
+        let reference = TimeSeries::filled(day(), f64::NAN);
+        let report = sanitize_series(&observed, &reference, &SanitizeConfig::default()).unwrap();
+        assert!(!report.reference_anchored);
+        assert_eq!(report.imputed_slots, 1);
+        assert_eq!(report.cleaned[0], 480.0);
+        // The NaN slot persists the last good observed reading.
+        assert_eq!(report.cleaned[6], 480.0);
     }
 
     #[test]

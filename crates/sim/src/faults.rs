@@ -119,6 +119,34 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// A copy of the plan with every rate forced into `[0, 1]` and the
+    /// garbage scale forced finite, so drawing from it can never panic.
+    /// Non-finite fault rates inject nothing; a non-finite `report_rate`
+    /// keeps every meter reporting.
+    fn clamped(&self) -> Self {
+        fn rate(r: f64, fallback: f64) -> f64 {
+            if r.is_finite() {
+                r.clamp(0.0, 1.0)
+            } else {
+                fallback
+            }
+        }
+        Self {
+            seed: self.seed,
+            drop_rate: rate(self.drop_rate, 0.0),
+            nan_rate: rate(self.nan_rate, 0.0),
+            garbage_rate: rate(self.garbage_rate, 0.0),
+            garbage_scale: if self.garbage_scale.is_finite() {
+                self.garbage_scale
+            } else {
+                0.0
+            },
+            stuck_rate: rate(self.stuck_rate, 0.0),
+            skew_rate: rate(self.skew_rate, 0.0),
+            report_rate: rate(self.report_rate, 1.0),
+        }
+    }
+
     fn meter_stream(&self, day: usize, meter: usize) -> ChaCha8Rng {
         let mixed = self
             .seed
@@ -146,7 +174,14 @@ pub struct CorruptedDay {
 /// Deterministic in `(plan.seed, day, meter index)`; the schedule's values
 /// never influence *which* faults fire, only the magnitudes of garbage
 /// readings.
+///
+/// The plan is clamped before any draw: rates outside `[0, 1]` are pulled
+/// to the nearest bound and non-finite rates inject nothing (a non-finite
+/// `report_rate` keeps every meter reporting), so a hand-built plan that
+/// would fail [`FaultPlan::validate`] degrades the injection rather than
+/// panicking. Call `validate` first to reject such plans outright.
 pub fn corrupt_day(plan: &FaultPlan, day: usize, schedule: &CommunitySchedule) -> CorruptedDay {
+    let plan = &plan.clamped();
     let horizon = schedule.horizon();
     let slots = horizon.slots();
     let meters = schedule.customer_schedules();
@@ -296,6 +331,30 @@ mod tests {
             corrupted.injected.unreported,
             schedule.customer_schedules().len()
         );
+        assert!(corrupted.observed.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn invalid_rates_are_clamped_instead_of_panicking() {
+        let schedule = realized_schedule();
+        let plan = FaultPlan {
+            seed: 4,
+            drop_rate: 1.5,
+            nan_rate: -0.3,
+            garbage_rate: f64::NAN,
+            garbage_scale: f64::INFINITY,
+            stuck_rate: 2.0,
+            skew_rate: f64::NEG_INFINITY,
+            report_rate: f64::NAN,
+        };
+        assert!(plan.validate().is_err());
+        // drop_rate clamps to 1.0 and report_rate to 1.0: every meter
+        // reports, every slot drops.
+        let corrupted = corrupt_day(&plan, 0, &schedule);
+        let slots = schedule.horizon().slots();
+        let meters = schedule.customer_schedules().len();
+        assert_eq!(corrupted.injected.dropped, slots * meters);
+        assert_eq!(corrupted.injected.unreported, 0);
         assert!(corrupted.observed.iter().all(|v| v.is_nan()));
     }
 

@@ -38,6 +38,9 @@ const FALLBACK_SWEEPS: usize = 3;
 pub enum BatterySolveStage {
     /// Cross-entropy converged (possibly after retries).
     CrossEntropy,
+    /// Cross-entropy never converged, but its best iterate still beat the
+    /// coordinate-descent fallback, so that iterate was kept.
+    CrossEntropyBestIterate,
     /// Cross-entropy was abandoned; coordinate descent answered.
     CoordinateDescent,
     /// No solver produced a finite cost; the idle plan passed through.
@@ -49,6 +52,7 @@ impl BatterySolveStage {
     pub fn label(self) -> &'static str {
         match self {
             Self::CrossEntropy => "cross-entropy",
+            Self::CrossEntropyBestIterate => "cross-entropy-best-iterate",
             Self::CoordinateDescent => "coordinate-descent",
             Self::PassThrough => "pass-through",
         }
@@ -131,27 +135,38 @@ pub fn solve_battery_robust(
 
     // Stage 2: deterministic coordinate descent. Keep whichever of the
     // fallback and the best (non-converged) CE iterate costs less, so
-    // descending the chain can never make the schedule worse.
+    // descending the chain can never make the schedule worse — and report
+    // the stage that actually produced the kept schedule.
     let cd_trajectory = coordinate_descent_battery(problem, FALLBACK_SWEEPS);
     let cd_interior: Vec<f64> = cd_trajectory[1..].iter().map(|b| b.value()).collect();
     let cd_cost = problem.objective(&cd_interior);
     if cd_cost.is_finite() {
-        let (trajectory, objective) = match best_ce {
-            Some(ce) if ce.objective < cd_cost => {
-                (problem.full_trajectory(&ce.point), ce.objective)
-            }
-            _ => (cd_trajectory, cd_cost),
+        let (trajectory, objective, stage) = match best_ce {
+            Some(ce) if ce.objective < cd_cost => (
+                problem.full_trajectory(&ce.point),
+                ce.objective,
+                BatterySolveStage::CrossEntropyBestIterate,
+            ),
+            _ => (cd_trajectory, cd_cost, BatterySolveStage::CoordinateDescent),
+        };
+        let reason = if stage == BatterySolveStage::CrossEntropyBestIterate {
+            format!(
+                "{abandon_reason}; kept the best non-converged iterate \
+                 (cost {objective} beats coordinate descent's {cd_cost})"
+            )
+        } else {
+            abandon_reason
         };
         return Ok(RobustBatteryOutcome {
             trajectory,
             objective,
-            stage: BatterySolveStage::CoordinateDescent,
+            stage,
             retries,
             fallback: Some(FallbackRecord::new(
                 "battery-optimizer",
                 BatterySolveStage::CrossEntropy.label(),
-                BatterySolveStage::CoordinateDescent.label(),
-                abandon_reason,
+                stage.label(),
+                reason,
             )),
         });
     }

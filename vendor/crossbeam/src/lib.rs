@@ -1,0 +1,90 @@
+//! Offline vendored subset of `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace, and since
+//! Rust 1.63 the standard library provides structured scoped threads, so
+//! this stub adapts `std::thread::scope` to crossbeam's 0.8 calling
+//! convention: spawn closures receive a scope handle (which they may
+//! ignore), and the outer call returns `Err` instead of panicking when a
+//! worker panicked — matching the `.expect("worker thread panicked")`
+//! call sites. The handle is passed by value (it is a `Copy` wrapper over
+//! a reference) because `std`'s `Scope` is invariant in its lifetime.
+
+#![forbid(unsafe_code)]
+
+/// Scoped thread spawning.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::AssertUnwindSafe;
+
+    /// Handle passed to scoped closures, allowing nested spawns.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker joined automatically when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned workers are joined before
+    /// this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload when any worker (or the
+    /// closure itself) panicked, per crossbeam 0.8 semantics. `std`'s
+    /// scoped threads re-raise unjoined worker panics at scope exit, so
+    /// one `catch_unwind` around the whole scope observes them all.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_workers_and_returns_value() {
+        let data = vec![1, 2, 3, 4];
+        let mut partials = vec![0i32; 2];
+        let result = crate::thread::scope(|scope| {
+            for (chunk, slot) in data.chunks(2).zip(partials.iter_mut()) {
+                scope.spawn(move |_| *slot = chunk.iter().sum::<i32>());
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(partials.iter().sum::<i32>(), 10);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let result = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle_works() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        let result = crate::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        });
+        assert!(result.is_ok());
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline vendored subset of `proptest`.
+//!
+//! Supports the slice of the proptest API this workspace's property tests
+//! use: the `proptest!` macro (with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! `prop_assert!`, numeric range strategies, and
+//! `collection::vec(strategy, fixed_len)`. Inputs are drawn from a
+//! deterministic per-test RNG (seeded from the test name and case index),
+//! so failures reproduce exactly on re-run. Unlike upstream there is no
+//! shrinking: a failing case reports its case index and panics.
+
+#![forbid(unsafe_code)]
+
+use std::error::Error;
+use std::fmt;
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to draw.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property assertion, carried out of the test closure.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Records a failure with its source location.
+    pub fn fail(message: &str, file: &str, line: u32) -> Self {
+        Self {
+            message: format!("{message} at {file}:{line}"),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for TestCaseError {}
+
+/// Deterministic splitmix64 generator driving input sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test name and case index so each case is distinct
+    /// yet stable across runs.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ u64::from(case).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        for b in name.bytes() {
+            state = state.wrapping_mul(0x100_0000_01b3) ^ u64::from(b);
+        }
+        Self { state }
+    }
+
+    /// Returns the next random word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Generators of random test inputs.
+pub trait Strategy {
+    /// The produced input type.
+    type Value;
+
+    /// Draws one input.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $ty
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<char> {
+    type Value = char;
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "empty strategy range");
+        loop {
+            let code = lo + (rng.next_u64() % u64::from(hi - lo)) as u32;
+            if let Some(c) = char::from_u32(code) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for bool {
+    type Value = bool;
+
+    /// `true`/`false` with equal probability (stand-in for `any::<bool>()`;
+    /// write the strategy position as `true`).
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A fixed-length `Vec` strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// `len` independent draws from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Drives a property: draws `config.cases` inputs and runs the body on
+/// each, panicking with the case index on the first failure.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for index in 0..config.cases {
+        let mut rng = TestRng::for_case(name, index);
+        if let Err(err) = case(&mut rng) {
+            panic!("proptest `{name}` failed on case {index}/{}: {err}", config.cases);
+        }
+    }
+}
+
+/// Declares property tests. Grammar (a subset of upstream):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]  // optional
+///     #[test]
+///     fn prop_name(x in 0.0_f64..1.0, v in proptest::collection::vec(0_u64..9, 4)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_proptest(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the whole process) so the runner can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+                file!(),
+                line!(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                &format!($($fmt)+),
+                file!(),
+                line!(),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if left != right {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(
+                        &format!("assertion failed: {left:?} != {right:?}"),
+                        file!(),
+                        line!(),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let a = crate::TestRng::for_case("t", 3).next_u64();
+        let b = crate::TestRng::for_case("t", 3).next_u64();
+        let c = crate::TestRng::for_case("t", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 1.5_f64..2.5, n in 3_usize..7) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn vec_strategy_has_fixed_length(
+            v in crate::collection::vec(-1.0_f64..1.0, 24),
+        ) {
+            prop_assert_eq!(v.len(), 24);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn second_property_in_same_block(seed in 0_u64..10) {
+            prop_assert!(seed < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failing_property_panics_with_case_index() {
+        run_with_failure();
+    }
+
+    fn run_with_failure() {
+        let config = ProptestConfig::with_cases(4);
+        crate::run_proptest(&config, "always_fails", |_rng| {
+            prop_assert!(false);
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline vendored subset of the `serde` data model.
+//!
+//! The build environment has no crates.io access, so the workspace ships a
+//! minimal self-serialization framework with the same *surface* as serde —
+//! `#[derive(Serialize, Deserialize)]`, `serde_json::to_string` /
+//! `from_str` — implemented over an explicit [`Content`] tree instead of
+//! upstream's visitor machinery. JSON written by this stub round-trips
+//! exactly (floats print their shortest round-trip form), which is all the
+//! workspace's persistence and tests rely on.
+//!
+//! Supported shapes: structs with named fields, tuple/newtype structs,
+//! enums with unit/newtype/tuple/struct variants (externally tagged, like
+//! upstream's default), plus the primitive/`Vec`/`Option`/tuple impls
+//! below. `#[serde(transparent)]` on newtypes coincides with the default
+//! newtype behavior and is accepted (and ignored) by the derive.
+
+#![forbid(unsafe_code)]
+
+use std::error::Error;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Upstream-compatible module path: with no borrowed deserialization in
+/// the vendored model, `de::DeserializeOwned` is [`Deserialize`] itself.
+pub mod de {
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// A self-describing serialized value (the stub's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also used for non-finite floats and `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (serialized without a decimal point).
+    Int(i64),
+    /// An unsigned integer too large for `i64`, or any `u64` source value.
+    UInt(u64),
+    /// A finite floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map with string keys, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Self::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Self::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a required field in a map's entries.
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the field is absent.
+pub fn field<'c>(entries: &'c [(String, Content)], name: &str) -> Result<&'c Content, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+/// Why deserialization failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a human-readable cause.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization failed: {}", self.message)
+    }
+}
+
+impl Error for DeError {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or domain mismatches.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        if self.is_finite() {
+            Content::Float(*self)
+        } else {
+            Content::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Float(v) => Ok(*v),
+            Content::Int(v) => Ok(*v as f64),
+            Content::UInt(v) => Ok(*v as f64),
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        f64::from(*self).to_content()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+macro_rules! signed_impl {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::Int(v) => *v,
+                    Content::UInt(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::new("unsigned value overflows signed target"))?,
+                    other => return Err(DeError::new(format!("expected integer, got {other:?}"))),
+                };
+                <$ty>::try_from(raw).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impl {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::UInt(v) => *v,
+                    Content::Int(v) => u64::try_from(*v)
+                        .map_err(|_| DeError::new("negative value for unsigned target"))?,
+                    other => return Err(DeError::new(format!("expected integer, got {other:?}"))),
+                };
+                <$ty>::try_from(raw).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(content)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::new("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_content(content)?;
+        <[T; N]>::try_from(items).map_err(|_| DeError::new("wrong array length"))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::new("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($idx:tt $name:ident),+),)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let items = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::new("expected tuple sequence"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected {expected}-tuple, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impl! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_content() {
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(u64::from_content(&u64::MAX.to_content()).unwrap(), u64::MAX);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        let v: Vec<f64> = vec![1.0, 2.5];
+        assert_eq!(Vec::<f64>::from_content(&v.to_content()).unwrap(), v);
+        let t = (1.0f64, 2usize);
+        assert_eq!(<(f64, usize)>::from_content(&t.to_content()).unwrap(), t);
+        let o: Option<f64> = Some(3.0);
+        assert_eq!(Option::<f64>::from_content(&o.to_content()).unwrap(), o);
+        let n: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_content(&n.to_content()).unwrap(), n);
+    }
+
+    #[test]
+    fn nan_serializes_as_null_and_returns_as_nan() {
+        let c = f64::NAN.to_content();
+        assert_eq!(c, Content::Null);
+        assert!(f64::from_content(&c).unwrap().is_nan());
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let entries = vec![("a".to_string(), Content::Int(1))];
+        assert!(field(&entries, "a").is_ok());
+        assert!(field(&entries, "b").is_err());
+    }
+}

@@ -1,0 +1,591 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]`.
+//!
+//! The environment has no crates.io access, so this proc-macro is written
+//! against `proc_macro` alone — no `syn`/`quote`. It token-walks the item
+//! definition just far enough to recover the shape (name, generic
+//! parameter names, field names, variant shapes) and emits impls of the
+//! vendored `serde::Serialize` / `serde::Deserialize` traits by string
+//! building. Field *types* never need to be parsed: the generated code
+//! calls trait methods and lets inference resolve them.
+//!
+//! Supported input shapes (everything this workspace derives on):
+//! - structs with named fields, tuple structs (newtype serialized as the
+//!   inner value, wider tuples as a sequence), unit structs
+//! - enums with unit, newtype, tuple, and struct variants, externally
+//!   tagged like upstream serde's default representation
+//! - type generics without defaults (e.g. `TimeSeries<T>`); each
+//!   parameter gets the corresponding trait bound on the impl
+//!
+//! All `#[serde(...)]` attributes are accepted and ignored; the only one
+//! used in-tree, `#[serde(transparent)]`, appears on `f64` newtypes whose
+//! default newtype representation is already transparent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a struct or enum variant stores its data.
+enum Fields {
+    /// `{ a: A, b: B }` — the field names, in declaration order.
+    Named(Vec<String>),
+    /// `(A, B)` — the arity.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed `struct` or `enum` item.
+struct Item {
+    name: String,
+    /// Generic type parameter names, e.g. `["T"]`.
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_struct_body(&tokens, &mut i)),
+        "enum" => Shape::Enum(parse_enum_body(&tokens, &mut i)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Advances past any `#[...]` outer attributes (doc comments included).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1; // '#'
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("serde_derive: malformed attribute near {other:?}"),
+        }
+    }
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, ...>` if present, returning the parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expect_name = true;
+    while depth > 0 {
+        let tok = tokens
+            .get(*i)
+            .unwrap_or_else(|| panic!("serde_derive: unterminated generics on item"));
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_name = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime parameter: consume the following ident too and
+                // keep expecting a type parameter name after the comma.
+                *i += 1;
+                expect_name = false;
+            }
+            TokenTree::Ident(id) if expect_name => {
+                let text = id.to_string();
+                if text != "const" {
+                    params.push(text);
+                    expect_name = false;
+                }
+            }
+            _ => {
+                if expect_name && matches!(tok, TokenTree::Punct(p) if p.as_char() == ':') {
+                    expect_name = false;
+                }
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ':') {
+                    expect_name = false;
+                }
+            }
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: &mut usize) -> Fields {
+    // Skip a `where` clause if one appears before the body.
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return Fields::Named(parse_named_fields(g.stream()));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Fields::Tuple(count_tuple_fields(g.stream()));
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => return Fields::Unit,
+            _ => *i += 1,
+        }
+    }
+    panic!("serde_derive: struct body not found");
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: &mut usize) -> Vec<Variant> {
+    while *i < tokens.len() {
+        if let TokenTree::Group(g) = &tokens[*i] {
+            if g.delimiter() == Delimiter::Brace {
+                return parse_variants(g.stream());
+            }
+        }
+        *i += 1;
+    }
+    panic!("serde_derive: enum body not found");
+}
+
+/// Parses the interior of a named-field braced group into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        // Skip the separating comma if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle brackets are
+/// depth-tracked; bracketed groups are single tokens and need no care).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts fields in a tuple-struct/tuple-variant parenthesized group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T: ::serde::Serialize>` / `impl` — the generic half of the header.
+fn impl_generics(item: &Item, bound: &str) -> String {
+    if item.generics.is_empty() {
+        String::new()
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect();
+        format!("<{}>", params.join(", "))
+    }
+}
+
+/// `<T>` — the type half of the header.
+fn type_generics(item: &Item) -> String {
+    if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{ig} ::serde::Serialize for {name}{tg} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}",
+        ig = impl_generics(item, "::serde::Serialize"),
+        tg = type_generics(item),
+    )
+}
+
+fn serialize_arm(variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        Fields::Unit => format!(
+            "Self::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\")),"
+        ),
+        Fields::Tuple(1) => format!(
+            "Self::{v}(f0) => ::serde::Content::Map(::std::vec![\
+                 (::std::string::String::from(\"{v}\"), ::serde::Serialize::to_content(f0))]),"
+        ),
+        Fields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+            let items: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                .collect();
+            format!(
+                "Self::{v}({binds}) => ::serde::Content::Map(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::Content::Seq(::std::vec![{items}]))]),",
+                binds = binders.join(", "),
+                items = items.join(", "),
+            )
+        }
+        Fields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "Self::{v} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::Content::Map(::std::vec![{entries}]))]),",
+                binds = fields.join(", "),
+                entries = entries.join(", "),
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::field(entries, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = content.as_map().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected map for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok(Self {{ {inits} }})",
+                inits = inits.join(", "),
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_content(content)?))"
+                .to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = content.as_seq().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected sequence for `{name}`\"))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(\
+                         \"wrong tuple arity for `{name}`\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(Self({items}))",
+                items = items.join(", "),
+            )
+        }
+        Shape::Struct(Fields::Unit) => {
+            format!(
+                "match content {{\n\
+                     ::serde::Content::Null => ::std::result::Result::Ok(Self),\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::new(\
+                         \"expected null for unit struct `{name}`\")),\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl{ig} ::serde::Deserialize for {name}{tg} {{\n\
+             fn from_content(content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        ig = impl_generics(item, "::serde::Deserialize"),
+        tg = type_generics(item),
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .collect();
+    let payload: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .collect();
+
+    let mut arms = Vec::new();
+    if !unit.is_empty() {
+        let unit_arms: Vec<String> = unit
+            .iter()
+            .map(|v| {
+                format!(
+                    "\"{v}\" => ::std::result::Result::Ok(Self::{v}),",
+                    v = v.name
+                )
+            })
+            .collect();
+        arms.push(format!(
+            "::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"unknown variant `{{other}}` for `{name}`\"))),\n\
+             }},",
+            unit_arms = unit_arms.join("\n"),
+        ));
+    }
+    if !payload.is_empty() {
+        let payload_arms: Vec<String> = payload
+            .iter()
+            .map(|v| deserialize_payload_arm(name, v))
+            .collect();
+        arms.push(format!(
+            "::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {payload_arms}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"unknown variant `{{other}}` for `{name}`\"))),\n\
+                 }}\n\
+             }},",
+            payload_arms = payload_arms.join("\n"),
+        ));
+    }
+    format!(
+        "match content {{\n\
+             {arms}\n\
+             _ => ::std::result::Result::Err(::serde::DeError::new(\
+                 \"expected variant of `{name}`\")),\n\
+         }}",
+        arms = arms.join("\n"),
+    )
+}
+
+fn deserialize_payload_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        Fields::Unit => unreachable!("unit variants handled in the string arm"),
+        Fields::Tuple(1) => format!(
+            "\"{v}\" => ::std::result::Result::Ok(\
+                 Self::{v}(::serde::Deserialize::from_content(inner)?)),"
+        ),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?"))
+                .collect();
+            format!(
+                "\"{v}\" => {{\n\
+                     let items = inner.as_seq().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected sequence for `{name}::{v}`\"))?;\n\
+                     if items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::new(\
+                             \"wrong tuple arity for `{name}::{v}`\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok(Self::{v}({items}))\n\
+                 }},",
+                items = items.join(", "),
+            )
+        }
+        Fields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::field(fields, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{v}\" => {{\n\
+                     let fields = inner.as_map().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected map for `{name}::{v}`\"))?;\n\
+                     ::std::result::Result::Ok(Self::{v} {{ {inits} }})\n\
+                 }},",
+                inits = inits.join(", "),
+            )
+        }
+    }
+}
