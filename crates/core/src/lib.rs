@@ -44,11 +44,15 @@ mod sanitize;
 mod single_event;
 
 pub use long_term::{
-    analytic_observation_matrix, DetectorAction, LongTermConfig, LongTermDetector, PomdpSolverKind,
+    analytic_observation_matrix, DetectorAction, InvalidActionIndex, LongTermConfig,
+    LongTermDetector, PomdpSolverKind,
 };
 pub use metrics::{AccuracyTracker, DetectionReport, LaborTracker};
 pub use pipeline::{DetectorMode, FrameworkConfig};
 pub use predict_load::{LoadPredictor, PredictedResponse};
 pub use predict_price::{PredictPriceError, PricePredictor, TrainReport};
-pub use sanitize::{sanitize_series, SanitizeConfig, SanitizeReport};
+pub use sanitize::{
+    meter_day_failed, sanitize_series, MeterHealth, MeterQuarantine, MeterState, QuarantineConfig,
+    QuarantineEvent, QuarantineTransition, SanitizeConfig, SanitizeReport,
+};
 pub use single_event::{ParObservationMap, SingleEventDetector, SingleEventOutcome};

@@ -36,11 +36,35 @@ impl DetectorAction {
     /// # Panics
     ///
     /// Panics on an index other than 0 or 1.
+    #[deprecated(note = "use `DetectorAction::try_from(index)` for a typed error instead")]
     pub fn from_index(index: usize) -> Self {
+        match Self::try_from(index) {
+            Ok(action) => action,
+            Err(err) => panic!("{err}"),
+        }
+    }
+}
+
+/// The typed error for an out-of-range POMDP action index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidActionIndex(pub usize);
+
+impl std::fmt::Display for InvalidActionIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "detector POMDP has two actions, got index {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidActionIndex {}
+
+impl TryFrom<usize> for DetectorAction {
+    type Error = InvalidActionIndex;
+
+    fn try_from(index: usize) -> Result<Self, Self::Error> {
         match index {
-            0 => Self::Monitor,
-            1 => Self::Fix,
-            other => panic!("detector POMDP has two actions, got index {other}"),
+            0 => Ok(Self::Monitor),
+            1 => Ok(Self::Fix),
+            other => Err(InvalidActionIndex(other)),
         }
     }
 }
@@ -250,6 +274,37 @@ impl LongTermDetector {
         self.belief = Belief::point(self.pomdp.states(), 0);
     }
 
+    /// Restores a previously captured belief (checkpoint resume): the
+    /// probabilities must cover exactly the detector's buckets, be finite,
+    /// non-negative, and sum to ~1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the probabilities do not form a
+    /// distribution over the detector's state space.
+    pub fn restore_belief(&mut self, probabilities: &[f64]) -> Result<(), ValidateError> {
+        if probabilities.len() != self.pomdp.states() {
+            return Err(ValidateError::new(format!(
+                "belief has {} entries for {} buckets",
+                probabilities.len(),
+                self.pomdp.states()
+            )));
+        }
+        if probabilities.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(ValidateError::new(
+                "belief probabilities must be finite and non-negative",
+            ));
+        }
+        let total: f64 = probabilities.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(ValidateError::new(format!(
+                "belief probabilities sum to {total}, expected 1"
+            )));
+        }
+        self.belief = Belief::from_weights(probabilities.to_vec());
+        Ok(())
+    }
+
     /// Processes one slot: feeds the single-event `observation` (a bucket
     /// index) through the Bayes update, then asks the policy for the next
     /// action. When the policy fixes, the belief collapses to bucket 0
@@ -275,7 +330,8 @@ impl LongTermDetector {
             .belief
             .update(&self.pomdp, action, observation)
             .unwrap_or_else(|| self.belief.predict(&self.pomdp, action));
-        let chosen = DetectorAction::from_index(self.policy.action(&self.belief));
+        let chosen = DetectorAction::try_from(self.policy.action(&self.belief))
+            .expect("POMDP policies only emit the two detector actions");
         if chosen == DetectorAction::Fix {
             // Executing the fix resets the world; mirror it in the belief.
             self.belief = self
@@ -487,15 +543,44 @@ mod tests {
 
     #[test]
     fn action_index_round_trip() {
-        assert_eq!(DetectorAction::from_index(0), DetectorAction::Monitor);
-        assert_eq!(DetectorAction::from_index(1), DetectorAction::Fix);
+        assert_eq!(DetectorAction::try_from(0), Ok(DetectorAction::Monitor));
+        assert_eq!(DetectorAction::try_from(1), Ok(DetectorAction::Fix));
         assert_eq!(DetectorAction::Fix.index(), 1);
     }
 
     #[test]
+    fn bad_action_index_is_a_typed_error() {
+        let err = DetectorAction::try_from(2).unwrap_err();
+        assert_eq!(err, InvalidActionIndex(2));
+        assert!(err.to_string().contains("two actions"), "{err}");
+    }
+
+    #[test]
     #[should_panic(expected = "two actions")]
-    fn bad_action_index_panics() {
+    fn deprecated_from_index_shim_still_panics() {
+        #[allow(deprecated)]
         let _ = DetectorAction::from_index(2);
+    }
+
+    #[test]
+    fn belief_restores_from_checkpoint_probabilities() {
+        let mut detector = LongTermDetector::new(LongTermConfig::default()).unwrap();
+        let buckets = detector.config().buckets;
+        let mut probabilities = vec![0.0; buckets];
+        probabilities[1] = 0.75;
+        probabilities[0] = 0.25;
+        detector.restore_belief(&probabilities).unwrap();
+        assert_eq!(detector.estimated_bucket(), 1);
+        assert!((detector.belief().prob(1) - 0.75).abs() < 1e-12);
+
+        // Wrong length, bad values, and a non-distribution all error.
+        assert!(detector.restore_belief(&[1.0]).is_err());
+        let mut bad = vec![0.0; buckets];
+        bad[0] = f64::NAN;
+        assert!(detector.restore_belief(&bad).is_err());
+        let mut unnormalized = vec![0.0; buckets];
+        unnormalized[0] = 0.4;
+        assert!(detector.restore_belief(&unnormalized).is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use nms_forecast::{
     seasonal_mean_forecast, FeatureConfig, Kernel, PriceHistory, Svr, SvrParams, TrainSvrError,
 };
 use nms_pricing::PriceSignal;
-use nms_types::{FallbackRecord, Horizon, RetryPolicy, TimeSeries, ValidateError};
+use nms_types::{FallbackRecord, Horizon, RetryPolicy, SolveBudget, TimeSeries, ValidateError};
 
 /// Why price prediction failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +61,9 @@ pub struct TrainReport {
     pub retries: usize,
     /// The winning fit converged (false implies `fallback` is set).
     pub converged: bool,
+    /// A watchdog [`SolveBudget`](nms_types::SolveBudget) cut training
+    /// short (implies the baseline fallback was taken).
+    pub budget_breached: bool,
     /// Set when the predictor dropped to the seasonal-mean baseline.
     pub fallback: Option<FallbackRecord>,
 }
@@ -180,6 +183,23 @@ impl PricePredictor {
         history: &PriceHistory,
         policy: &RetryPolicy,
     ) -> Result<TrainReport, PredictPriceError> {
+        self.train_robust_budgeted(history, policy, &SolveBudget::unlimited())
+    }
+
+    /// Like [`PricePredictor::train_robust`], with the whole retry sequence
+    /// additionally watched by a [`SolveBudget`]. A breach abandons SMO
+    /// training — recorded as a `BudgetExceeded` fallback reason — and
+    /// drops to the seasonal-mean baseline so the pipeline keeps moving.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PricePredictor::train_robust`], plus an invalid budget.
+    pub fn train_robust_budgeted(
+        &mut self,
+        history: &PriceHistory,
+        policy: &RetryPolicy,
+        budget: &SolveBudget,
+    ) -> Result<TrainReport, PredictPriceError> {
         self.features.validate()?;
         let dataset = history.training_set(&self.features);
         if dataset.is_empty() {
@@ -189,18 +209,28 @@ impl PricePredictor {
                 self.features.max_lag()
             ))));
         }
-        match Svr::fit_with_retry(&dataset.xs, &dataset.ys, &self.params, policy) {
+        match Svr::fit_with_retry_budgeted(&dataset.xs, &dataset.ys, &self.params, policy, budget) {
             Ok((model, report)) if report.converged => {
                 self.model = Some(model);
                 self.baseline_fallback = false;
                 Ok(TrainReport {
                     retries: report.attempts - 1,
                     converged: true,
+                    budget_breached: false,
                     fallback: None,
                 })
             }
+            Ok((_, report)) if report.budget_breached => Ok(self.drop_to_baseline(
+                report.attempts - 1,
+                true,
+                format!(
+                    "BudgetExceeded: watchdog stopped SMO after {} pass(es) in attempt {}",
+                    report.passes, report.attempts
+                ),
+            )),
             Ok((_, report)) => Ok(self.drop_to_baseline(
                 report.attempts - 1,
+                false,
                 format!(
                     "SMO exhausted {} attempt(s) without converging",
                     report.attempts
@@ -208,18 +238,20 @@ impl PricePredictor {
             )),
             Err(TrainSvrError::NonFiniteData) => Ok(self.drop_to_baseline(
                 0,
+                false,
                 "training data contains non-finite values".to_string(),
             )),
             Err(err) => Err(err.into()),
         }
     }
 
-    fn drop_to_baseline(&mut self, retries: usize, reason: String) -> TrainReport {
+    fn drop_to_baseline(&mut self, retries: usize, budget_breached: bool, reason: String) -> TrainReport {
         self.model = None;
         self.baseline_fallback = true;
         TrainReport {
             retries,
             converged: false,
+            budget_breached,
             fallback: Some(FallbackRecord::new(
                 "price-predictor",
                 "svr",
@@ -465,6 +497,41 @@ mod tests {
         for (h, &want) in expected.iter().enumerate() {
             assert!((predicted.at(h).value() - want).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn budget_breach_drops_to_seasonal_baseline() {
+        let (history, _) = coupled_history(8);
+        let mut naive = PricePredictor::with_config(
+            FeatureConfig::naive(24),
+            SvrParams {
+                max_passes: 50,
+                tolerance: 0.0, // can never converge on its own
+                ..SvrParams::default()
+            },
+        );
+        let budget = SolveBudget {
+            max_iterations: Some(1),
+            max_wall_secs: None,
+        };
+        let report = naive
+            .train_robust_budgeted(&history, &RetryPolicy::default(), &budget)
+            .unwrap();
+        assert!(report.budget_breached);
+        assert!(!report.converged);
+        assert_eq!(report.retries, 0, "breach must stop further attempts");
+        let record = report.fallback.expect("fallback recorded");
+        assert!(
+            record.reason.starts_with("BudgetExceeded"),
+            "reason: {}",
+            record.reason
+        );
+        assert!(naive.is_baseline_fallback());
+        // The degraded predictor still produces a full finite signal.
+        let predicted = naive
+            .predict_day(&history, Horizon::hourly_day(), None)
+            .unwrap();
+        assert!(predicted.as_series().iter().all(|p| p.is_finite()));
     }
 
     #[test]

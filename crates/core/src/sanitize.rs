@@ -136,6 +136,272 @@ pub fn sanitize_series(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Per-meter quarantine circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Circuit-breaker state of one meter (see DESIGN.md §8.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MeterState {
+    /// Healthy: readings feed the aggregate normally.
+    Closed,
+    /// Quarantined: persistently failing sanitization; excluded from the
+    /// aggregate and surfaced to the detector as a suspect.
+    Open,
+    /// Probation: readings feed the aggregate again, but one more failed
+    /// day re-trips the breaker.
+    HalfOpen,
+}
+
+/// A state transition of one meter's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineTransition {
+    /// Closed → Open after `trip_after` consecutive failed days.
+    Tripped,
+    /// Open → HalfOpen after `probation_after` quarantined days.
+    Probation,
+    /// HalfOpen → Open: the probe day failed too.
+    Retripped,
+    /// HalfOpen → Closed after `close_after` consecutive good days.
+    Recovered,
+}
+
+/// One journaled breaker transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEvent {
+    /// Absolute simulation day of the transition.
+    pub day: usize,
+    /// Zero-based meter index within the community.
+    pub meter: usize,
+    /// What happened.
+    pub transition: QuarantineTransition,
+}
+
+/// Thresholds for the per-meter quarantine breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineConfig {
+    /// Consecutive failed-sanitization days that trip a closed breaker.
+    pub trip_after: usize,
+    /// Quarantined days before the breaker half-opens for a probe.
+    pub probation_after: usize,
+    /// Consecutive good days in half-open that close the breaker.
+    pub close_after: usize,
+    /// A meter's day counts as failed when at least this fraction of its
+    /// slots are bad (non-finite or garbage-magnitude), in (0, 1].
+    pub bad_slot_fraction: f64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        Self {
+            trip_after: 3,
+            probation_after: 2,
+            close_after: 2,
+            bad_slot_fraction: 0.5,
+        }
+    }
+}
+
+impl QuarantineConfig {
+    /// Checks the thresholds are usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] for zero day thresholds or a slot fraction
+    /// outside (0, 1].
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.trip_after == 0 || self.probation_after == 0 || self.close_after == 0 {
+            return Err(ValidateError::new(
+                "quarantine day thresholds must be at least 1",
+            ));
+        }
+        if !(self.bad_slot_fraction > 0.0 && self.bad_slot_fraction <= 1.0) {
+            return Err(ValidateError::new(format!(
+                "bad slot fraction must be in (0, 1], got {}",
+                self.bad_slot_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Judges whether one meter's day of raw readings failed sanitization: a
+/// slot is bad when non-finite or when its magnitude exceeds the
+/// [`SanitizeConfig`] outlier screen anchored on `scale` (the expected
+/// per-meter reading magnitude); the day fails when the bad fraction
+/// reaches [`QuarantineConfig::bad_slot_fraction`]. An empty day fails.
+pub fn meter_day_failed(
+    readings: &[f64],
+    scale: f64,
+    sanitize: &SanitizeConfig,
+    quarantine: &QuarantineConfig,
+) -> bool {
+    if readings.is_empty() {
+        return true;
+    }
+    let threshold = sanitize.outlier_factor * (scale.abs() + 1.0);
+    let bad = readings
+        .iter()
+        .filter(|v| !v.is_finite() || v.abs() > threshold)
+        .count();
+    bad as f64 >= quarantine.bad_slot_fraction * readings.len() as f64 && bad > 0
+}
+
+/// One meter's breaker: current state plus the streak counters that drive
+/// transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeterHealth {
+    state: MeterState,
+    /// Consecutive failed days while closed.
+    consecutive_bad: usize,
+    /// Days spent open since the (re)trip.
+    days_open: usize,
+    /// Consecutive good days while half-open.
+    consecutive_good: usize,
+}
+
+impl MeterHealth {
+    fn new() -> Self {
+        Self {
+            state: MeterState::Closed,
+            consecutive_bad: 0,
+            days_open: 0,
+            consecutive_good: 0,
+        }
+    }
+
+    /// The breaker's current state.
+    #[inline]
+    pub fn state(&self) -> MeterState {
+        self.state
+    }
+}
+
+/// Tracks every meter's breaker across days (tentpole 3 of the supervision
+/// layer): persistent per-meter failures — the AMI literature's compromised
+/// or dead meter, as opposed to PR 1's transiently corrupted reading — are
+/// quarantined out of the aggregate instead of being re-imputed forever.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeterQuarantine {
+    config: QuarantineConfig,
+    meters: Vec<MeterHealth>,
+}
+
+impl MeterQuarantine {
+    /// A tracker for `fleet` meters, all breakers closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the config is invalid.
+    pub fn new(fleet: usize, config: QuarantineConfig) -> Result<Self, ValidateError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            meters: vec![MeterHealth::new(); fleet],
+        })
+    }
+
+    /// The bound configuration.
+    #[inline]
+    pub fn config(&self) -> &QuarantineConfig {
+        &self.config
+    }
+
+    /// Per-meter breaker states, indexed by meter.
+    #[inline]
+    pub fn meters(&self) -> &[MeterHealth] {
+        &self.meters
+    }
+
+    /// `true` when `meter`'s readings must be excluded from the aggregate
+    /// (breaker open; half-open probes are included again).
+    #[inline]
+    pub fn is_excluded(&self, meter: usize) -> bool {
+        self.meters
+            .get(meter)
+            .is_some_and(|m| m.state == MeterState::Open)
+    }
+
+    /// Number of quarantined (open) meters — the suspect count surfaced to
+    /// the POMDP observation.
+    pub fn open_count(&self) -> usize {
+        self.meters
+            .iter()
+            .filter(|m| m.state == MeterState::Open)
+            .count()
+    }
+
+    /// Advances every breaker by one day. `failed[m]` says whether meter
+    /// `m`'s day failed sanitization (see [`meter_day_failed`]); `day` is
+    /// the absolute day stamped on emitted events. Returns the transitions,
+    /// in meter order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `failed` does not cover the fleet.
+    pub fn observe_day(&mut self, day: usize, failed: &[bool]) -> Vec<QuarantineEvent> {
+        assert_eq!(
+            failed.len(),
+            self.meters.len(),
+            "per-meter day verdicts must cover the fleet"
+        );
+        let mut events = Vec::new();
+        for (meter, (health, &bad)) in self.meters.iter_mut().zip(failed).enumerate() {
+            let transition = match health.state {
+                MeterState::Closed => {
+                    if bad {
+                        health.consecutive_bad += 1;
+                        if health.consecutive_bad >= self.config.trip_after {
+                            health.state = MeterState::Open;
+                            health.days_open = 0;
+                            Some(QuarantineTransition::Tripped)
+                        } else {
+                            None
+                        }
+                    } else {
+                        health.consecutive_bad = 0;
+                        None
+                    }
+                }
+                MeterState::Open => {
+                    health.days_open += 1;
+                    if health.days_open >= self.config.probation_after {
+                        health.state = MeterState::HalfOpen;
+                        health.consecutive_good = 0;
+                        Some(QuarantineTransition::Probation)
+                    } else {
+                        None
+                    }
+                }
+                MeterState::HalfOpen => {
+                    if bad {
+                        health.state = MeterState::Open;
+                        health.days_open = 0;
+                        Some(QuarantineTransition::Retripped)
+                    } else {
+                        health.consecutive_good += 1;
+                        if health.consecutive_good >= self.config.close_after {
+                            health.state = MeterState::Closed;
+                            health.consecutive_bad = 0;
+                            Some(QuarantineTransition::Recovered)
+                        } else {
+                            None
+                        }
+                    }
+                }
+            };
+            if let Some(transition) = transition {
+                events.push(QuarantineEvent {
+                    day,
+                    meter,
+                    transition,
+                });
+            }
+        }
+        events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +463,133 @@ mod tests {
         assert_eq!(report.cleaned[0], 480.0);
         // The NaN slot persists the last good observed reading.
         assert_eq!(report.cleaned[6], 480.0);
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_recovers() {
+        let config = QuarantineConfig {
+            trip_after: 2,
+            probation_after: 1,
+            close_after: 2,
+            bad_slot_fraction: 0.5,
+        };
+        let mut tracker = MeterQuarantine::new(2, config).unwrap();
+
+        // Day 0: meter 1 bad once — no trip yet.
+        assert!(tracker.observe_day(0, &[false, true]).is_empty());
+        assert_eq!(tracker.open_count(), 0);
+
+        // Day 1: second consecutive bad day trips meter 1.
+        let events = tracker.observe_day(1, &[false, true]);
+        assert_eq!(
+            events,
+            vec![QuarantineEvent {
+                day: 1,
+                meter: 1,
+                transition: QuarantineTransition::Tripped,
+            }]
+        );
+        assert!(tracker.is_excluded(1));
+        assert!(!tracker.is_excluded(0));
+        assert_eq!(tracker.open_count(), 1);
+
+        // Day 2: probation_after = 1 day open → half-open probe.
+        let events = tracker.observe_day(2, &[false, true]);
+        assert_eq!(events[0].transition, QuarantineTransition::Probation);
+        assert!(!tracker.is_excluded(1), "half-open probes are included");
+
+        // Day 3: the probe fails → re-trip.
+        let events = tracker.observe_day(3, &[false, true]);
+        assert_eq!(events[0].transition, QuarantineTransition::Retripped);
+        assert!(tracker.is_excluded(1));
+
+        // Day 4: probation again; days 5–6 good close the breaker.
+        let events = tracker.observe_day(4, &[false, false]);
+        assert_eq!(events[0].transition, QuarantineTransition::Probation);
+        assert!(tracker.observe_day(5, &[false, false]).is_empty());
+        let events = tracker.observe_day(6, &[false, false]);
+        assert_eq!(
+            events,
+            vec![QuarantineEvent {
+                day: 6,
+                meter: 1,
+                transition: QuarantineTransition::Recovered,
+            }]
+        );
+        assert_eq!(tracker.open_count(), 0);
+        assert_eq!(tracker.meters()[1].state(), MeterState::Closed);
+
+        // A good day resets the closed streak: bad, good, bad never trips.
+        let mut tracker = MeterQuarantine::new(1, config).unwrap();
+        tracker.observe_day(0, &[true]);
+        tracker.observe_day(1, &[false]);
+        assert!(tracker.observe_day(2, &[true]).is_empty());
+        assert_eq!(tracker.open_count(), 0);
+    }
+
+    #[test]
+    fn quarantine_config_validation() {
+        assert!(QuarantineConfig::default().validate().is_ok());
+        for bad in [
+            QuarantineConfig {
+                trip_after: 0,
+                ..QuarantineConfig::default()
+            },
+            QuarantineConfig {
+                probation_after: 0,
+                ..QuarantineConfig::default()
+            },
+            QuarantineConfig {
+                close_after: 0,
+                ..QuarantineConfig::default()
+            },
+            QuarantineConfig {
+                bad_slot_fraction: 0.0,
+                ..QuarantineConfig::default()
+            },
+            QuarantineConfig {
+                bad_slot_fraction: 1.5,
+                ..QuarantineConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be invalid");
+            assert!(MeterQuarantine::new(3, bad).is_err());
+        }
+    }
+
+    #[test]
+    fn meter_day_failure_judgement() {
+        let sanitize = SanitizeConfig::default();
+        let quarantine = QuarantineConfig::default(); // fails at ≥ 50% bad
+        // All readings present and plausible: good day.
+        assert!(!meter_day_failed(&[1.0; 24], 1.0, &sanitize, &quarantine));
+        // Completely unreported: failed day.
+        assert!(meter_day_failed(&[f64::NAN; 24], 1.0, &sanitize, &quarantine));
+        assert!(meter_day_failed(&[], 1.0, &sanitize, &quarantine));
+        // Garbage magnitudes against a unit scale: failed day.
+        assert!(meter_day_failed(&[1e9; 24], 1.0, &sanitize, &quarantine));
+        // A quarter of slots bad stays below the 50% bar.
+        let mut readings = [1.0; 24];
+        for slot in readings.iter_mut().take(6) {
+            *slot = f64::NAN;
+        }
+        assert!(!meter_day_failed(&readings, 1.0, &sanitize, &quarantine));
+        // Half bad crosses it.
+        for slot in readings.iter_mut().take(12) {
+            *slot = f64::NAN;
+        }
+        assert!(meter_day_failed(&readings, 1.0, &sanitize, &quarantine));
+    }
+
+    #[test]
+    fn quarantine_state_survives_serde() {
+        let mut tracker = MeterQuarantine::new(3, QuarantineConfig::default()).unwrap();
+        tracker.observe_day(0, &[true, false, true]);
+        tracker.observe_day(1, &[true, false, true]);
+        tracker.observe_day(2, &[true, false, false]);
+        let json = serde_json::to_string(&tracker).unwrap();
+        let restored: MeterQuarantine = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, tracker);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use nms_types::RetryPolicy;
+use nms_types::{BudgetClock, RetryPolicy, SolveBudget};
 
 use crate::{Kernel, StandardScaler};
 
@@ -96,6 +96,11 @@ pub struct SvrFitReport {
     pub passes: usize,
     /// Fit attempts consumed (1 unless trained via [`Svr::fit_with_retry`]).
     pub attempts: usize,
+    /// A watchdog [`SolveBudget`](nms_types::SolveBudget) stopped the pass
+    /// loop before the SMO's own limits did. Absent in pre-budget
+    /// serialized reports.
+    #[serde(default)]
+    pub budget_breached: bool,
 }
 
 /// A trained ε-SVR model.
@@ -129,6 +134,24 @@ impl Svr {
         xs: &[Vec<f64>],
         ys: &[f64],
         params: &SvrParams,
+    ) -> Result<(Self, SvrFitReport), TrainSvrError> {
+        Self::fit_with_report_budgeted(xs, ys, params, None)
+    }
+
+    /// Like [`Svr::fit_with_report`], but the SMO pass loop is watched by
+    /// an optional running [`BudgetClock`]; a breach stops the loop cleanly
+    /// and surfaces via [`SvrFitReport::budget_breached`] — the partially
+    /// trained model is still returned (unconverged) so the caller can
+    /// decide whether to fall back.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Svr::fit`].
+    pub fn fit_with_report_budgeted(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        params: &SvrParams,
+        clock: Option<&BudgetClock>,
     ) -> Result<(Self, SvrFitReport), TrainSvrError> {
         if xs.is_empty() {
             return Err(TrainSvrError::EmptyTrainingSet);
@@ -189,8 +212,15 @@ impl Svr {
         let mut g = vec![0.0_f64; n];
 
         let mut converged = false;
+        let mut budget_breached = false;
         let mut passes = 0usize;
         for _pass in 0..params.max_passes {
+            if let Some(clock) = clock {
+                if clock.breach(passes).is_some() {
+                    budget_breached = true;
+                    break;
+                }
+            }
             passes += 1;
             let mut best_improvement = 0.0_f64;
             for i in 0..n {
@@ -274,6 +304,7 @@ impl Svr {
                 converged,
                 passes,
                 attempts: 1,
+                budget_breached,
             },
         ))
     }
@@ -294,21 +325,50 @@ impl Svr {
         params: &SvrParams,
         policy: &RetryPolicy,
     ) -> Result<(Self, SvrFitReport), TrainSvrError> {
+        Self::fit_with_retry_budgeted(xs, ys, params, policy, &SolveBudget::unlimited())
+    }
+
+    /// Like [`Svr::fit_with_retry`], but the whole retry sequence is
+    /// watched by a [`SolveBudget`]: the wall-clock deadline spans all
+    /// attempts, while the iteration cap bounds each attempt's passes. A
+    /// breach abandons remaining retries — the budget is already spent —
+    /// and returns the last (unconverged) model with
+    /// [`SvrFitReport::budget_breached`] set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainSvrError::InvalidParams`] for an invalid policy or
+    /// budget, and the same data/parameter errors as [`Svr::fit`].
+    pub fn fit_with_retry_budgeted(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        params: &SvrParams,
+        policy: &RetryPolicy,
+        budget: &SolveBudget,
+    ) -> Result<(Self, SvrFitReport), TrainSvrError> {
         policy.validate().map_err(|e| TrainSvrError::InvalidParams {
             detail: format!("retry policy: {e}"),
         })?;
+        budget.validate().map_err(|e| TrainSvrError::InvalidParams {
+            detail: format!("solve budget: {e}"),
+        })?;
+        let clock = budget.start();
         let mut last = None;
         for attempt in 0..policy.max_attempts {
             let escalated = SvrParams {
                 max_passes: policy.budget(params.max_passes, attempt),
                 ..*params
             };
-            let (model, mut report) = Self::fit_with_report(xs, ys, &escalated)?;
+            let (model, mut report) = Self::fit_with_report_budgeted(xs, ys, &escalated, Some(&clock))?;
             report.attempts = attempt + 1;
             if report.converged {
                 return Ok((model, report));
             }
             last = Some((model, report));
+            if report.budget_breached {
+                // The budget is spent; retrying would breach again.
+                break;
+            }
         }
         Ok(last.expect("max_attempts >= 1 is enforced by validate"))
     }
@@ -632,6 +692,44 @@ mod tests {
         };
         assert!(matches!(
             Svr::fit_with_retry(&xs, &ys, &params, &bad_policy),
+            Err(TrainSvrError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn watchdog_budget_stops_smo_and_abandons_retries() {
+        let (xs, ys) = linear_data(30);
+        let params = SvrParams {
+            kernel: Kernel::Linear,
+            max_passes: 50,
+            tolerance: 0.0, // can never converge on its own
+            ..SvrParams::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            iteration_growth: 2.0,
+            reseed_stride: 1,
+        };
+        let budget = SolveBudget {
+            max_iterations: Some(2),
+            max_wall_secs: None,
+        };
+        let (model, report) =
+            Svr::fit_with_retry_budgeted(&xs, &ys, &params, &policy, &budget).unwrap();
+        assert!(report.budget_breached, "report {report:?}");
+        assert!(!report.converged);
+        assert_eq!(report.attempts, 1, "breach must stop further attempts");
+        assert_eq!(report.passes, 2);
+        // The partially trained model still predicts finite values.
+        assert!(model.predict(&xs[0]).is_finite());
+
+        // An invalid budget is reported like an invalid policy.
+        let bad = SolveBudget {
+            max_iterations: None,
+            max_wall_secs: Some(-1.0),
+        };
+        assert!(matches!(
+            Svr::fit_with_retry_budgeted(&xs, &ys, &params, &policy, &bad),
             Err(TrainSvrError::InvalidParams { .. })
         ));
     }

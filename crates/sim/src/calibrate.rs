@@ -27,7 +27,7 @@ use rand_chacha::ChaCha8Rng;
 use nms_attack::AttackTimeline;
 use nms_core::{FrameworkConfig, ParObservationMap, PricePredictor};
 use nms_forecast::PriceHistory;
-use nms_types::{MeterId, RetryPolicy, RunHealth, TimeSeries, ValidateError};
+use nms_types::{MeterId, RetryPolicy, RunHealth, SolveBudget, TimeSeries, ValidateError};
 
 use crate::{CommunityGenerator, Market, PaperScenario, SimError};
 
@@ -79,6 +79,8 @@ pub(crate) fn calibrate_detector(
     timeline: &AttackTimeline,
     buckets: usize,
     bucket_fraction_step: f64,
+    retry: &RetryPolicy,
+    budget: &SolveBudget,
     market: &Market,
     generator: &CommunityGenerator,
     history: &PriceHistory,
@@ -102,7 +104,6 @@ pub(crate) fn calibrate_detector(
     // buckets' worth of meters compromised.
     let mut statistics: Vec<Vec<f64>> = Vec::with_capacity(backtest_days);
     let mut health = RunHealth::new();
-    let retry_policy = RetryPolicy::default();
 
     for back in 0..backtest_days {
         let day = scenario.training_days - 1 - back;
@@ -113,8 +114,9 @@ pub(crate) fn calibrate_detector(
         // The detector's day-ahead view of this (past) day.
         let mut backtest_predictor = framework.price_predictor();
         let sub_history = history.truncated(day * 24);
-        let report = backtest_predictor.train_robust(&sub_history, &retry_policy)?;
+        let report = backtest_predictor.train_robust_budgeted(&sub_history, retry, budget)?;
         health.record_retries(report.retries);
+        health.record_budget_breaches(usize::from(report.budget_breached));
         if let Some(fallback) = report.fallback {
             health.record_fallback(fallback);
         }
@@ -221,8 +223,9 @@ pub(crate) fn calibrate_detector(
     }
 
     let mut price_predictor = framework.price_predictor();
-    let report = price_predictor.train_robust(history, &retry_policy)?;
+    let report = price_predictor.train_robust_budgeted(history, retry, budget)?;
     health.record_retries(report.retries);
+    health.record_budget_breaches(usize::from(report.budget_breached));
     if let Some(fallback) = report.fallback {
         health.record_fallback(fallback);
     }
@@ -270,7 +273,17 @@ mod tests {
             AttackTimeline::new(vec![(4, 2)], PriceAttack::zero_window(16.0, 17.0).unwrap())
                 .unwrap();
         let calibration = calibrate_detector(
-            &scenario, &framework, &timeline, 4, 0.15, &market, &generator, &history, &mut rng,
+            &scenario,
+            &framework,
+            &timeline,
+            4,
+            0.15,
+            &RetryPolicy::default(),
+            &SolveBudget::unlimited(),
+            &market,
+            &generator,
+            &history,
+            &mut rng,
         )
         .unwrap();
         assert!(calibration.price_predictor.is_trained());

@@ -17,25 +17,50 @@
 //! homes keep their committed schedules while each compromised home
 //! re-optimizes alone against the committed aggregate. The realization is
 //! recomputed whenever the compromise set changes.
+//!
+//! Two drivers share the same per-day stepper:
+//!
+//! - [`run_long_term_detection`] — the original single-RNG run, kept
+//!   bit-identical with its pre-supervision behavior;
+//! - [`SupervisedRun`] / [`run_long_term_supervised`] — the crash-safe
+//!   variant: every day draws from its own `(seed, day)`-derived stream
+//!   and is journaled on completion, so a killed run resumes
+//!   bit-identically from the journal (see `journal` and DESIGN.md §8).
+
+use std::path::Path;
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 use nms_attack::{AttackTimeline, CompromiseSet};
 use nms_core::{
-    sanitize_series, AccuracyTracker, DetectorAction, FrameworkConfig, LaborTracker,
-    LongTermDetector, ParObservationMap, PredictedResponse, PricePredictor, SanitizeConfig,
+    meter_day_failed, sanitize_series, AccuracyTracker, DetectorAction, FrameworkConfig,
+    LaborTracker, LongTermDetector, MeterQuarantine, ParObservationMap, PredictedResponse,
+    PricePredictor, QuarantineConfig, QuarantineEvent, QuarantineTransition, SanitizeConfig,
 };
 use nms_forecast::PriceHistory;
-use nms_types::{RunHealth, TimeSeries, ValidateError};
+use nms_types::{
+    DayHealth, MeterId, RetryPolicy, RunHealth, SolveBudget, TimeSeries, ValidateError,
+};
 
 use crate::calibrate::{calibrate_detector, peak_deviation};
-use crate::faults::{corrupt_day, FaultPlan};
-use crate::{Market, PaperScenario, SimError};
+use crate::faults::{corrupt_day_meters, FaultPlan};
+use crate::journal::{
+    DayRecord, FixRecord, HistoryRow, JournalError, JournalHeader, RunJournal, JOURNAL_VERSION,
+};
+use crate::{CommunityGenerator, Market, PaperScenario, SimError};
+
+/// Slots per simulated day (the paper's hourly horizon).
+const SLOTS_PER_DAY: usize = 24;
 
 /// Configuration for [`run_long_term_detection`].
-#[derive(Debug, Clone)]
+///
+/// Serializable; the robustness knobs (`sanitize`, `retry`, `budget`,
+/// `quarantine`) all default, so configurations serialized before they
+/// existed still deserialize.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LongTermRunConfig {
     /// Days simulated after the training epoch (the paper uses 2 → 48 h).
     pub detection_days: usize,
@@ -55,6 +80,19 @@ pub struct LongTermRunConfig {
     /// Telemetry fault injection; `None` (or a no-op plan) leaves the
     /// detector's view pristine.
     pub faults: Option<FaultPlan>,
+    /// Telemetry screening thresholds for the detector's view.
+    #[serde(default)]
+    pub sanitize: SanitizeConfig,
+    /// Retry schedule for the trainers behind calibration.
+    #[serde(default)]
+    pub retry: RetryPolicy,
+    /// Watchdog budget for iterative solves/training (default unlimited).
+    #[serde(default)]
+    pub budget: SolveBudget,
+    /// Per-meter quarantine breaker thresholds (active only with fault
+    /// injection, which is when per-meter telemetry exists).
+    #[serde(default)]
+    pub quarantine: QuarantineConfig,
 }
 
 impl LongTermRunConfig {
@@ -63,8 +101,8 @@ impl LongTermRunConfig {
     /// # Errors
     ///
     /// Returns [`ValidateError`] for zero days/buckets, a fraction step
-    /// outside `(0, 1]`, negative labor costs, or an invalid detector
-    /// configuration.
+    /// outside `(0, 1]`, negative labor costs, or an invalid detector,
+    /// fault, retry, budget, or quarantine configuration.
     pub fn validate(&self) -> Result<(), ValidateError> {
         if self.detection_days == 0 {
             return Err(ValidateError::new("need at least one detection day"));
@@ -89,6 +127,9 @@ impl LongTermRunConfig {
         if let Some(faults) = &self.faults {
             faults.validate()?;
         }
+        self.retry.validate()?;
+        self.budget.validate()?;
+        self.quarantine.validate()?;
         Ok(())
     }
 }
@@ -112,8 +153,21 @@ pub struct LongTermRunResult {
     /// Global slots at which a fix was dispatched.
     pub fixes_at: Vec<usize>,
     /// Degradation ledger: faults seen, slots imputed, retries and
-    /// fallbacks consumed anywhere in the pipeline.
+    /// fallbacks consumed anywhere in the pipeline, budget breaches, and
+    /// quarantine transitions.
     pub health: RunHealth,
+    /// The training/calibration epoch's slice of the ledger (exported as
+    /// the `training` row of the health timeline).
+    pub training_health: DayHealth,
+    /// Per-detection-day health timeline rows.
+    pub day_health: Vec<DayHealth>,
+    /// Every quarantine breaker transition, in day then meter order.
+    pub quarantine_events: Vec<QuarantineEvent>,
+    /// Final quarantine tracker state (`None` without fault injection).
+    pub quarantine: Option<MeterQuarantine>,
+    /// Final POMDP belief over hacked-meter buckets (`None` for the
+    /// no-detection baseline).
+    pub final_belief: Option<Vec<f64>>,
 }
 
 fn bucket_of(count: usize, fleet: usize, buckets: usize, step: f64) -> usize {
@@ -121,65 +175,74 @@ fn bucket_of(count: usize, fleet: usize, buckets: usize, step: f64) -> usize {
     ((fraction / step).round() as usize).min(buckets - 1)
 }
 
-/// Builds the detector's telemetry view of one realized day: corrupt the
-/// per-meter reports under `plan`, then sanitize the re-aggregated series
-/// against the detector's own prediction. Fault and imputation tallies are
-/// recorded once per day (rebuilds within a day redraw the identical
-/// faults).
-fn faulted_view(
-    plan: &FaultPlan,
-    day: usize,
-    realization: &PredictedResponse,
-    predicted: &TimeSeries<f64>,
-    health: &mut RunHealth,
-    day_recorded: &mut bool,
-) -> Result<TimeSeries<f64>, SimError> {
-    let corrupted = corrupt_day(plan, day, &realization.schedule);
-    let report = sanitize_series(&corrupted.observed, predicted, &SanitizeConfig::default())
-        .map_err(|err| SimError::Telemetry {
-            detail: err.to_string(),
-        })?;
-    if !*day_recorded {
-        health.faults_injected.merge(&corrupted.injected);
-        health.slots_imputed += report.imputed_slots;
-        *day_recorded = true;
-    }
-    Ok(report.cleaned)
+// ---------------------------------------------------------------------------
+// Shared run machinery
+// ---------------------------------------------------------------------------
+
+/// Immutable per-run context built once from the scenario.
+struct RunSetup {
+    market: Market,
+    generator: CommunityGenerator,
+    weather: Vec<f64>,
+    fleet: usize,
 }
 
-/// Runs the long-term attack/detection simulation.
-///
-/// # Errors
-///
-/// Returns [`SimError`] on invalid configurations or solver failures.
-pub fn run_long_term_detection(
-    scenario: &PaperScenario,
-    config: &LongTermRunConfig,
-    rng: &mut impl Rng,
-) -> Result<LongTermRunResult, SimError> {
+/// Everything the trained detector carries between days.
+struct DetectorState {
+    framework: FrameworkConfig,
+    price_predictor: PricePredictor,
+    observation_map: ParObservationMap,
+    long_term: LongTermDetector,
+}
+
+/// All evolving state of a long-term run between days — exactly what the
+/// journal's day records let a resume reconstruct.
+struct RunState {
+    health: RunHealth,
+    training_health: DayHealth,
+    history: PriceHistory,
+    detector: Option<DetectorState>,
+    compromised: CompromiseSet,
+    accuracy: AccuracyTracker,
+    labor: LaborTracker,
+    realized_demand: Vec<f64>,
+    true_buckets: Vec<usize>,
+    observed_buckets: Vec<usize>,
+    fixes_at: Vec<usize>,
+    quarantine: Option<MeterQuarantine>,
+    day_health: Vec<DayHealth>,
+    quarantine_events: Vec<QuarantineEvent>,
+}
+
+fn prepare(scenario: &PaperScenario, config: &LongTermRunConfig) -> Result<RunSetup, SimError> {
     scenario.validate()?;
     config.validate()?;
-
-    let mut health = RunHealth::new();
-    let fault_plan = config.faults.as_ref().filter(|plan| !plan.is_noop());
     let market = Market::new(scenario)?;
     let generator = scenario.generator();
-    let slots_per_day = 24usize;
-    let fleet = scenario.customers;
+    let total_days = scenario.training_days + config.detection_days;
+    let weather = scenario.weather_factors(total_days);
+    Ok(RunSetup {
+        market,
+        generator,
+        weather,
+        fleet: scenario.customers,
+    })
+}
 
-    // --- Training epoch: bootstrap history, train the price predictor, ---
-    // --- calibrate the observation map, solve the POMDP.               ---
-    let mut history: PriceHistory =
-        market.bootstrap_history(&generator, scenario.training_days, rng)?;
+/// Training epoch: bootstrap history, train the price predictor, calibrate
+/// the observation map, solve the POMDP, arm the quarantine breakers.
+fn train(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    setup: &RunSetup,
+    rng: &mut impl Rng,
+) -> Result<RunState, SimError> {
+    let mut health = RunHealth::new();
+    let history = setup
+        .market
+        .bootstrap_history(&setup.generator, scenario.training_days, rng)?;
 
-    struct DetectorState {
-        framework: FrameworkConfig,
-        price_predictor: PricePredictor,
-        observation_map: ParObservationMap,
-        long_term: LongTermDetector,
-    }
-
-    let mut detector_state = match &config.detector {
+    let detector = match &config.detector {
         None => None,
         Some(framework) => {
             let calibration = calibrate_detector(
@@ -188,8 +251,10 @@ pub fn run_long_term_detection(
                 &config.timeline,
                 config.buckets,
                 config.bucket_fraction_step,
-                &market,
-                &generator,
+                &config.retry,
+                &config.budget,
+                &setup.market,
+                &setup.generator,
                 &history,
                 rng,
             )?;
@@ -209,160 +274,549 @@ pub fn run_long_term_detection(
         }
     };
 
-    // --- Detection epoch. ---
-    let total_days = scenario.training_days + config.detection_days;
-    let weather = scenario.weather_factors(total_days);
-    let mut compromised = CompromiseSet::new();
-    let mut accuracy = AccuracyTracker::new();
-    let mut labor = LaborTracker::new(config.labor_per_fix, config.labor_per_meter);
-    let mut realized_demand = Vec::with_capacity(config.detection_days * slots_per_day);
-    let mut true_buckets = Vec::new();
-    let mut observed_buckets = Vec::new();
-    let mut fixes_at = Vec::new();
+    // Per-meter quarantine needs per-meter telemetry, which only exists
+    // under fault injection.
+    let quarantine = match config.faults.as_ref().filter(|plan| !plan.is_noop()) {
+        Some(_) => Some(MeterQuarantine::new(setup.fleet, config.quarantine)?),
+        None => None,
+    };
 
-    for day_offset in 0..config.detection_days {
-        let day = scenario.training_days + day_offset;
-        let community = generator.community_for_day(day, weather[day]);
-        let clean = market.clear_day(&community, 2, rng)?;
-        let manipulated = config.timeline.attack().apply(&clean.price);
-        let realization_seed: u64 = rng.gen();
+    let training_health = DayHealth::delta(0, &RunHealth::new(), &health, 0);
+    Ok(RunState {
+        health,
+        training_health,
+        history,
+        detector,
+        compromised: CompromiseSet::new(),
+        accuracy: AccuracyTracker::new(),
+        labor: LaborTracker::new(config.labor_per_fix, config.labor_per_meter),
+        realized_demand: Vec::with_capacity(config.detection_days * SLOTS_PER_DAY),
+        true_buckets: Vec::new(),
+        observed_buckets: Vec::new(),
+        fixes_at: Vec::new(),
+        quarantine,
+        day_health: Vec::with_capacity(config.detection_days),
+        quarantine_events: Vec::new(),
+    })
+}
 
-        // The detector's day-ahead view.
-        let day_prediction = match detector_state.as_mut() {
-            None => None,
-            Some(state) => {
-                let theta = community.total_generation();
-                let generation_forecast = state
-                    .price_predictor
-                    .features()
-                    .target_generation
-                    .then_some(&theta);
-                let predicted_price = state.price_predictor.predict_day(
-                    &history,
-                    community.horizon(),
-                    generation_forecast,
-                )?;
-                let mut predicted_rng = ChaCha8Rng::seed_from_u64(realization_seed);
-                let predicted = state.framework.load.predict(
-                    &community,
-                    &predicted_price,
-                    &mut predicted_rng,
-                )?;
-                Some(predicted)
-            }
-        };
-
-        // Realize the day's response for the current compromise set: the
-        // committed (clean) plan with hacked homes deviating unilaterally.
-        let realize =
-            |compromised: &CompromiseSet| -> Result<nms_core::PredictedResponse, SimError> {
-                if compromised.is_empty() {
-                    return Ok(clean.response.clone());
-                }
-                let meters: Vec<nms_types::MeterId> = compromised.iter().collect();
-                let mut child = ChaCha8Rng::seed_from_u64(realization_seed);
-                Ok(market.truth_model().respond_unilaterally(
-                    &community,
-                    &clean.response,
-                    &manipulated,
-                    &meters,
-                    &mut child,
-                )?)
-            };
-        let mut realization = realize(&compromised)?;
-        // The telemetry view of the current realization, rebuilt lazily
-        // whenever the realization changes mid-day.
-        let mut observed_view: Option<TimeSeries<f64>> = None;
-        let mut day_faults_recorded = false;
-
-        for slot in 0..slots_per_day {
-            let global_slot = day_offset * slots_per_day + slot;
-            let newly = config.timeline.step(global_slot, &mut compromised, fleet);
-            if !newly.is_empty() {
-                realization = realize(&compromised)?;
-                observed_view = None;
-            }
-
-            let true_bucket = bucket_of(
-                compromised.count(),
-                fleet,
-                config.buckets,
-                config.bucket_fraction_step,
-            );
-            true_buckets.push(true_bucket);
-
-            if let (Some(state), Some(predicted)) =
-                (detector_state.as_mut(), day_prediction.as_ref())
-            {
-                if fault_plan.is_some() && observed_view.is_none() {
-                    if let Some(plan) = fault_plan {
-                        observed_view = Some(faulted_view(
-                            plan,
-                            day,
-                            &realization,
-                            &predicted.grid_demand,
-                            &mut health,
-                            &mut day_faults_recorded,
-                        )?);
-                    }
-                }
-                let telemetry: &TimeSeries<f64> =
-                    observed_view.as_ref().unwrap_or(&realization.grid_demand);
-                let statistic = peak_deviation(telemetry, &predicted.grid_demand);
-                health.slots_observed += 1;
-                let observed = state.observation_map.observe(statistic);
-                if std::env::var("NMS_DEBUG_CALIBRATION").is_ok() {
-                    eprintln!(
-                        "slot {global_slot}: stat {statistic:.4} true {true_bucket} obs {observed}"
-                    );
-                }
-                observed_buckets.push(observed);
-                accuracy.record(true_bucket, observed);
-
-                if state.long_term.observe_and_act(observed) == DetectorAction::Fix {
-                    let repaired = compromised.repair_all();
-                    labor.record_fix(repaired);
-                    fixes_at.push(global_slot);
-                    realization = realize(&compromised)?;
-                    observed_view = None;
-                }
-            }
-
-            realized_demand.push(realization.grid_demand[slot]);
-        }
-
-        // Roll the realized day into the history (the detector keeps
-        // learning from what actually happened). The demand series records
-        // consumption `L_h`, matching the bootstrap epoch's convention.
-        let theta = community.total_generation();
-        for h in 0..slots_per_day {
-            history.push(
-                clean.price.at(h).value(),
-                theta[h],
-                realization.load().at(h).value(),
+/// Builds the detector's telemetry view of one realized day: corrupt the
+/// per-meter reports under `plan`, drop quarantined meters from the
+/// re-aggregation, then sanitize against the detector's own prediction.
+/// Fault and imputation tallies are recorded once per day (rebuilds within
+/// a day redraw the identical faults); the per-meter failure verdicts that
+/// feed the quarantine breakers are captured on the first build.
+#[allow(clippy::too_many_arguments)]
+fn faulted_view(
+    plan: &FaultPlan,
+    day: usize,
+    realization: &PredictedResponse,
+    predicted: &TimeSeries<f64>,
+    sanitize: &SanitizeConfig,
+    quarantine: Option<&MeterQuarantine>,
+    health: &mut RunHealth,
+    day_recorded: &mut bool,
+    day_failed: &mut Option<Vec<bool>>,
+) -> Result<TimeSeries<f64>, SimError> {
+    let per_meter = corrupt_day_meters(plan, day, &realization.schedule);
+    let excluded: Vec<bool> = (0..per_meter.fleet())
+        .map(|m| quarantine.is_some_and(|q| q.is_excluded(m)))
+        .collect();
+    let observed = per_meter.aggregate_excluding(&excluded);
+    let report =
+        sanitize_series(&observed, predicted, sanitize).map_err(|err| SimError::Telemetry {
+            detail: err.to_string(),
+        })?;
+    if !*day_recorded {
+        health.faults_injected.merge(&per_meter.injected);
+        health.slots_imputed += report.imputed_slots;
+        *day_recorded = true;
+    }
+    if day_failed.is_none() {
+        if let Some(quarantine) = quarantine {
+            // Expected per-meter reading magnitude: the predicted community
+            // demand shared across the fleet.
+            let fleet = per_meter.fleet().max(1);
+            let scale = predicted.mean().max(0.0) / fleet as f64;
+            *day_failed = Some(
+                (0..per_meter.fleet())
+                    .map(|m| {
+                        meter_day_failed(
+                            per_meter.meter_readings(m),
+                            scale,
+                            sanitize,
+                            quarantine.config(),
+                        )
+                    })
+                    .collect(),
             );
         }
     }
+    Ok(report.cleaned)
+}
 
+/// Simulates one detection day, mutating `state` and returning the day's
+/// journalable transcript. Both run drivers call exactly this, so a
+/// supervised run and the legacy run behave identically given identical
+/// RNG draws.
+fn simulate_day(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    setup: &RunSetup,
+    state: &mut RunState,
+    day_offset: usize,
+    rng: &mut impl Rng,
+) -> Result<DayRecord, SimError> {
+    let fault_plan = config.faults.as_ref().filter(|plan| !plan.is_noop());
+    let fleet = setup.fleet;
+    let day = scenario.training_days + day_offset;
+    let health_before = state.health.clone();
+    let true_start = state.true_buckets.len();
+    let observed_start = state.observed_buckets.len();
+    let demand_start = state.realized_demand.len();
+
+    let community = setup.generator.community_for_day(day, setup.weather[day]);
+    let clean = setup.market.clear_day(&community, 2, rng)?;
+    let manipulated = config.timeline.attack().apply(&clean.price);
+    let realization_seed: u64 = rng.gen();
+
+    // The detector's day-ahead view.
+    let day_prediction = match state.detector.as_mut() {
+        None => None,
+        Some(det) => {
+            let theta = community.total_generation();
+            let generation_forecast = det
+                .price_predictor
+                .features()
+                .target_generation
+                .then_some(&theta);
+            let predicted_price = det.price_predictor.predict_day(
+                &state.history,
+                community.horizon(),
+                generation_forecast,
+            )?;
+            let mut predicted_rng = ChaCha8Rng::seed_from_u64(realization_seed);
+            let predicted =
+                det.framework
+                    .load
+                    .predict(&community, &predicted_price, &mut predicted_rng)?;
+            Some(predicted)
+        }
+    };
+
+    // Quarantined suspects feed the observation: a breaker the detector has
+    // opened is a meter it already distrusts, so the observed bucket can
+    // never report less compromise than the quarantine census implies.
+    let suspect_bucket = state.quarantine.as_ref().map_or(0, |q| {
+        bucket_of(
+            q.open_count(),
+            fleet,
+            config.buckets,
+            config.bucket_fraction_step,
+        )
+    });
+
+    // Realize the day's response for the current compromise set: the
+    // committed (clean) plan with hacked homes deviating unilaterally.
+    let realize = |compromised: &CompromiseSet| -> Result<PredictedResponse, SimError> {
+        if compromised.is_empty() {
+            return Ok(clean.response.clone());
+        }
+        let meters: Vec<MeterId> = compromised.iter().collect();
+        let mut child = ChaCha8Rng::seed_from_u64(realization_seed);
+        Ok(setup.market.truth_model().respond_unilaterally(
+            &community,
+            &clean.response,
+            &manipulated,
+            &meters,
+            &mut child,
+        )?)
+    };
+    let mut realization = realize(&state.compromised)?;
+    // The telemetry view of the current realization, rebuilt lazily
+    // whenever the realization changes mid-day.
+    let mut observed_view: Option<TimeSeries<f64>> = None;
+    let mut day_faults_recorded = false;
+    let mut day_failed: Option<Vec<bool>> = None;
+    let mut fixes: Vec<FixRecord> = Vec::new();
+
+    for slot in 0..SLOTS_PER_DAY {
+        let global_slot = day_offset * SLOTS_PER_DAY + slot;
+        let newly = config
+            .timeline
+            .step(global_slot, &mut state.compromised, fleet);
+        if !newly.is_empty() {
+            realization = realize(&state.compromised)?;
+            observed_view = None;
+        }
+
+        let true_bucket = bucket_of(
+            state.compromised.count(),
+            fleet,
+            config.buckets,
+            config.bucket_fraction_step,
+        );
+        state.true_buckets.push(true_bucket);
+
+        if let (Some(det), Some(predicted)) = (state.detector.as_mut(), day_prediction.as_ref()) {
+            if fault_plan.is_some() && observed_view.is_none() {
+                if let Some(plan) = fault_plan {
+                    observed_view = Some(faulted_view(
+                        plan,
+                        day,
+                        &realization,
+                        &predicted.grid_demand,
+                        &config.sanitize,
+                        state.quarantine.as_ref(),
+                        &mut state.health,
+                        &mut day_faults_recorded,
+                        &mut day_failed,
+                    )?);
+                }
+            }
+            let telemetry: &TimeSeries<f64> =
+                observed_view.as_ref().unwrap_or(&realization.grid_demand);
+            let statistic = peak_deviation(telemetry, &predicted.grid_demand);
+            state.health.slots_observed += 1;
+            let observed = det.observation_map.observe(statistic).max(suspect_bucket);
+            if std::env::var("NMS_DEBUG_CALIBRATION").is_ok() {
+                eprintln!(
+                    "slot {global_slot}: stat {statistic:.4} true {true_bucket} obs {observed}"
+                );
+            }
+            state.observed_buckets.push(observed);
+            state.accuracy.record(true_bucket, observed);
+
+            if det.long_term.observe_and_act(observed) == DetectorAction::Fix {
+                let repaired = state.compromised.repair_all();
+                state.labor.record_fix(repaired);
+                state.fixes_at.push(global_slot);
+                fixes.push(FixRecord {
+                    slot: global_slot,
+                    repaired,
+                });
+                realization = realize(&state.compromised)?;
+                observed_view = None;
+            }
+        }
+
+        state.realized_demand.push(realization.grid_demand[slot]);
+    }
+
+    // End of day: advance the quarantine breakers on the day's per-meter
+    // verdicts. Exclusions take effect from the next day's aggregation.
+    let mut events = Vec::new();
+    if let (Some(quarantine), Some(failed)) = (state.quarantine.as_mut(), day_failed.as_ref()) {
+        events = quarantine.observe_day(day, failed);
+        for event in &events {
+            match event.transition {
+                QuarantineTransition::Tripped | QuarantineTransition::Retripped => {
+                    state.health.quarantine_trips += 1;
+                }
+                QuarantineTransition::Recovered => {
+                    state.health.quarantine_recoveries += 1;
+                }
+                QuarantineTransition::Probation => {}
+            }
+        }
+    }
+    state.quarantine_events.extend(events.iter().copied());
+
+    // Roll the realized day into the history (the detector keeps learning
+    // from what actually happened). The demand series records consumption
+    // `L_h`, matching the bootstrap epoch's convention.
+    let theta = community.total_generation();
+    let mut history_rows = Vec::with_capacity(SLOTS_PER_DAY);
+    for h in 0..SLOTS_PER_DAY {
+        let row = HistoryRow {
+            price: clean.price.at(h).value(),
+            generation: theta[h],
+            demand: realization.load().at(h).value(),
+        };
+        state.history.push(row.price, row.generation, row.demand);
+        history_rows.push(row);
+    }
+
+    let meters_quarantined = state.quarantine.as_ref().map_or(0, MeterQuarantine::open_count);
+    let day_health = DayHealth::delta(day_offset, &health_before, &state.health, meters_quarantined);
+    state.day_health.push(day_health);
+
+    Ok(DayRecord {
+        day: day_offset,
+        true_buckets: state.true_buckets[true_start..].to_vec(),
+        observed_buckets: state.observed_buckets[observed_start..].to_vec(),
+        realized_demand: state.realized_demand[demand_start..].to_vec(),
+        fixes,
+        history_rows,
+        compromised: state.compromised.iter().map(|m| m.index()).collect(),
+        belief: state
+            .detector
+            .as_ref()
+            .map(|det| det.long_term.belief().as_slice().to_vec()),
+        health: state.health.clone(),
+        day_health,
+        quarantine: state.quarantine.clone(),
+        events,
+    })
+}
+
+/// Re-applies one journaled day to the run state without re-simulating it.
+fn replay_day(state: &mut RunState, record: &DayRecord) -> Result<(), SimError> {
+    state.true_buckets.extend_from_slice(&record.true_buckets);
+    state
+        .observed_buckets
+        .extend_from_slice(&record.observed_buckets);
+    state
+        .realized_demand
+        .extend_from_slice(&record.realized_demand);
+    for (&true_bucket, &observed) in record.true_buckets.iter().zip(&record.observed_buckets) {
+        state.accuracy.record(true_bucket, observed);
+    }
+    for fix in &record.fixes {
+        state.labor.record_fix(fix.repaired);
+        state.fixes_at.push(fix.slot);
+    }
+    for row in &record.history_rows {
+        state.history.push(row.price, row.generation, row.demand);
+    }
+    state.compromised = record.compromised.iter().map(|&m| MeterId::new(m)).collect();
+    if let (Some(det), Some(belief)) = (state.detector.as_mut(), record.belief.as_ref()) {
+        det.long_term.restore_belief(belief)?;
+    }
+    state.health = record.health.clone();
+    state.quarantine = record.quarantine.clone();
+    state.day_health.push(record.day_health);
+    state.quarantine_events.extend(record.events.iter().copied());
+    Ok(())
+}
+
+fn finalize(state: RunState) -> Result<LongTermRunResult, SimError> {
     let par = {
         let series = TimeSeries::from_values(
-            nms_types::Horizon::hourly(realized_demand.len()),
-            realized_demand.clone(),
+            nms_types::Horizon::hourly(state.realized_demand.len()),
+            state.realized_demand.clone(),
         )
         .map_err(|err| SimError::Config(ValidateError::new(err.to_string())))?;
         series.par().unwrap_or(1.0)
     };
 
     Ok(LongTermRunResult {
-        accuracy,
-        labor,
-        realized_demand,
+        final_belief: state
+            .detector
+            .as_ref()
+            .map(|det| det.long_term.belief().as_slice().to_vec()),
+        accuracy: state.accuracy,
+        labor: state.labor,
+        realized_demand: state.realized_demand,
         par,
-        true_buckets,
-        observed_buckets,
-        fixes_at,
-        health,
+        true_buckets: state.true_buckets,
+        observed_buckets: state.observed_buckets,
+        fixes_at: state.fixes_at,
+        health: state.health,
+        training_health: state.training_health,
+        day_health: state.day_health,
+        quarantine_events: state.quarantine_events,
+        quarantine: state.quarantine,
     })
+}
+
+/// Runs the long-term attack/detection simulation.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid configurations or solver failures.
+pub fn run_long_term_detection(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    rng: &mut impl Rng,
+) -> Result<LongTermRunResult, SimError> {
+    let setup = prepare(scenario, config)?;
+    let mut state = train(scenario, config, &setup, rng)?;
+    for day_offset in 0..config.detection_days {
+        simulate_day(scenario, config, &setup, &mut state, day_offset, rng)?;
+    }
+    finalize(state)
+}
+
+// ---------------------------------------------------------------------------
+// Supervised (crash-safe) runner
+// ---------------------------------------------------------------------------
+
+/// Stream tag decorrelating the training epoch from the day streams.
+const TRAINING_STREAM: u64 = 0x7472_6169_6e69_6e67; // "training"
+
+/// The seeded stream for detection day `day_offset` of a supervised run.
+fn day_stream_seed(seed: u64, day_offset: usize) -> u64 {
+    seed.wrapping_add((day_offset as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Fingerprints a configuration through its `Debug` rendering — stable
+/// enough to catch a journal being resumed with a different scenario or
+/// config, without requiring every nested type to serialize.
+fn fingerprint(debug: impl std::fmt::Debug) -> u64 {
+    crate::journal::fnv1a64(format!("{debug:?}").as_bytes())
+}
+
+/// A crash-safe long-horizon detection run: training replays from a seeded
+/// stream, each detection day draws from its own `(seed, day)` stream and
+/// is journaled on completion, and [`SupervisedRun::new`] resumes from
+/// whatever complete prefix of days the journal holds.
+///
+/// A supervised run with seed `s` is **not** sample-identical to
+/// `run_long_term_detection` with an RNG seeded to `s` — the legacy run
+/// threads one RNG through everything, which cannot be checkpointed
+/// without serializing RNG state. It *is* bit-identical to itself across
+/// kill/resume at any day boundary, which is the property the journal
+/// guarantees (and `tests/fault_robustness.rs` asserts).
+pub struct SupervisedRun {
+    scenario: PaperScenario,
+    config: LongTermRunConfig,
+    seed: u64,
+    setup: RunSetup,
+    state: RunState,
+    journal: RunJournal,
+    next_day: usize,
+}
+
+impl SupervisedRun {
+    /// Starts (or resumes) a supervised run journaled at `journal_path`.
+    ///
+    /// When the journal already holds complete days for the same
+    /// `(seed, scenario, config)` triple, they are replayed instead of
+    /// re-simulated; a torn final record is dropped and its day re-runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Journal`] for a journal that is interior-corrupt
+    /// or belongs to a different run, and any error
+    /// [`run_long_term_detection`] could produce.
+    pub fn new(
+        scenario: &PaperScenario,
+        config: &LongTermRunConfig,
+        seed: u64,
+        journal_path: impl AsRef<Path>,
+    ) -> Result<Self, SimError> {
+        let setup = prepare(scenario, config)?;
+        let mut training_rng = ChaCha8Rng::seed_from_u64(seed ^ TRAINING_STREAM);
+        let mut state = train(scenario, config, &setup, &mut training_rng)?;
+
+        let header = JournalHeader {
+            version: JOURNAL_VERSION,
+            seed,
+            detection_days: config.detection_days,
+            fleet: setup.fleet,
+            scenario_fingerprint: fingerprint(scenario),
+            config_fingerprint: fingerprint(config),
+        };
+        let loaded = RunJournal::load(journal_path.as_ref())?;
+        let (journal, next_day) = match loaded.header {
+            None => (RunJournal::create(journal_path.as_ref(), &header)?, 0),
+            Some(found) => {
+                found.ensure_matches(&header)?;
+                let mut next_day = 0;
+                for record in &loaded.days {
+                    if record.day != next_day {
+                        return Err(JournalError::Gap {
+                            expected: next_day,
+                            found: record.day,
+                        }
+                        .into());
+                    }
+                    replay_day(&mut state, record)?;
+                    next_day += 1;
+                }
+                (RunJournal::reopen(journal_path.as_ref())?, next_day)
+            }
+        };
+
+        Ok(Self {
+            scenario: scenario.clone(),
+            config: config.clone(),
+            seed,
+            setup,
+            state,
+            journal,
+            next_day,
+        })
+    }
+
+    /// Days already completed (journaled or replayed).
+    pub fn completed_days(&self) -> usize {
+        self.next_day
+    }
+
+    /// `true` once every detection day has been simulated.
+    pub fn is_finished(&self) -> bool {
+        self.next_day >= self.config.detection_days
+    }
+
+    /// Where the journal lives.
+    pub fn journal_path(&self) -> &Path {
+        self.journal.path()
+    }
+
+    /// Simulates the next detection day and journals it. A no-op once the
+    /// run is finished.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; [`SimError::Journal`] when the
+    /// completed day cannot be persisted (the day's state changes are kept
+    /// in memory but will re-run on resume).
+    pub fn step_day(&mut self) -> Result<(), SimError> {
+        if self.is_finished() {
+            return Ok(());
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(day_stream_seed(self.seed, self.next_day));
+        let record = simulate_day(
+            &self.scenario,
+            &self.config,
+            &self.setup,
+            &mut self.state,
+            self.next_day,
+            &mut rng,
+        )?;
+        self.journal.append_day(&record)?;
+        self.next_day += 1;
+        Ok(())
+    }
+
+    /// Consumes the run and produces the final result (valid at any point;
+    /// covers the completed days).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when no day produced demand samples.
+    pub fn finish(self) -> Result<LongTermRunResult, SimError> {
+        finalize(self.state)
+    }
+
+    /// Runs every remaining day, then finishes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SupervisedRun::step_day`] and [`SupervisedRun::finish`].
+    pub fn run(mut self) -> Result<LongTermRunResult, SimError> {
+        while !self.is_finished() {
+            self.step_day()?;
+        }
+        self.finish()
+    }
+}
+
+/// Convenience wrapper: start-or-resume a supervised run at `journal_path`
+/// and drive it to completion.
+///
+/// # Errors
+///
+/// Same as [`SupervisedRun::new`] and [`SupervisedRun::run`].
+pub fn run_long_term_supervised(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    seed: u64,
+    journal_path: impl AsRef<Path>,
+) -> Result<LongTermRunResult, SimError> {
+    SupervisedRun::new(scenario, config, seed, journal_path)?.run()
 }
 
 #[cfg(test)]
@@ -389,6 +843,10 @@ mod tests {
             labor_per_fix: 10.0,
             labor_per_meter: 1.0,
             faults: None,
+            sanitize: SanitizeConfig::default(),
+            retry: RetryPolicy::default(),
+            budget: SolveBudget::unlimited(),
+            quarantine: QuarantineConfig::default(),
         }
     }
 
@@ -407,6 +865,35 @@ mod tests {
         let mut c = run_config(None);
         c.labor_per_fix = -1.0;
         assert!(c.validate().is_err());
+        // The new robustness knobs validate too.
+        let mut c = run_config(None);
+        c.budget.max_iterations = Some(0);
+        assert!(c.validate().is_err());
+        let mut c = run_config(None);
+        c.retry.max_attempts = 0;
+        assert!(c.validate().is_err());
+        let mut c = run_config(None);
+        c.quarantine.trip_after = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_without_robustness_fields_still_deserializes() {
+        let full = serde_json::to_string(&run_config(None)).unwrap();
+        // Strip the new fields to emulate a pre-supervision config file.
+        let legacy: String = full
+            .split(",\"sanitize\"")
+            .next()
+            .map(|prefix| format!("{prefix}}}"))
+            .unwrap();
+        assert!(legacy.contains("detection_days"));
+        assert!(!legacy.contains("quarantine"));
+        let parsed: LongTermRunConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.sanitize, SanitizeConfig::default());
+        assert_eq!(parsed.retry, RetryPolicy::default());
+        assert_eq!(parsed.budget, SolveBudget::unlimited());
+        assert_eq!(parsed.quarantine, QuarantineConfig::default());
+        assert_eq!(parsed.detection_days, 1);
     }
 
     #[test]
@@ -432,6 +919,12 @@ mod tests {
         // Attacker hacked meters and nobody fixed them.
         assert_eq!(result.true_buckets.len(), 24);
         assert!(*result.true_buckets.last().unwrap() > 0);
+        // No detector → no belief; no faults → no quarantine, and the one
+        // day has a health timeline row.
+        assert!(result.final_belief.is_none());
+        assert!(result.quarantine.is_none());
+        assert_eq!(result.day_health.len(), 1);
+        assert!(!result.day_health[0].degraded());
     }
 
     #[test]
@@ -450,5 +943,60 @@ mod tests {
         assert!(result.accuracy.accuracy().is_some());
         assert_eq!(result.true_buckets.len(), 24);
         assert!(result.observed_buckets.iter().all(|&o| o < config.buckets));
+        // The detector carries a belief over exactly the configured buckets.
+        let belief = result.final_belief.expect("detector keeps a belief");
+        assert_eq!(belief.len(), config.buckets);
+        assert!((belief.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supervised_run_steps_and_finishes() {
+        let mut scenario = PaperScenario::small(8, 41);
+        scenario.training_days = 3;
+        let config = run_config(None);
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "nms-supervised-smoke-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let mut run = SupervisedRun::new(&scenario, &config, 5, &path).unwrap();
+        assert_eq!(run.completed_days(), 0);
+        run.step_day().unwrap();
+        assert!(run.is_finished());
+        let result = run.finish().unwrap();
+        assert_eq!(result.realized_demand.len(), 24);
+        assert_eq!(result.day_health.len(), 1);
+
+        // Re-opening the finished journal replays rather than re-simulates.
+        let resumed = SupervisedRun::new(&scenario, &config, 5, &path).unwrap();
+        assert!(resumed.is_finished());
+        let replayed = resumed.finish().unwrap();
+        assert_eq!(replayed.realized_demand, result.realized_demand);
+        assert_eq!(replayed.true_buckets, result.true_buckets);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn supervised_run_rejects_foreign_journal() {
+        let mut scenario = PaperScenario::small(8, 41);
+        scenario.training_days = 3;
+        let config = run_config(None);
+        let mut path = std::env::temp_dir();
+        path.push(format!("nms-supervised-foreign-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut run = SupervisedRun::new(&scenario, &config, 5, &path).unwrap();
+        run.step_day().unwrap();
+        // A different seed must refuse the same journal.
+        match SupervisedRun::new(&scenario, &config, 6, &path) {
+            Err(SimError::Journal(JournalError::HeaderMismatch { detail })) => {
+                assert!(detail.contains("seed"), "{detail}");
+            }
+            Err(other) => panic!("expected HeaderMismatch, got {other:?}"),
+            Ok(_) => panic!("expected HeaderMismatch, got a resumed run"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

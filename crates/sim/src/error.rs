@@ -7,6 +7,8 @@ use nms_core::PredictPriceError;
 use nms_solver::SolverError;
 use nms_types::ValidateError;
 
+use crate::journal::JournalError;
+
 /// Why a simulation run failed.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -22,6 +24,9 @@ pub enum SimError {
         /// Human-readable detail.
         detail: String,
     },
+    /// The checkpoint journal failed (only reachable from the supervised
+    /// runner; `run_long_term_detection` never touches a journal).
+    Journal(JournalError),
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +36,7 @@ impl fmt::Display for SimError {
             Self::Prediction(err) => write!(f, "prediction failure: {err}"),
             Self::Config(err) => write!(f, "configuration failure: {err}"),
             Self::Telemetry { detail } => write!(f, "telemetry failure: {detail}"),
+            Self::Journal(err) => write!(f, "journal failure: {err}"),
         }
     }
 }
@@ -42,7 +48,14 @@ impl Error for SimError {
             Self::Prediction(err) => Some(err),
             Self::Config(err) => Some(err),
             Self::Telemetry { .. } => None,
+            Self::Journal(err) => Some(err),
         }
+    }
+}
+
+impl From<JournalError> for SimError {
+    fn from(err: JournalError) -> Self {
+        Self::Journal(err)
     }
 }
 

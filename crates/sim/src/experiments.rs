@@ -10,7 +10,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use nms_attack::{AttackTimeline, PriceAttack};
-use nms_core::{DetectionReport, DetectorMode, FrameworkConfig};
+use nms_core::{DetectionReport, DetectorMode, FrameworkConfig, QuarantineConfig, SanitizeConfig};
+use nms_types::{RetryPolicy, SolveBudget};
 
 use crate::{
     render_series, render_table, run_long_term_detection, LongTermRunConfig, Market, PaperScenario,
@@ -241,6 +242,10 @@ fn long_term_config(
         labor_per_fix: 10.0,
         labor_per_meter: 1.0,
         faults: None,
+        sanitize: SanitizeConfig::default(),
+        retry: RetryPolicy::default(),
+        budget: SolveBudget::unlimited(),
+        quarantine: QuarantineConfig::default(),
     }
 }
 

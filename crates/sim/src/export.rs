@@ -167,6 +167,69 @@ pub fn export_fault_tolerance<W: Write>(
     )
 }
 
+/// Exports a long-term run's per-day fault/degradation timeline: a
+/// `training` row for the calibration epoch, then one row per detection
+/// day with that day's fault counts, imputations, retries, fallbacks,
+/// budget breaches, and quarantine transitions.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn export_health_timeline<W: Write>(
+    mut writer: W,
+    result: &LongTermRunResult,
+) -> io::Result<()> {
+    writeln!(
+        writer,
+        "day,dropped,non_finite,garbage,stuck,skewed,unreported,slots_imputed,\
+         retries,fallbacks,budget_breaches,quarantine_trips,quarantine_recoveries,\
+         meters_quarantined"
+    )?;
+    let rows = std::iter::once(("training".to_string(), &result.training_health)).chain(
+        result
+            .day_health
+            .iter()
+            .map(|d| (d.day.to_string(), d)),
+    );
+    for (label, d) in rows {
+        writeln!(
+            writer,
+            "{label},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            d.faults.dropped,
+            d.faults.non_finite,
+            d.faults.garbage,
+            d.faults.stuck,
+            d.faults.skewed,
+            d.faults.unreported,
+            d.slots_imputed,
+            d.retries,
+            d.fallbacks,
+            d.budget_breaches,
+            d.quarantine_trips,
+            d.quarantine_recoveries,
+            d.meters_quarantined,
+        )?;
+    }
+    Ok(())
+}
+
+/// Exports a long-term run's quarantine breaker transitions: one row per
+/// trip/probation/re-trip/recovery event, in day then meter order.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn export_quarantine_events<W: Write>(
+    mut writer: W,
+    result: &LongTermRunResult,
+) -> io::Result<()> {
+    writeln!(writer, "day,meter,transition")?;
+    for event in &result.quarantine_events {
+        writeln!(writer, "{},{},{:?}", event.day, event.meter, event.transition)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +315,10 @@ mod tests {
             labor_per_fix: 10.0,
             labor_per_meter: 1.0,
             faults: None,
+            sanitize: Default::default(),
+            retry: Default::default(),
+            budget: nms_types::SolveBudget::unlimited(),
+            quarantine: Default::default(),
         };
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let result = run_long_term_detection(&scenario, &config, &mut rng).unwrap();
@@ -262,5 +329,63 @@ mod tests {
         assert_eq!(text.lines().count(), 25);
         // No detector: observed buckets are NaN in the CSV.
         assert!(text.contains("NaN"));
+
+        // The same run exports a health timeline: training row + 1 day.
+        let mut buffer = Vec::new();
+        export_health_timeline(&mut buffer, &result).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("day,dropped"));
+        assert!(lines[0].ends_with("meters_quarantined"));
+        assert!(lines[1].starts_with("training,"));
+        assert!(lines[2].starts_with("0,"));
+        assert_eq!(lines[1].split(',').count(), 14);
+
+        // No faults → no quarantine events, header only.
+        let mut buffer = Vec::new();
+        export_quarantine_events(&mut buffer, &result).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text, "day,meter,transition\n");
+    }
+
+    #[test]
+    fn quarantine_event_export_lists_transitions() {
+        use nms_core::{QuarantineEvent, QuarantineTransition};
+        use nms_types::DayHealth;
+
+        // Synthesize a minimal result; only the event/timeline fields
+        // matter to these writers.
+        let result = LongTermRunResult {
+            accuracy: nms_core::AccuracyTracker::new(),
+            labor: nms_core::LaborTracker::new(1.0, 1.0),
+            realized_demand: vec![1.0; 24],
+            par: 1.0,
+            true_buckets: vec![0; 24],
+            observed_buckets: Vec::new(),
+            fixes_at: Vec::new(),
+            health: nms_types::RunHealth::new(),
+            training_health: DayHealth::default(),
+            day_health: vec![DayHealth::default()],
+            quarantine_events: vec![
+                QuarantineEvent {
+                    day: 5,
+                    meter: 1,
+                    transition: QuarantineTransition::Tripped,
+                },
+                QuarantineEvent {
+                    day: 6,
+                    meter: 1,
+                    transition: QuarantineTransition::Probation,
+                },
+            ],
+            quarantine: None,
+            final_belief: None,
+        };
+        let mut buffer = Vec::new();
+        export_quarantine_events(&mut buffer, &result).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["day,meter,transition", "5,1,Tripped", "6,1,Probation"]);
     }
 }

@@ -20,7 +20,32 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use nms_smarthome::CommunitySchedule;
-use nms_types::{FaultCounts, FaultKind, TimeSeries, ValidateError};
+use nms_types::{FaultCounts, FaultKind, Horizon, TimeSeries, ValidateError};
+
+/// A scripted, deterministic outage: a contiguous block of meters that
+/// reports nothing for a range of days. Unlike the random per-day
+/// `report_rate`, an outage is *persistent* — the shape the quarantine
+/// breaker (see `nms-core::sanitize`) exists to catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeterOutage {
+    /// First affected meter index.
+    pub first_meter: usize,
+    /// Number of consecutive affected meters.
+    pub meters: usize,
+    /// First affected day (inclusive).
+    pub from_day: usize,
+    /// First unaffected day (exclusive; `until_day <= from_day` disables
+    /// the outage).
+    pub until_day: usize,
+}
+
+impl MeterOutage {
+    /// `true` when `meter` is out on `day`.
+    pub fn covers(&self, day: usize, meter: usize) -> bool {
+        (self.from_day..self.until_day).contains(&day)
+            && (self.first_meter..self.first_meter.saturating_add(self.meters)).contains(&meter)
+    }
+}
 
 /// A serializable, seeded plan for corrupting one run's meter telemetry.
 ///
@@ -46,6 +71,10 @@ pub struct FaultPlan {
     pub skew_rate: f64,
     /// Probability a meter reports at all on a given day.
     pub report_rate: f64,
+    /// Optional scripted persistent outage, on top of the random faults.
+    /// Absent in pre-outage serialized plans.
+    #[serde(default)]
+    pub outage: Option<MeterOutage>,
 }
 
 impl FaultPlan {
@@ -60,6 +89,7 @@ impl FaultPlan {
             stuck_rate: 0.0,
             skew_rate: 0.0,
             report_rate: 1.0,
+            outage: None,
         }
     }
 
@@ -76,6 +106,7 @@ impl FaultPlan {
             stuck_rate: rate / 2.0,
             skew_rate: rate / 4.0,
             report_rate: 1.0 - rate / 2.0,
+            outage: None,
         }
     }
 
@@ -87,6 +118,9 @@ impl FaultPlan {
             && self.stuck_rate == 0.0
             && self.skew_rate == 0.0
             && self.report_rate >= 1.0
+            && self
+                .outage
+                .is_none_or(|o| o.meters == 0 || o.until_day <= o.from_day)
     }
 
     /// Checks every rate is a probability and the garbage scale is usable.
@@ -144,6 +178,7 @@ impl FaultPlan {
             stuck_rate: rate(self.stuck_rate, 0.0),
             skew_rate: rate(self.skew_rate, 0.0),
             report_rate: rate(self.report_rate, 1.0),
+            outage: self.outage,
         }
     }
 
@@ -168,30 +203,108 @@ pub struct CorruptedDay {
     pub injected: FaultCounts,
 }
 
-/// Corrupts one day of per-meter telemetry and re-aggregates it into the
-/// community grid-demand series the detector will see.
+/// One day of corrupted telemetry kept at per-meter granularity, so the
+/// caller can judge individual meters (quarantine) before aggregating.
+///
+/// A `NaN` reading means the slot is unusable: dropped, NaN-corrupted, or
+/// from a meter that did not report at all that day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptedMeters {
+    horizon: Horizon,
+    readings: Vec<Vec<f64>>,
+    /// Tally of the faults actually injected (day-level faults count once
+    /// per meter, slot-level faults once per meter-slot).
+    pub injected: FaultCounts,
+}
+
+impl CorruptedMeters {
+    /// The day's scheduling horizon.
+    pub fn horizon(&self) -> Horizon {
+        self.horizon
+    }
+
+    /// Number of meters in the fleet.
+    pub fn fleet(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// One meter's slot readings for the day (`NaN` = missing/unusable).
+    pub fn meter_readings(&self, meter: usize) -> &[f64] {
+        &self.readings[meter]
+    }
+
+    /// Aggregates all meters into the community grid-demand series: per-slot
+    /// mean of the finite readings scaled to fleet size, clamped at zero,
+    /// NaN where nothing usable arrived.
+    pub fn aggregate(&self) -> TimeSeries<f64> {
+        self.aggregate_excluding(&[])
+    }
+
+    /// Aggregates like [`CorruptedMeters::aggregate`] but skips meters whose
+    /// `excluded` flag is set (e.g. quarantined by the circuit breaker).
+    /// Excluded meters still count toward the fleet-size scale factor — the
+    /// mean of the healthy meters stands in for their consumption. Indices
+    /// beyond `excluded.len()` are treated as not excluded.
+    pub fn aggregate_excluding(&self, excluded: &[bool]) -> TimeSeries<f64> {
+        let slots = self.horizon.slots();
+        let fleet = self.readings.len();
+        let mut sums = vec![0.0_f64; slots];
+        let mut counts = vec![0usize; slots];
+        for (meter_idx, meter) in self.readings.iter().enumerate() {
+            if excluded.get(meter_idx).copied().unwrap_or(false) {
+                continue;
+            }
+            for (h, &reading) in meter.iter().enumerate() {
+                if reading.is_finite() {
+                    sums[h] += reading;
+                    counts[h] += 1;
+                }
+            }
+        }
+        TimeSeries::from_fn(self.horizon, |h| {
+            if counts[h] == 0 {
+                f64::NAN
+            } else {
+                (sums[h] / counts[h] as f64 * fleet as f64).max(0.0)
+            }
+        })
+    }
+}
+
+/// Corrupts one day of per-meter telemetry, keeping per-meter granularity.
 ///
 /// Deterministic in `(plan.seed, day, meter index)`; the schedule's values
 /// never influence *which* faults fire, only the magnitudes of garbage
-/// readings.
+/// readings. Meters silenced by a scripted [`MeterOutage`] consume no
+/// random draws, so adding an outage does not reshuffle the random faults
+/// hitting other meters.
 ///
 /// The plan is clamped before any draw: rates outside `[0, 1]` are pulled
 /// to the nearest bound and non-finite rates inject nothing (a non-finite
 /// `report_rate` keeps every meter reporting), so a hand-built plan that
 /// would fail [`FaultPlan::validate`] degrades the injection rather than
 /// panicking. Call `validate` first to reject such plans outright.
-pub fn corrupt_day(plan: &FaultPlan, day: usize, schedule: &CommunitySchedule) -> CorruptedDay {
+pub fn corrupt_day_meters(
+    plan: &FaultPlan,
+    day: usize,
+    schedule: &CommunitySchedule,
+) -> CorruptedMeters {
     let plan = &plan.clamped();
     let horizon = schedule.horizon();
     let slots = horizon.slots();
     let meters = schedule.customer_schedules();
-    let fleet = meters.len();
 
     let mut injected = FaultCounts::default();
-    let mut sums = vec![0.0_f64; slots];
-    let mut counts = vec![0usize; slots];
+    let mut readings = vec![vec![f64::NAN; slots]; meters.len()];
 
     for (meter_idx, customer) in meters.iter().enumerate() {
+        if plan
+            .outage
+            .is_some_and(|outage| outage.covers(day, meter_idx))
+        {
+            injected.record(FaultKind::Unreported);
+            continue;
+        }
         let mut rng = plan.meter_stream(day, meter_idx);
         // Day-level draws, fixed order.
         let reported = rng.gen_bool(plan.report_rate);
@@ -226,7 +339,7 @@ pub fn corrupt_day(plan: &FaultPlan, day: usize, schedule: &CommunitySchedule) -
             } else {
                 trading[h]
             };
-            let reading = if nan {
+            readings[meter_idx][h] = if nan {
                 injected.record(FaultKind::NonFinite);
                 f64::NAN
             } else if garbage {
@@ -235,22 +348,28 @@ pub fn corrupt_day(plan: &FaultPlan, day: usize, schedule: &CommunitySchedule) -
             } else {
                 base
             };
-            if reading.is_finite() {
-                sums[h] += reading;
-                counts[h] += 1;
-            }
         }
     }
 
-    let observed = TimeSeries::from_fn(horizon, |h| {
-        if counts[h] == 0 {
-            f64::NAN
-        } else {
-            (sums[h] / counts[h] as f64 * fleet as f64).max(0.0)
-        }
-    });
+    CorruptedMeters {
+        horizon,
+        readings,
+        injected,
+    }
+}
 
-    CorruptedDay { observed, injected }
+/// Corrupts one day of per-meter telemetry and re-aggregates it into the
+/// community grid-demand series the detector will see.
+///
+/// Equivalent to [`corrupt_day_meters`] followed by
+/// [`CorruptedMeters::aggregate`]; kept for callers that never inspect
+/// individual meters.
+pub fn corrupt_day(plan: &FaultPlan, day: usize, schedule: &CommunitySchedule) -> CorruptedDay {
+    let per_meter = corrupt_day_meters(plan, day, schedule);
+    CorruptedDay {
+        observed: per_meter.aggregate(),
+        injected: per_meter.injected,
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +432,7 @@ mod tests {
             stuck_rate: 0.3,
             skew_rate: 0.3,
             report_rate: 0.7,
+            outage: None,
         };
         plan.validate().unwrap();
         let corrupted = corrupt_day(&plan, 1, &schedule);
@@ -346,6 +466,7 @@ mod tests {
             stuck_rate: 2.0,
             skew_rate: f64::NEG_INFINITY,
             report_rate: f64::NAN,
+            outage: None,
         };
         assert!(plan.validate().is_err());
         // drop_rate clamps to 1.0 and report_rate to 1.0: every meter
@@ -356,6 +477,102 @@ mod tests {
         assert_eq!(corrupted.injected.dropped, slots * meters);
         assert_eq!(corrupted.injected.unreported, 0);
         assert!(corrupted.observed.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn per_meter_view_matches_aggregate_wrapper() {
+        let schedule = realized_schedule();
+        let plan = FaultPlan::degraded(7, 0.15);
+        let per_meter = corrupt_day_meters(&plan, 3, &schedule);
+        let wrapped = corrupt_day(&plan, 3, &schedule);
+        assert_eq!(per_meter.injected, wrapped.injected);
+        assert_eq!(per_meter.fleet(), schedule.customer_schedules().len());
+        let aggregated = per_meter.aggregate();
+        for h in 0..schedule.horizon().slots() {
+            let (a, b) = (aggregated[h], wrapped.observed[h]);
+            assert!(a == b || (a.is_nan() && b.is_nan()), "slot {h}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scripted_outage_silences_exact_meters_without_reshuffling_others() {
+        let schedule = realized_schedule();
+        let fleet = schedule.customer_schedules().len();
+        let mut plan = FaultPlan::degraded(13, 0.1);
+        assert!(fleet >= 3, "small scenario should have at least 3 meters");
+        plan.outage = Some(MeterOutage {
+            first_meter: 1,
+            meters: 2,
+            from_day: 2,
+            until_day: 4,
+        });
+        let baseline = corrupt_day_meters(&FaultPlan { outage: None, ..plan }, 2, &schedule);
+        let outaged = corrupt_day_meters(&plan, 2, &schedule);
+        // Covered meters are fully silent.
+        for meter in 1..3 {
+            assert!(outaged.meter_readings(meter).iter().all(|v| v.is_nan()));
+        }
+        // Uncovered meters see the exact same random faults.
+        for meter in (0..fleet).filter(|m| !(1..3).contains(m)) {
+            let (a, b) = (baseline.meter_readings(meter), outaged.meter_readings(meter));
+            for (x, y) in a.iter().zip(b) {
+                assert!(x == y || (x.is_nan() && y.is_nan()));
+            }
+        }
+        // Outside the day range the outage does nothing.
+        let after = corrupt_day_meters(&plan, 4, &schedule);
+        let clean = corrupt_day_meters(&FaultPlan { outage: None, ..plan }, 4, &schedule);
+        assert_eq!(after.injected, clean.injected);
+        for meter in 0..fleet {
+            let (a, b) = (after.meter_readings(meter), clean.meter_readings(meter));
+            for (x, y) in a.iter().zip(b) {
+                assert!(x == y || (x.is_nan() && y.is_nan()));
+            }
+        }
+        assert!(!plan.is_noop());
+        let mut empty = FaultPlan::none(1);
+        empty.outage = Some(MeterOutage {
+            first_meter: 0,
+            meters: 0,
+            from_day: 0,
+            until_day: 10,
+        });
+        assert!(empty.is_noop());
+    }
+
+    #[test]
+    fn exclusion_drops_meters_but_keeps_fleet_scale() {
+        let schedule = realized_schedule();
+        let fleet = schedule.customer_schedules().len();
+        let per_meter = corrupt_day_meters(&FaultPlan::none(3), 0, &schedule);
+        let mut excluded = vec![false; fleet];
+        excluded[0] = true;
+        let with_exclusion = per_meter.aggregate_excluding(&excluded);
+        let slots = schedule.horizon().slots();
+        for h in 0..slots {
+            let others: Vec<f64> = (1..fleet)
+                .map(|m| per_meter.meter_readings(m)[h])
+                .collect();
+            let expected =
+                (others.iter().sum::<f64>() / others.len() as f64 * fleet as f64).max(0.0);
+            assert!(
+                (with_exclusion[h] - expected).abs() < 1e-9,
+                "slot {h}: {} vs {expected}",
+                with_exclusion[h]
+            );
+        }
+        // Excluding everything leaves nothing usable.
+        let all = per_meter.aggregate_excluding(&vec![true; fleet]);
+        assert!(all.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn fault_plan_without_outage_field_still_deserializes() {
+        let json = r#"{"seed":5,"drop_rate":0.1,"nan_rate":0.0,"garbage_rate":0.0,
+            "garbage_scale":100.0,"stuck_rate":0.0,"skew_rate":0.0,"report_rate":1.0}"#;
+        let plan: FaultPlan = serde_json::from_str(json).expect("legacy plan should load");
+        assert_eq!(plan.outage, None);
+        assert_eq!(plan.drop_rate, 0.1);
     }
 
     #[test]

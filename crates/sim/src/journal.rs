@@ -1,0 +1,577 @@
+//! Crash-safe run journal for long-horizon detection runs (tentpole 1 of
+//! the supervision layer).
+//!
+//! A [`RunJournal`] is an append-only JSONL file: the first line is a
+//! [`JournalHeader`] binding the journal to one `(seed, scenario, config)`
+//! triple, and every following line is one completed detection day's
+//! [`DayRecord`]. Each line carries an FNV-1a 64 hash of its body, so a
+//! torn write cannot masquerade as a valid record.
+//!
+//! Durability model:
+//!
+//! - every append rewrites the whole file to a `.tmp` sibling and renames
+//!   it into place, so the journal on disk is always a prefix of complete
+//!   days — a kill mid-write leaves either the old file or the new one;
+//! - on load, a truncated or hash-corrupt **final** line is dropped
+//!   silently (the day it described simply re-runs), while a corrupt
+//!   **interior** line is a typed [`JournalError::Corrupt`] — that file
+//!   has lost history and must not be resumed from;
+//! - a header that does not match the resuming run's seed, scenario, or
+//!   configuration is a typed [`JournalError::HeaderMismatch`].
+//!
+//! The journal stores *transcripts*, not model state: beliefs, compromise
+//! sets, tracker counters, and the rows rolled into the price history.
+//! Resume replays the deterministic training epoch from its seeded stream
+//! and then re-applies the transcripts, so no RNG state, SVR model, or
+//! POMDP policy ever needs to be serialized.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use nms_core::{MeterQuarantine, QuarantineEvent};
+use nms_types::{DayHealth, RunHealth};
+
+/// Journal format version; bump on incompatible record changes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Why reading or writing a journal failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// An interior record failed its hash or did not parse; the journal
+    /// has lost history and cannot be trusted.
+    Corrupt {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The header does not match the run trying to resume.
+    HeaderMismatch {
+        /// What differed.
+        detail: String,
+    },
+    /// Day records are not a contiguous `0..n` prefix.
+    Gap {
+        /// The day index the resume expected next.
+        expected: usize,
+        /// The day index the journal recorded.
+        found: usize,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "journal I/O failure: {err}"),
+            Self::Corrupt { line, detail } => {
+                write!(f, "journal corrupt at line {line}: {detail}")
+            }
+            Self::HeaderMismatch { detail } => {
+                write!(f, "journal belongs to a different run: {detail}")
+            }
+            Self::Gap { expected, found } => {
+                write!(f, "journal day records have a gap: expected day {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(err: io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+/// FNV-1a 64-bit hash — small, dependency-free, and stable across
+/// platforms, which is all a torn-write detector needs (this is an
+/// integrity check, not an authenticity check).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One line on disk: the record JSON as an opaque string plus its hash.
+/// Keeping the body as a string makes the hashed bytes exact and lets the
+/// loader distinguish "line is torn" from "record shape changed".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct JournalLine {
+    hash: String,
+    body: String,
+}
+
+impl JournalLine {
+    fn seal(body: String) -> Self {
+        Self {
+            hash: format!("{:016x}", fnv1a64(body.as_bytes())),
+            body,
+        }
+    }
+
+    fn verify(&self) -> Result<&str, String> {
+        let expected = format!("{:016x}", fnv1a64(self.body.as_bytes()));
+        if self.hash == expected {
+            Ok(&self.body)
+        } else {
+            Err(format!(
+                "integrity hash {} does not match body hash {expected}",
+                self.hash
+            ))
+        }
+    }
+}
+
+/// First line of every journal: identifies the run the file belongs to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Journal format version.
+    pub version: u32,
+    /// The supervised run's base seed.
+    pub seed: u64,
+    /// Detection days the run will simulate.
+    pub detection_days: usize,
+    /// Fleet size, for early shape checks.
+    pub fleet: usize,
+    /// Fingerprint of the scenario (FNV-1a of its debug form).
+    pub scenario_fingerprint: u64,
+    /// Fingerprint of the run configuration (FNV-1a of its debug form).
+    pub config_fingerprint: u64,
+}
+
+impl JournalHeader {
+    /// Checks that `self` (loaded from disk) matches the header the
+    /// resuming run would write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::HeaderMismatch`] naming the first field
+    /// that differs.
+    pub fn ensure_matches(&self, expected: &Self) -> Result<(), JournalError> {
+        let mismatch = |detail: String| Err(JournalError::HeaderMismatch { detail });
+        if self.version != expected.version {
+            return mismatch(format!(
+                "journal version {} vs supported {}",
+                self.version, expected.version
+            ));
+        }
+        if self.seed != expected.seed {
+            return mismatch(format!("seed {} vs {}", self.seed, expected.seed));
+        }
+        if self.detection_days != expected.detection_days {
+            return mismatch(format!(
+                "detection_days {} vs {}",
+                self.detection_days, expected.detection_days
+            ));
+        }
+        if self.fleet != expected.fleet {
+            return mismatch(format!("fleet {} vs {}", self.fleet, expected.fleet));
+        }
+        if self.scenario_fingerprint != expected.scenario_fingerprint {
+            return mismatch("scenario fingerprint differs".into());
+        }
+        if self.config_fingerprint != expected.config_fingerprint {
+            return mismatch("run configuration fingerprint differs".into());
+        }
+        Ok(())
+    }
+}
+
+/// One fix dispatch inside a day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixRecord {
+    /// Global detection slot of the dispatch.
+    pub slot: usize,
+    /// Meters actually repaired.
+    pub repaired: usize,
+}
+
+/// One (price, generation, demand) row rolled into the price history at
+/// the end of a day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistoryRow {
+    /// Cleared guideline price for the slot.
+    pub price: f64,
+    /// Community PV generation for the slot.
+    pub generation: f64,
+    /// Realized community consumption for the slot.
+    pub demand: f64,
+}
+
+/// Everything one completed detection day contributed to the run — enough
+/// to replay the day without re-simulating it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayRecord {
+    /// Day offset within the detection epoch (0-based, contiguous).
+    pub day: usize,
+    /// True hacked bucket per slot.
+    pub true_buckets: Vec<usize>,
+    /// Observed bucket per slot (empty without a detector).
+    pub observed_buckets: Vec<usize>,
+    /// Realized community grid demand per slot.
+    pub realized_demand: Vec<f64>,
+    /// Fix dispatches, in slot order.
+    pub fixes: Vec<FixRecord>,
+    /// Rows appended to the price history at day end.
+    pub history_rows: Vec<HistoryRow>,
+    /// Compromised meter indices at day end.
+    pub compromised: Vec<usize>,
+    /// POMDP belief at day end (`None` without a detector).
+    pub belief: Option<Vec<f64>>,
+    /// Cumulative degradation ledger after this day.
+    pub health: RunHealth,
+    /// This day's slice of the ledger plus the quarantine census.
+    pub day_health: DayHealth,
+    /// Quarantine tracker state at day end (`None` without fault
+    /// injection).
+    pub quarantine: Option<MeterQuarantine>,
+    /// Breaker transitions emitted this day.
+    pub events: Vec<QuarantineEvent>,
+}
+
+/// What [`RunJournal::load`] found on disk.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The header, when the first line was intact.
+    pub header: Option<JournalHeader>,
+    /// Every intact day record, in file order.
+    pub days: Vec<DayRecord>,
+    /// `true` when a torn/corrupt final line was dropped.
+    pub dropped_tail: bool,
+}
+
+/// The append-only on-disk journal of one supervised run.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    /// Sealed lines exactly as written (header first), so a rewrite
+    /// preserves prior records byte-for-byte.
+    lines: Vec<String>,
+}
+
+impl RunJournal {
+    /// Starts a fresh journal at `path`, truncating whatever was there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be written.
+    pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> Result<Self, JournalError> {
+        let body = serde_json::to_string(header)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        let line = serde_json::to_string(&JournalLine::seal(body))
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        let journal = Self {
+            path: path.as_ref().to_path_buf(),
+            lines: vec![line],
+        };
+        journal.flush()?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for appending, resuming after `days`
+    /// already-loaded records. Use [`RunJournal::load`] first to read and
+    /// verify the records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be read, or any
+    /// loader error from re-reading it.
+    pub fn reopen(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let content = fs::read_to_string(&path)?;
+        let mut lines = Vec::new();
+        let raw: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+        for (index, raw_line) in raw.iter().enumerate() {
+            if Self::verify_line(raw_line, index).is_ok() {
+                lines.push((*raw_line).to_string());
+            } else if index + 1 == raw.len() {
+                // Torn tail: drop it; the day re-runs.
+                break;
+            } else {
+                return Err(JournalError::Corrupt {
+                    line: index + 1,
+                    detail: "interior record failed verification".into(),
+                });
+            }
+        }
+        Ok(Self { path, lines })
+    }
+
+    fn verify_line(raw: &str, index: usize) -> Result<String, String> {
+        let line: JournalLine =
+            serde_json::from_str(raw).map_err(|err| format!("unparsable line: {err}"))?;
+        let body = line.verify()?;
+        // Shape-check the body so a sealed-but-wrong record is caught here.
+        if index == 0 {
+            serde_json::from_str::<JournalHeader>(body)
+                .map_err(|err| format!("bad header: {err}"))?;
+        } else {
+            serde_json::from_str::<DayRecord>(body)
+                .map_err(|err| format!("bad day record: {err}"))?;
+        }
+        Ok(body.to_string())
+    }
+
+    /// Reads and verifies a journal file.
+    ///
+    /// A torn or hash-corrupt **final** line is dropped (`dropped_tail`);
+    /// a missing file loads as an empty journal with no header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Corrupt`] for a bad interior line and
+    /// [`JournalError::Io`] for filesystem failures other than the file
+    /// not existing.
+    pub fn load(path: impl AsRef<Path>) -> Result<LoadedJournal, JournalError> {
+        let content = match fs::read_to_string(path.as_ref()) {
+            Ok(content) => content,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => {
+                return Ok(LoadedJournal {
+                    header: None,
+                    days: Vec::new(),
+                    dropped_tail: false,
+                });
+            }
+            Err(err) => return Err(err.into()),
+        };
+        let raw: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut header = None;
+        let mut days = Vec::new();
+        let mut dropped_tail = false;
+        for (index, raw_line) in raw.iter().enumerate() {
+            match Self::verify_line(raw_line, index) {
+                Ok(body) => {
+                    if index == 0 {
+                        header = Some(serde_json::from_str::<JournalHeader>(&body).map_err(
+                            |err| JournalError::Corrupt {
+                                line: 1,
+                                detail: err.to_string(),
+                            },
+                        )?);
+                    } else {
+                        days.push(serde_json::from_str::<DayRecord>(&body).map_err(|err| {
+                            JournalError::Corrupt {
+                                line: index + 1,
+                                detail: err.to_string(),
+                            }
+                        })?);
+                    }
+                }
+                Err(detail) => {
+                    if index + 1 == raw.len() {
+                        dropped_tail = true;
+                        break;
+                    }
+                    return Err(JournalError::Corrupt {
+                        line: index + 1,
+                        detail,
+                    });
+                }
+            }
+        }
+        Ok(LoadedJournal {
+            header,
+            days,
+            dropped_tail,
+        })
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Days currently persisted (excluding the header).
+    pub fn days_recorded(&self) -> usize {
+        self.lines.len().saturating_sub(1)
+    }
+
+    /// Appends one completed day and atomically persists the journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the rewrite fails; the previous
+    /// on-disk journal is left intact in that case.
+    pub fn append_day(&mut self, record: &DayRecord) -> Result<(), JournalError> {
+        let body = serde_json::to_string(record)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        let line = serde_json::to_string(&JournalLine::seal(body))
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        self.lines.push(line);
+        match self.flush() {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                self.lines.pop();
+                Err(err)
+            }
+        }
+    }
+
+    /// Atomic full rewrite: write a `.tmp` sibling, then rename over the
+    /// journal. O(days²) across a run, which is irrelevant at the run
+    /// lengths this simulates and buys a torn-write-free file.
+    fn flush(&self) -> Result<(), JournalError> {
+        let tmp = self.path.with_extension("jsonl.tmp");
+        let mut content = self.lines.join("\n");
+        content.push('\n');
+        fs::write(&tmp, content)?;
+        fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            seed: 7,
+            detection_days: 3,
+            fleet: 10,
+            scenario_fingerprint: 1,
+            config_fingerprint: 2,
+        }
+    }
+
+    fn day(day: usize) -> DayRecord {
+        DayRecord {
+            day,
+            true_buckets: vec![0, 1],
+            observed_buckets: vec![0, 0],
+            realized_demand: vec![1.5, 2.5],
+            fixes: vec![FixRecord {
+                slot: day * 2,
+                repaired: 1,
+            }],
+            history_rows: vec![HistoryRow {
+                price: 10.0,
+                generation: 0.5,
+                demand: 2.0,
+            }],
+            compromised: vec![3],
+            belief: Some(vec![0.25, 0.75]),
+            health: RunHealth::new(),
+            day_health: DayHealth::default(),
+            quarantine: None,
+            events: Vec::new(),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("nms-journal-test-{}-{name}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let path = temp_path("roundtrip");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        journal.append_day(&day(0)).unwrap();
+        journal.append_day(&day(1)).unwrap();
+        assert_eq!(journal.days_recorded(), 2);
+
+        let loaded = RunJournal::load(&path).unwrap();
+        assert_eq!(loaded.header.unwrap(), header());
+        assert_eq!(loaded.days, vec![day(0), day(1)]);
+        assert!(!loaded.dropped_tail);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_not_fatal() {
+        let path = temp_path("truncated");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        journal.append_day(&day(0)).unwrap();
+        journal.append_day(&day(1)).unwrap();
+        // Tear the last line mid-record, as a crash mid-write would.
+        let content = fs::read_to_string(&path).unwrap();
+        let torn = &content[..content.len() - 25];
+        fs::write(&path, torn).unwrap();
+
+        let loaded = RunJournal::load(&path).unwrap();
+        assert!(loaded.dropped_tail);
+        assert_eq!(loaded.days, vec![day(0)]);
+
+        // Reopen for append drops the same tail and keeps appending.
+        let mut reopened = RunJournal::reopen(&path).unwrap();
+        assert_eq!(reopened.days_recorded(), 1);
+        reopened.append_day(&day(1)).unwrap();
+        let reloaded = RunJournal::load(&path).unwrap();
+        assert_eq!(reloaded.days.len(), 2);
+        assert!(!reloaded.dropped_tail);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_a_typed_error() {
+        let path = temp_path("interior");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        journal.append_day(&day(0)).unwrap();
+        journal.append_day(&day(1)).unwrap();
+        // Flip bytes inside the *first day* line (line 2 of 3).
+        let content = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = content.lines().map(str::to_string).collect();
+        lines[1] = lines[1].replace("true_buckets", "drue_buckets");
+        fs::write(&path, lines.join("\n")).unwrap();
+
+        match RunJournal::load(&path) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(RunJournal::reopen(&path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_mismatch_is_detected() {
+        let good = header();
+        let mut stale = header();
+        stale.seed = 8;
+        match stale.ensure_matches(&good) {
+            Err(JournalError::HeaderMismatch { detail }) => {
+                assert!(detail.contains("seed"), "{detail}");
+            }
+            other => panic!("expected HeaderMismatch, got {other:?}"),
+        }
+        assert!(good.ensure_matches(&header()).is_ok());
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let path = temp_path("missing");
+        let loaded = RunJournal::load(&path).unwrap();
+        assert!(loaded.header.is_none());
+        assert!(loaded.days.is_empty());
+        assert!(!loaded.dropped_tail);
+    }
+}

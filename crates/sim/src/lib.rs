@@ -40,6 +40,7 @@ mod error;
 pub mod experiments;
 mod faults;
 pub mod export;
+pub mod journal;
 mod market;
 mod report;
 mod scenario;
@@ -47,9 +48,14 @@ pub mod sweeps;
 mod weather;
 
 pub use calibrate::DetectorCalibration;
-pub use detection::{run_long_term_detection, LongTermRunConfig, LongTermRunResult};
+pub use detection::{
+    run_long_term_detection, run_long_term_supervised, LongTermRunConfig, LongTermRunResult,
+    SupervisedRun,
+};
 pub use error::SimError;
-pub use faults::{corrupt_day, CorruptedDay, FaultPlan};
+pub use faults::{
+    corrupt_day, corrupt_day_meters, CorruptedDay, CorruptedMeters, FaultPlan, MeterOutage,
+};
 pub use market::{DayOutcome, Market};
 pub use report::{render_series, render_table};
 pub use scenario::{CommunityGenerator, PaperScenario};

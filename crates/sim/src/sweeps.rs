@@ -10,8 +10,9 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use nms_attack::PriceAttack;
-use nms_core::{DetectorMode, FrameworkConfig};
+use nms_core::{DetectorMode, FrameworkConfig, QuarantineConfig, SanitizeConfig};
 use nms_pricing::NetMeteringTariff;
+use nms_types::{RetryPolicy, SolveBudget};
 
 use crate::experiments::paper_timeline;
 use crate::{
@@ -189,6 +190,10 @@ pub fn sweep_fault_tolerance(
                 labor_per_fix: 10.0,
                 labor_per_meter: 1.0,
                 faults: plan,
+                sanitize: SanitizeConfig::default(),
+                retry: RetryPolicy::default(),
+                budget: SolveBudget::unlimited(),
+                quarantine: QuarantineConfig::default(),
             };
             let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xfa_417);
             run_long_term_detection(scenario, &config, &mut rng)

@@ -8,7 +8,7 @@
 
 use nms_pricing::CostModel;
 use nms_smarthome::Battery;
-use nms_types::{Kwh, TimeSeries};
+use nms_types::{BudgetClock, Kwh, TimeSeries};
 use rand::Rng;
 
 use crate::{CeSolution, CrossEntropyOptimizer, SolverError};
@@ -166,6 +166,23 @@ pub fn try_optimize_battery(
     warm_start: Option<&[f64]>,
     rng: &mut impl Rng,
 ) -> Result<(Vec<Kwh>, CeSolution), SolverError> {
+    try_optimize_battery_budgeted(problem, optimizer, warm_start, rng, None)
+}
+
+/// Like [`try_optimize_battery`], but the cross-entropy loop is watched by
+/// an optional running [`BudgetClock`]; a breach surfaces via
+/// [`CeSolution::budget_breached`] with the best point sampled so far.
+///
+/// # Errors
+///
+/// Same as [`try_optimize_battery`].
+pub fn try_optimize_battery_budgeted(
+    problem: &BatteryProblem<'_>,
+    optimizer: &CrossEntropyOptimizer,
+    warm_start: Option<&[f64]>,
+    rng: &mut impl Rng,
+    clock: Option<&BudgetClock>,
+) -> Result<(Vec<Kwh>, CeSolution), SolverError> {
     if !problem.battery().is_usable() {
         let interior = problem.idle_interior();
         let solution = CeSolution {
@@ -173,6 +190,7 @@ pub fn try_optimize_battery(
             point: interior.clone(),
             iterations: 0,
             converged: true,
+            budget_breached: false,
         };
         return Ok((problem.full_trajectory(&interior), solution));
     }
@@ -193,7 +211,8 @@ pub fn try_optimize_battery(
         }
         None => problem.idle_interior(),
     };
-    let mut solution = optimizer.try_minimize(|x| problem.objective(x), &bounds, &init, rng)?;
+    let mut solution =
+        optimizer.try_minimize_budgeted(|x| problem.objective(x), &bounds, &init, rng, clock)?;
     // Never return something worse than the warm start or doing nothing.
     for candidate in [
         Some(init),

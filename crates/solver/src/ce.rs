@@ -11,7 +11,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use nms_types::ValidateError;
+use nms_types::{BudgetClock, ValidateError};
 
 use crate::SolverError;
 
@@ -115,6 +115,10 @@ pub struct CeSolution {
     /// `true` when the std-collapse criterion triggered before
     /// `max_iters`.
     pub converged: bool,
+    /// `true` when a watchdog [`SolveBudget`](nms_types::SolveBudget)
+    /// stopped the run before its own limits did. The solution still holds
+    /// the best point sampled so far.
+    pub budget_breached: bool,
 }
 
 /// Minimizes black-box objectives over axis-aligned boxes with the
@@ -179,10 +183,32 @@ impl CrossEntropyOptimizer {
     /// objective returns NaN for a feasible point.
     pub fn try_minimize(
         &self,
+        objective: impl FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        init_mean: &[f64],
+        rng: &mut impl Rng,
+    ) -> Result<CeSolution, SolverError> {
+        self.try_minimize_budgeted(objective, bounds, init_mean, rng, None)
+    }
+
+    /// Like [`CrossEntropyOptimizer::try_minimize`], but additionally
+    /// checked against a running watchdog [`BudgetClock`] at every
+    /// iteration boundary. A breach stops the run cleanly: the best point
+    /// sampled so far is returned with
+    /// [`CeSolution::budget_breached`] set, so the caller can record the
+    /// breach and descend its fallback chain without losing progress.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CrossEntropyOptimizer::try_minimize`]; a budget breach is
+    /// not an error.
+    pub fn try_minimize_budgeted(
+        &self,
         mut objective: impl FnMut(&[f64]) -> f64,
         bounds: &[(f64, f64)],
         init_mean: &[f64],
         rng: &mut impl Rng,
+        clock: Option<&BudgetClock>,
     ) -> Result<CeSolution, SolverError> {
         if bounds.len() != init_mean.len() {
             return Err(SolverError::Numeric {
@@ -200,6 +226,7 @@ impl CrossEntropyOptimizer {
                 objective: objective(&[]),
                 iterations: 0,
                 converged: true,
+                budget_breached: false,
             });
         }
         for (d, &(lo, hi)) in bounds.iter().enumerate() {
@@ -239,8 +266,15 @@ impl CrossEntropyOptimizer {
         let mut samples: Vec<(f64, Vec<f64>)> = Vec::with_capacity(self.config.samples);
         let mut iterations = 0;
         let mut converged = false;
+        let mut budget_breached = false;
 
         for _ in 0..self.config.max_iters {
+            if let Some(clock) = clock {
+                if clock.breach(iterations).is_some() {
+                    budget_breached = true;
+                    break;
+                }
+            }
             iterations += 1;
             samples.clear();
             for _ in 0..self.config.samples {
@@ -297,6 +331,7 @@ impl CrossEntropyOptimizer {
             objective: best_value,
             iterations,
             converged,
+            budget_breached,
         })
     }
 }
@@ -429,6 +464,55 @@ mod tests {
         let a = few.minimize(objective, &bounds, &[0.9], &mut rng(11));
         let b = many.minimize(objective, &bounds, &[0.9], &mut rng(11));
         assert!(b.objective <= a.objective + 1e-15);
+    }
+
+    #[test]
+    fn budget_clock_stops_iterations_cleanly() {
+        use nms_types::SolveBudget;
+        let optimizer = CrossEntropyOptimizer::new(CeConfig {
+            max_iters: 50,
+            std_tol_fraction: 0.0,
+            ..CeConfig::default()
+        });
+        let clock = SolveBudget {
+            max_iterations: Some(3),
+            max_wall_secs: None,
+        }
+        .start();
+        let solution = optimizer
+            .try_minimize_budgeted(
+                |x| (x[0] - 0.5).powi(2),
+                &[(0.0, 1.0)],
+                &[0.9],
+                &mut rng(7),
+                Some(&clock),
+            )
+            .unwrap();
+        assert!(solution.budget_breached);
+        assert!(!solution.converged);
+        assert_eq!(solution.iterations, 3);
+        // The best-so-far point is still inside the box and usable.
+        assert!((0.0..=1.0).contains(&solution.point[0]));
+
+        // An expired wall clock stops before the first iteration.
+        let clock = SolveBudget {
+            max_iterations: None,
+            max_wall_secs: Some(1e-12),
+        }
+        .start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let solution = optimizer
+            .try_minimize_budgeted(
+                |x| (x[0] - 0.5).powi(2),
+                &[(0.0, 1.0)],
+                &[0.9],
+                &mut rng(7),
+                Some(&clock),
+            )
+            .unwrap();
+        assert!(solution.budget_breached);
+        assert_eq!(solution.iterations, 0);
+        assert_eq!(solution.point, vec![0.9]);
     }
 
     #[test]

@@ -48,7 +48,8 @@ mod response;
 mod retry;
 
 pub use battery::{
-    coordinate_descent_battery, optimize_battery, try_optimize_battery, BatteryProblem,
+    coordinate_descent_battery, optimize_battery, try_optimize_battery,
+    try_optimize_battery_budgeted, BatteryProblem,
 };
 pub use ce::{CeConfig, CeSolution, CrossEntropyOptimizer};
 pub use dp::DpScheduler;

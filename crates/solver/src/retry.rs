@@ -21,9 +21,9 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use nms_types::{FallbackRecord, Kwh, RetryPolicy};
+use nms_types::{FallbackRecord, Kwh, RetryPolicy, SolveBudget};
 
-use crate::battery::try_optimize_battery;
+use crate::battery::try_optimize_battery_budgeted;
 use crate::{
     coordinate_descent_battery, BatteryProblem, CeConfig, CeSolution, CrossEntropyOptimizer,
     SolverError,
@@ -70,30 +70,46 @@ pub struct RobustBatteryOutcome {
     pub stage: BatterySolveStage,
     /// Extra cross-entropy attempts consumed beyond the first.
     pub retries: usize,
+    /// `true` when the watchdog [`SolveBudget`] stopped the cross-entropy
+    /// stage early (recorded as `BudgetExceeded` in the fallback reason and
+    /// counted by the caller's `RunHealth::budget_breaches`).
+    pub budget_breached: bool,
     /// The fallback taken, when the chain descended past cross-entropy.
     pub fallback: Option<FallbackRecord>,
 }
 
 /// Runs the cross-entropy → coordinate-descent → pass-through chain on a
-/// battery subproblem. Deterministic given `seed` and the policy.
+/// battery subproblem. Deterministic given `seed` and the policy (and a
+/// budget without a wall-clock deadline).
+///
+/// The watchdog `budget` spans the whole cross-entropy stage: the
+/// wall-clock deadline covers all retry attempts together, while the
+/// iteration cap bounds each attempt. A breach abandons the stage
+/// immediately — no further retries, since the budget is already spent —
+/// and the chain descends to coordinate descent, keeping the best iterate
+/// found so far as a candidate.
 ///
 /// # Errors
 ///
-/// Returns [`SolverError::Config`] when the policy or the CE configuration
-/// is invalid. Solver-stage failures do *not* error — they descend the
-/// chain.
+/// Returns [`SolverError::Config`] when the policy, budget, or CE
+/// configuration is invalid. Solver-stage failures do *not* error — they
+/// descend the chain.
 pub fn solve_battery_robust(
     problem: &BatteryProblem<'_>,
     base: &CeConfig,
     policy: &RetryPolicy,
+    budget: &SolveBudget,
     warm_start: Option<&[f64]>,
     seed: u64,
 ) -> Result<RobustBatteryOutcome, SolverError> {
     policy.validate()?;
     base.validate()?;
+    budget.validate()?;
 
+    let clock = budget.start();
     let mut best_ce: Option<CeSolution> = None;
     let mut retries = 0;
+    let mut budget_breached = false;
     let mut abandon_reason = String::new();
     for attempt in 0..policy.max_attempts {
         if attempt > 0 {
@@ -105,7 +121,8 @@ pub fn solve_battery_robust(
         };
         let optimizer = CrossEntropyOptimizer::new(config);
         let mut rng = ChaCha8Rng::seed_from_u64(policy.reseed(seed, attempt));
-        match try_optimize_battery(problem, &optimizer, warm_start, &mut rng) {
+        match try_optimize_battery_budgeted(problem, &optimizer, warm_start, &mut rng, Some(&clock))
+        {
             Ok((trajectory, solution)) if solution.converged => {
                 let objective = solution.objective;
                 return Ok(RobustBatteryOutcome {
@@ -113,20 +130,36 @@ pub fn solve_battery_robust(
                     objective,
                     stage: BatterySolveStage::CrossEntropy,
                     retries,
+                    budget_breached,
                     fallback: None,
                 });
             }
             Ok((_, solution)) => {
-                abandon_reason = format!(
-                    "did not converge within {} iterations over {} attempt(s)",
-                    config.max_iters,
-                    attempt + 1
-                );
+                let breached = solution.budget_breached;
+                abandon_reason = if breached {
+                    format!(
+                        "BudgetExceeded: {}",
+                        clock
+                            .breach(solution.iterations)
+                            .unwrap_or_else(|| "watchdog budget exhausted".into())
+                    )
+                } else {
+                    format!(
+                        "did not converge within {} iterations over {} attempt(s)",
+                        config.max_iters,
+                        attempt + 1
+                    )
+                };
                 let better = best_ce
                     .as_ref()
                     .is_none_or(|best| solution.objective < best.objective);
                 if better {
                     best_ce = Some(solution);
+                }
+                if breached {
+                    // The budget is spent; retrying would breach again.
+                    budget_breached = true;
+                    break;
                 }
             }
             Err(err) => abandon_reason = err.to_string(),
@@ -162,6 +195,7 @@ pub fn solve_battery_robust(
             objective,
             stage,
             retries,
+            budget_breached,
             fallback: Some(FallbackRecord::new(
                 "battery-optimizer",
                 BatterySolveStage::CrossEntropy.label(),
@@ -181,6 +215,7 @@ pub fn solve_battery_robust(
         objective,
         stage: BatterySolveStage::PassThrough,
         retries,
+        budget_breached,
         fallback: Some(FallbackRecord::new(
             "battery-optimizer",
             BatterySolveStage::CoordinateDescent.label(),
@@ -246,6 +281,7 @@ mod tests {
             &problem,
             &CeConfig::default(),
             &RetryPolicy::default(),
+            &SolveBudget::unlimited(),
             None,
             7,
         )
@@ -272,7 +308,9 @@ mod tests {
             iteration_growth: 1.0,
             reseed_stride: 1,
         };
-        let outcome = solve_battery_robust(&problem, &strangled, &policy, None, 7).unwrap();
+        let outcome =
+            solve_battery_robust(&problem, &strangled, &policy, &SolveBudget::unlimited(), None, 7)
+                .unwrap();
         assert_eq!(outcome.stage, BatterySolveStage::CoordinateDescent);
         assert_eq!(outcome.retries, 1);
         let record = outcome.fallback.as_ref().expect("fallback recorded");
@@ -288,7 +326,7 @@ mod tests {
         });
         let mut rng = ChaCha8Rng::seed_from_u64(policy.reseed(7, 0));
         let (_, ce_iterate) =
-            try_optimize_battery(&problem, &optimizer, None, &mut rng).unwrap();
+            try_optimize_battery_budgeted(&problem, &optimizer, None, &mut rng, None).unwrap();
         assert!(
             outcome.objective <= ce_iterate.objective + 1e-12,
             "fallback {} vs CE iterate {}",
@@ -316,6 +354,7 @@ mod tests {
             &problem,
             &CeConfig::fast(),
             &RetryPolicy::default(),
+            &SolveBudget::unlimited(),
             None,
             3,
         )
@@ -331,6 +370,53 @@ mod tests {
     }
 
     #[test]
+    fn budget_breach_abandons_retries_and_descends_the_chain() {
+        let fixture = Fixture::arbitrage();
+        let problem = fixture.problem();
+        // CE cannot converge (unreachable tolerance) and the watchdog
+        // allows a single iteration, so the first attempt breaches and the
+        // remaining retries are skipped.
+        let strangled = CeConfig {
+            max_iters: 10,
+            std_tol_fraction: 0.0,
+            ..CeConfig::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            iteration_growth: 2.0,
+            reseed_stride: 1,
+        };
+        let budget = SolveBudget {
+            max_iterations: Some(1),
+            max_wall_secs: None,
+        };
+        let outcome =
+            solve_battery_robust(&problem, &strangled, &policy, &budget, None, 7).unwrap();
+        assert!(outcome.budget_breached);
+        assert_eq!(outcome.retries, 0, "breach must stop further attempts");
+        let record = outcome.fallback.as_ref().expect("fallback recorded");
+        assert!(
+            record.reason.starts_with("BudgetExceeded"),
+            "reason: {}",
+            record.reason
+        );
+        fixture
+            .battery
+            .validate_trajectory(&outcome.trajectory)
+            .unwrap();
+
+        // An invalid budget is a config error, like an invalid policy.
+        let bad = SolveBudget {
+            max_iterations: Some(0),
+            max_wall_secs: None,
+        };
+        assert!(matches!(
+            solve_battery_robust(&problem, &strangled, &policy, &bad, None, 7),
+            Err(SolverError::Config(_))
+        ));
+    }
+
+    #[test]
     fn invalid_policy_is_a_config_error() {
         let fixture = Fixture::arbitrage();
         let problem = fixture.problem();
@@ -340,7 +426,7 @@ mod tests {
             reseed_stride: 1,
         };
         assert!(matches!(
-            solve_battery_robust(&problem, &CeConfig::fast(), &bad, None, 1),
+            solve_battery_robust(&problem, &CeConfig::fast(), &bad, &SolveBudget::unlimited(), None, 1),
             Err(SolverError::Config(_))
         ));
     }
@@ -354,6 +440,7 @@ mod tests {
                 &problem,
                 &CeConfig::fast(),
                 &RetryPolicy::default(),
+                &SolveBudget::unlimited(),
                 None,
                 11,
             )

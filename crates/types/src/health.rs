@@ -170,6 +170,161 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Watchdog budget for an iterative solve or training attempt.
+///
+/// A wedged solver must not stall a multi-week monitoring run: the budget
+/// caps both the iteration count and the wall-clock time of one attempt.
+/// Either limit may be absent (`None` = unlimited, the default, which is
+/// also the only fully deterministic setting — a wall-clock deadline makes
+/// the breach point machine-dependent, so journaled runs that must resume
+/// bit-identically should prefer `max_iterations`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolveBudget {
+    /// Hard cap on iterations (CE iterations, SMO passes) across one
+    /// attempt; `None` leaves the component's own limit in charge.
+    pub max_iterations: Option<usize>,
+    /// Wall-clock deadline in seconds for the whole solve (all retry
+    /// attempts together); `None` disables the deadline.
+    pub max_wall_secs: Option<f64>,
+}
+
+impl SolveBudget {
+    /// No limits: components run to their own configured bounds.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Checks the budget is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] for a zero iteration cap or a non-positive
+    /// or non-finite deadline.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.max_iterations == Some(0) {
+            return Err(ValidateError::new(
+                "solve budget iteration cap must be at least 1",
+            ));
+        }
+        if let Some(secs) = self.max_wall_secs {
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err(ValidateError::new(format!(
+                    "solve budget deadline must be finite and positive, got {secs}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_iterations.is_none() && self.max_wall_secs.is_none()
+    }
+
+    /// Starts the wall clock for one solve; iterations are reported to the
+    /// returned [`BudgetClock`] as they complete.
+    pub fn start(&self) -> BudgetClock {
+        BudgetClock {
+            budget: *self,
+            started: std::time::Instant::now(),
+        }
+    }
+}
+
+/// A running [`SolveBudget`]: the deadline anchor plus the limits.
+///
+/// Not serializable by design — a clock is only meaningful within the
+/// process that started it.
+#[derive(Debug, Clone)]
+pub struct BudgetClock {
+    budget: SolveBudget,
+    started: std::time::Instant,
+}
+
+impl BudgetClock {
+    /// Returns the breach description if `iterations_done` or the elapsed
+    /// wall clock has exhausted the budget, `None` while within it.
+    pub fn breach(&self, iterations_done: usize) -> Option<String> {
+        if let Some(cap) = self.budget.max_iterations {
+            if iterations_done >= cap {
+                return Some(format!("iteration budget exhausted ({cap})"));
+            }
+        }
+        if let Some(secs) = self.budget.max_wall_secs {
+            let elapsed = self.started.elapsed().as_secs_f64();
+            if elapsed >= secs {
+                return Some(format!(
+                    "wall-clock budget exhausted ({elapsed:.3}s elapsed, {secs}s allowed)"
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// One detection day's slice of the health ledger — the per-day timeline
+/// row exported alongside run totals so degradation can be localized in
+/// time, not just counted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DayHealth {
+    /// Zero-based detection-day offset.
+    pub day: usize,
+    /// Telemetry faults injected this day.
+    pub faults: FaultCounts,
+    /// Slots the sanitizer imputed this day.
+    pub slots_imputed: usize,
+    /// Retry attempts consumed this day.
+    pub retries: usize,
+    /// Component fallbacks taken this day.
+    pub fallbacks: usize,
+    /// Watchdog budget breaches this day.
+    pub budget_breaches: usize,
+    /// Meters whose quarantine breaker tripped open this day.
+    pub quarantine_trips: usize,
+    /// Meters whose quarantine breaker closed (recovered) this day.
+    pub quarantine_recoveries: usize,
+    /// Meters excluded from the aggregate (breaker open) at end of day.
+    pub meters_quarantined: usize,
+}
+
+impl DayHealth {
+    /// Builds the day-`day` row from cumulative ledgers snapshotted before
+    /// and after the day, plus the end-of-day quarantined-meter count.
+    pub fn delta(day: usize, before: &RunHealth, after: &RunHealth, meters_quarantined: usize) -> Self {
+        let mut faults = after.faults_injected;
+        let b = &before.faults_injected;
+        faults.dropped -= b.dropped;
+        faults.non_finite -= b.non_finite;
+        faults.garbage -= b.garbage;
+        faults.stuck -= b.stuck;
+        faults.skewed -= b.skewed;
+        faults.unreported -= b.unreported;
+        Self {
+            day,
+            faults,
+            slots_imputed: after.slots_imputed - before.slots_imputed,
+            retries: after.retries_consumed - before.retries_consumed,
+            fallbacks: after.fallbacks.len() - before.fallbacks.len(),
+            budget_breaches: after.budget_breaches - before.budget_breaches,
+            quarantine_trips: after.quarantine_trips - before.quarantine_trips,
+            quarantine_recoveries: after.quarantine_recoveries - before.quarantine_recoveries,
+            meters_quarantined,
+        }
+    }
+
+    /// `true` when anything degraded during this day.
+    pub fn degraded(&self) -> bool {
+        self.faults.total() > 0
+            || self.slots_imputed > 0
+            || self.retries > 0
+            || self.fallbacks > 0
+            || self.budget_breaches > 0
+            || self.quarantine_trips > 0
+            || self.quarantine_recoveries > 0
+            || self.meters_quarantined > 0
+    }
+}
+
 /// Health ledger of one pipeline run: what was corrupted, what was
 /// reconstructed, and which components had to degrade.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -187,6 +342,18 @@ pub struct RunHealth {
     pub retries_consumed: usize,
     /// Every component fallback taken, in order.
     pub fallbacks: Vec<FallbackRecord>,
+    /// Watchdog [`SolveBudget`] breaches (solves aborted by the deadline or
+    /// iteration cap). Absent in pre-budget serialized ledgers.
+    #[serde(default)]
+    pub budget_breaches: usize,
+    /// Per-meter quarantine breakers tripped open. Absent in pre-quarantine
+    /// serialized ledgers.
+    #[serde(default)]
+    pub quarantine_trips: usize,
+    /// Per-meter quarantine breakers closed again after probation. Absent
+    /// in pre-quarantine serialized ledgers.
+    #[serde(default)]
+    pub quarantine_recoveries: usize,
 }
 
 impl RunHealth {
@@ -202,6 +369,9 @@ impl RunHealth {
             || self.slots_imputed > 0
             || self.retries_consumed > 0
             || !self.fallbacks.is_empty()
+            || self.budget_breaches > 0
+            || self.quarantine_trips > 0
+            || self.quarantine_recoveries > 0
     }
 
     /// Records a component fallback.
@@ -214,6 +384,11 @@ impl RunHealth {
         self.retries_consumed += count;
     }
 
+    /// Records `count` watchdog budget breaches.
+    pub fn record_budget_breaches(&mut self, count: usize) {
+        self.budget_breaches += count;
+    }
+
     /// Folds another ledger into this one.
     pub fn merge(&mut self, other: &RunHealth) {
         self.faults_injected.merge(&other.faults_injected);
@@ -221,6 +396,9 @@ impl RunHealth {
         self.slots_imputed += other.slots_imputed;
         self.retries_consumed += other.retries_consumed;
         self.fallbacks.extend(other.fallbacks.iter().cloned());
+        self.budget_breaches += other.budget_breaches;
+        self.quarantine_trips += other.quarantine_trips;
+        self.quarantine_recoveries += other.quarantine_recoveries;
     }
 }
 
@@ -285,6 +463,89 @@ mod tests {
         assert_ne!(first, 42);
         assert_ne!(first, second);
         assert_eq!(first, policy.reseed(42, 1));
+    }
+
+    #[test]
+    fn solve_budget_validation_and_breach() {
+        assert!(SolveBudget::unlimited().validate().is_ok());
+        assert!(SolveBudget::unlimited().is_unlimited());
+        assert!(SolveBudget {
+            max_iterations: Some(0),
+            max_wall_secs: None,
+        }
+        .validate()
+        .is_err());
+        assert!(SolveBudget {
+            max_iterations: None,
+            max_wall_secs: Some(0.0),
+        }
+        .validate()
+        .is_err());
+        assert!(SolveBudget {
+            max_iterations: None,
+            max_wall_secs: Some(f64::NAN),
+        }
+        .validate()
+        .is_err());
+
+        let clock = SolveBudget {
+            max_iterations: Some(5),
+            max_wall_secs: None,
+        }
+        .start();
+        assert!(clock.breach(4).is_none());
+        assert!(clock.breach(5).is_some());
+
+        // A zero-ish deadline breaches immediately once started.
+        let clock = SolveBudget {
+            max_iterations: None,
+            max_wall_secs: Some(1e-12),
+        }
+        .start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(clock.breach(0).is_some());
+
+        // Unlimited never breaches.
+        let clock = SolveBudget::unlimited().start();
+        assert!(clock.breach(usize::MAX - 1).is_none());
+    }
+
+    #[test]
+    fn day_health_delta_and_degraded() {
+        let mut before = RunHealth::new();
+        before.slots_imputed = 3;
+        before.faults_injected.record(FaultKind::Dropped);
+        let mut after = before.clone();
+        after.slots_imputed = 7;
+        after.faults_injected.record(FaultKind::Garbage);
+        after.record_retries(2);
+        after.record_budget_breaches(1);
+        after.quarantine_trips += 1;
+
+        let day = DayHealth::delta(4, &before, &after, 2);
+        assert_eq!(day.day, 4);
+        assert_eq!(day.slots_imputed, 4);
+        assert_eq!(day.faults.garbage, 1);
+        assert_eq!(day.faults.dropped, 0);
+        assert_eq!(day.retries, 2);
+        assert_eq!(day.budget_breaches, 1);
+        assert_eq!(day.quarantine_trips, 1);
+        assert_eq!(day.meters_quarantined, 2);
+        assert!(day.degraded());
+        assert!(!DayHealth::default().degraded());
+    }
+
+    #[test]
+    fn run_health_deserializes_without_new_counters() {
+        // A ledger serialized before the budget/quarantine counters existed
+        // must still load (the `#[serde(default)]` contract).
+        let json = "{\"faults_injected\":{\"dropped\":1,\"non_finite\":0,\"garbage\":0,\
+                     \"stuck\":0,\"skewed\":0,\"unreported\":0},\"slots_observed\":24,\
+                     \"slots_imputed\":2,\"retries_consumed\":0,\"fallbacks\":[]}";
+        let health: RunHealth = serde_json::from_str(json).expect("legacy ledger should load");
+        assert_eq!(health.slots_imputed, 2);
+        assert_eq!(health.budget_breaches, 0);
+        assert_eq!(health.quarantine_trips, 0);
     }
 
     #[test]

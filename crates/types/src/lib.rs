@@ -28,7 +28,10 @@ mod quantity;
 mod series;
 
 pub use error::{HorizonMismatchError, ValidateError};
-pub use health::{FallbackRecord, FaultCounts, FaultKind, RetryPolicy, RunHealth};
+pub use health::{
+    BudgetClock, DayHealth, FallbackRecord, FaultCounts, FaultKind, RetryPolicy, RunHealth,
+    SolveBudget,
+};
 pub use horizon::{Horizon, SlotClock};
 pub use id::{ApplianceId, CustomerId, MeterId};
 pub use quantity::{Dollars, Kw, Kwh, PricePerKwh};

@@ -5,26 +5,49 @@
 //! ```sh
 //! cargo run --release --example long_term_monitoring -- --customers 60
 //! ```
+//!
+//! With `--journal <path>` the run goes through the crash-safe supervised
+//! runner: each completed day is checkpointed to the journal, and a rerun
+//! with the same journal resumes instead of recomputing. `--kill-after <k>`
+//! simulates a crash by stopping after `k` days — rerun with the same
+//! `--journal` to watch it resume from the checkpoint:
+//!
+//! ```sh
+//! cargo run --release --example long_term_monitoring -- \
+//!     --journal /tmp/run.jsonl --kill-after 1   # "crashes" after day 1
+//! cargo run --release --example long_term_monitoring -- \
+//!     --journal /tmp/run.jsonl                  # resumes day 2, finishes
+//! ```
 
 use std::error::Error;
+use std::path::PathBuf;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use netmeter_sentinel::core::{DetectorMode, FrameworkConfig};
 use netmeter_sentinel::sim::experiments::paper_timeline;
-use netmeter_sentinel::sim::{run_long_term_detection, LongTermRunConfig, PaperScenario};
+use netmeter_sentinel::sim::{
+    run_long_term_detection, LongTermRunConfig, LongTermRunResult, PaperScenario, SupervisedRun,
+};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut customers = 60usize;
     let mut seed = 7u64;
+    let mut journal: Option<PathBuf> = None;
+    let mut kill_after: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--customers" | "-n" => customers = args.next().ok_or("need value")?.parse()?,
             "--seed" | "-s" => seed = args.next().ok_or("need value")?.parse()?,
+            "--journal" | "-j" => journal = Some(args.next().ok_or("need value")?.into()),
+            "--kill-after" | "-k" => kill_after = Some(args.next().ok_or("need value")?.parse()?),
             other => return Err(format!("unknown flag {other:?}").into()),
         }
+    }
+    if kill_after.is_some() && journal.is_none() {
+        return Err("--kill-after only makes sense with --journal".into());
     }
     let scenario = PaperScenario::small(customers, seed);
 
@@ -48,9 +71,53 @@ fn main() -> Result<(), Box<dyn Error>> {
             labor_per_fix: 10.0,
             labor_per_meter: 1.0,
             faults: None,
+            sanitize: Default::default(),
+            retry: Default::default(),
+            budget: Default::default(),
+            quarantine: Default::default(),
         };
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xf1906);
-        let result = run_long_term_detection(&scenario, &config, &mut rng)?;
+        let result: LongTermRunResult = match &journal {
+            None => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xf1906);
+                run_long_term_detection(&scenario, &config, &mut rng)?
+            }
+            Some(base) => {
+                // One journal per detector mode, derived from the flag.
+                let tag = match mode {
+                    DetectorMode::NetMeteringAware => "aware",
+                    DetectorMode::IgnoreNetMetering => "naive",
+                };
+                let path = base.with_extension(format!("{tag}.jsonl"));
+                let mut run = SupervisedRun::new(&scenario, &config, seed ^ 0xf1906, &path)?;
+                if run.completed_days() > 0 {
+                    println!(
+                        "[{}] resumed from {} ({} day(s) checkpointed)",
+                        mode.label(),
+                        path.display(),
+                        run.completed_days()
+                    );
+                }
+                while !run.is_finished() {
+                    if kill_after.is_some_and(|k| run.completed_days() >= k) {
+                        println!(
+                            "[{}] simulated crash after day {} — rerun with the same \
+                             --journal to resume",
+                            mode.label(),
+                            run.completed_days()
+                        );
+                        return Ok(());
+                    }
+                    run.step_day()?;
+                    println!(
+                        "[{}] day {} checkpointed to {}",
+                        mode.label(),
+                        run.completed_days(),
+                        path.display()
+                    );
+                }
+                run.finish()?
+            }
+        };
         println!(
             "{}: accuracy {:.1}%, {} fixes (slots {:?}), labor {:.0}, 48h PAR {:.4}",
             mode.label(),

@@ -133,6 +133,10 @@ fn long_term_run_is_deterministic_under_seed() {
         labor_per_fix: 10.0,
         labor_per_meter: 1.0,
         faults: None,
+        sanitize: Default::default(),
+        retry: Default::default(),
+        budget: Default::default(),
+        quarantine: Default::default(),
     };
     let run = |seed: u64| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -159,6 +163,10 @@ fn no_detection_run_never_repairs() {
         labor_per_fix: 10.0,
         labor_per_meter: 1.0,
         faults: None,
+        sanitize: Default::default(),
+        retry: Default::default(),
+        budget: Default::default(),
+        quarantine: Default::default(),
     };
     let mut rng = ChaCha8Rng::seed_from_u64(12);
     let result = run_long_term_detection(&s, &config, &mut rng).unwrap();
@@ -181,6 +189,10 @@ fn detector_with_long_lag_requires_enough_training_days() {
         labor_per_fix: 10.0,
         labor_per_meter: 1.0,
         faults: None,
+        sanitize: Default::default(),
+        retry: Default::default(),
+        budget: Default::default(),
+        quarantine: Default::default(),
     };
     let mut rng = ChaCha8Rng::seed_from_u64(13);
     let err = run_long_term_detection(&s, &config, &mut rng).unwrap_err();

@@ -10,12 +10,30 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use netmeter_sentinel::attack::{AttackTimeline, PriceAttack};
-use netmeter_sentinel::core::{DetectorMode, FrameworkConfig};
+use netmeter_sentinel::core::{DetectorMode, FrameworkConfig, QuarantineConfig, QuarantineTransition};
+use netmeter_sentinel::sim::journal::JournalError;
 use netmeter_sentinel::sim::{
-    run_long_term_detection, FaultPlan, LongTermRunConfig, PaperScenario, SimError,
+    run_long_term_detection, run_long_term_supervised, FaultPlan, LongTermRunConfig, MeterOutage,
+    PaperScenario, SimError, SupervisedRun,
 };
 use netmeter_sentinel::types::RetryPolicy;
+
+/// Unique scratch path for a journal file.
+fn journal_path(name: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "nms-robustness-{}-{name}-{n}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
 
 fn timeline(fleet: usize) -> AttackTimeline {
     let wave = (fleet / 3).max(1);
@@ -36,6 +54,10 @@ fn config(detector: Option<FrameworkConfig>, days: usize, faults: Option<FaultPl
         labor_per_fix: 10.0,
         labor_per_meter: 1.0,
         faults,
+        sanitize: Default::default(),
+        retry: RetryPolicy::default(),
+        budget: Default::default(),
+        quarantine: QuarantineConfig::default(),
     }
 }
 
@@ -153,7 +175,15 @@ fn battery_fallback_chain_is_recorded_and_no_worse() {
         iteration_growth: 1.0,
         reseed_stride: 1,
     };
-    let outcome = solve_battery_robust(&problem, &strangled, &policy, None, 77).unwrap();
+    let outcome = solve_battery_robust(
+        &problem,
+        &strangled,
+        &policy,
+        &netmeter_sentinel::types::SolveBudget::unlimited(),
+        None,
+        77,
+    )
+    .unwrap();
     assert_eq!(outcome.stage, BatterySolveStage::CoordinateDescent);
     assert_eq!(outcome.retries, 1);
     let record = outcome.fallback.as_ref().expect("fallback recorded");
@@ -243,6 +273,7 @@ proptest! {
             stuck_rate,
             skew_rate,
             report_rate,
+            outage: None,
         };
         let mut scenario = PaperScenario::small(4, 29);
         scenario.training_days = 4;
@@ -263,5 +294,230 @@ proptest! {
             ) => {}
             Err(other) => prop_assert!(false, "unexpected error variant: {other}"),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe supervision: checkpoint/resume, journal damage, quarantine
+// ---------------------------------------------------------------------------
+
+/// The tentpole's acceptance shape: a supervised run killed after day 1
+/// and resumed from its journal finishes with *exactly* the state a never-
+/// killed run reaches — belief, per-slot decisions, fixes, and the health
+/// ledger are all bit-identical.
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted_run() {
+    let mut scenario = PaperScenario::small(8, 47);
+    scenario.training_days = 4;
+    let mut plan = FaultPlan::none(17);
+    plan.drop_rate = 0.05;
+    let detector = FrameworkConfig::new(DetectorMode::NetMeteringAware, 24);
+    let cfg = config(Some(detector), 2, Some(plan));
+
+    let fresh_path = journal_path("fresh");
+    let fresh = run_long_term_supervised(&scenario, &cfg, 7, &fresh_path).unwrap();
+
+    // "Kill" after one completed day: step once, then drop the run on the
+    // floor. The journal holds the header plus exactly one day record.
+    let killed_path = journal_path("killed");
+    {
+        let mut run = SupervisedRun::new(&scenario, &cfg, 7, &killed_path).unwrap();
+        run.step_day().unwrap();
+        assert_eq!(run.completed_days(), 1);
+        assert!(!run.is_finished());
+    }
+    let resumed_run = SupervisedRun::new(&scenario, &cfg, 7, &killed_path).unwrap();
+    assert_eq!(resumed_run.completed_days(), 1, "day 0 replays from the journal");
+    let resumed = resumed_run.run().unwrap();
+
+    assert_eq!(resumed.true_buckets, fresh.true_buckets);
+    assert_eq!(resumed.observed_buckets, fresh.observed_buckets);
+    assert_eq!(resumed.realized_demand, fresh.realized_demand);
+    assert_eq!(resumed.fixes_at, fresh.fixes_at);
+    assert_eq!(resumed.final_belief, fresh.final_belief);
+    assert_eq!(resumed.health, fresh.health);
+    assert_eq!(resumed.day_health, fresh.day_health);
+    assert_eq!(resumed.quarantine_events, fresh.quarantine_events);
+    assert_eq!(resumed.quarantine, fresh.quarantine);
+    assert_eq!(resumed.labor.fixes(), fresh.labor.fixes());
+    assert_eq!(resumed.par, fresh.par);
+
+    let _ = std::fs::remove_file(&fresh_path);
+    let _ = std::fs::remove_file(&killed_path);
+}
+
+/// Journal damage, end to end through the supervised runner: a torn final
+/// record is dropped and that day re-runs (bit-identically), while a
+/// corrupted interior record is a typed error — never a panic, never a
+/// silent resume from lost history.
+#[test]
+fn damaged_journals_recover_or_fail_typed() {
+    let mut scenario = PaperScenario::small(8, 47);
+    scenario.training_days = 4;
+    let cfg = config(None, 2, None);
+    let path = journal_path("damage");
+
+    let fresh = run_long_term_supervised(&scenario, &cfg, 11, &path).unwrap();
+    let intact = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(intact.lines().count(), 3, "header + two day records");
+
+    // Tear the final record mid-line, as a kill mid-write would.
+    std::fs::write(&path, &intact[..intact.len() - 25]).unwrap();
+    let resumed_run = SupervisedRun::new(&scenario, &cfg, 11, &path).unwrap();
+    assert_eq!(
+        resumed_run.completed_days(),
+        1,
+        "torn day 1 is dropped; resume re-runs it"
+    );
+    let resumed = resumed_run.run().unwrap();
+    assert_eq!(resumed.realized_demand, fresh.realized_demand);
+    assert_eq!(resumed.true_buckets, fresh.true_buckets);
+    assert_eq!(resumed.health, fresh.health);
+
+    // Corrupt an *interior* record (the first day): typed error, no resume.
+    let intact = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = intact.lines().collect();
+    let vandalized = lines[1].replace("true_buckets", "drue_buckets");
+    let content = format!("{}\n{}\n{}\n", lines[0], vandalized, lines[2]);
+    std::fs::write(&path, content).unwrap();
+    match SupervisedRun::new(&scenario, &cfg, 11, &path) {
+        Err(SimError::Journal(JournalError::Corrupt { line, .. })) => assert_eq!(line, 2),
+        Err(other) => panic!("expected JournalError::Corrupt, got {other}"),
+        Ok(_) => panic!("expected JournalError::Corrupt, got a resumed run"),
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The quarantine circuit breaker, end to end: a scripted two-day outage
+/// on two meters trips their breakers (surfacing them to the POMDP as
+/// suspects), the exclusion lifts into half-open probation once the
+/// breaker has cooled, and clean telemetry closes it again — with every
+/// transition in both the event log and the per-day health timeline.
+#[test]
+fn quarantine_trips_probes_and_recovers() {
+    let mut scenario = PaperScenario::small(6, 43);
+    scenario.training_days = 4;
+    let mut plan = FaultPlan::none(11);
+    // Meters 1 and 2 go dark for absolute days 4 and 5 (detection days
+    // 0 and 1), then come back.
+    plan.outage = Some(MeterOutage {
+        first_meter: 1,
+        meters: 2,
+        from_day: 4,
+        until_day: 6,
+    });
+    let detector = FrameworkConfig::new(DetectorMode::NetMeteringAware, 24);
+    let mut cfg = config(Some(detector), 4, Some(plan));
+    cfg.quarantine = QuarantineConfig {
+        trip_after: 2,
+        probation_after: 1,
+        close_after: 1,
+        ..QuarantineConfig::default()
+    };
+    let path = journal_path("quarantine");
+    let result = run_long_term_supervised(&scenario, &cfg, 5, &path).unwrap();
+
+    let transitions: Vec<(usize, usize, QuarantineTransition)> = result
+        .quarantine_events
+        .iter()
+        .map(|e| (e.day, e.meter, e.transition))
+        .collect();
+    assert_eq!(
+        transitions,
+        vec![
+            (5, 1, QuarantineTransition::Tripped),
+            (5, 2, QuarantineTransition::Tripped),
+            (6, 1, QuarantineTransition::Probation),
+            (6, 2, QuarantineTransition::Probation),
+            (7, 1, QuarantineTransition::Recovered),
+            (7, 2, QuarantineTransition::Recovered),
+        ]
+    );
+    assert_eq!(result.health.quarantine_trips, 2);
+    assert_eq!(result.health.quarantine_recoveries, 2);
+
+    // The per-day timeline localizes the transitions.
+    assert_eq!(result.day_health[1].quarantine_trips, 2);
+    assert_eq!(result.day_health[1].meters_quarantined, 2);
+    assert_eq!(result.day_health[2].meters_quarantined, 0, "half-open probes are included");
+    assert_eq!(result.day_health[3].quarantine_recoveries, 2);
+
+    // While the breakers are open (detection day 2), the POMDP observation
+    // can never report less compromise than the quarantine census: 2 of 6
+    // meters suspect → bucket ≥ 2.
+    assert!(result.observed_buckets[48..72].iter().all(|&o| o >= 2));
+
+    // Clean telemetry closed every breaker by the end of the run.
+    let quarantine = result.quarantine.expect("fault plan arms quarantine");
+    assert_eq!(quarantine.open_count(), 0);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Journal roundtrip: whatever transcript a day produces, writing it
+    /// through the journal and loading it back is the identity.
+    #[test]
+    fn journal_day_records_roundtrip(
+        day_count in 1usize..4,
+        len in 0usize..48,
+        bucket_base in 0usize..6,
+        demand_scale in -1e6f64..1e6,
+        has_belief in true,
+        belief_len in 1usize..6,
+        compromised in proptest::collection::vec(0usize..32, 4),
+        slot in 0usize..48,
+        repaired in 0usize..10,
+    ) {
+        let buckets: Vec<usize> = (0..len).map(|i| (bucket_base + i) % 6).collect();
+        let demand: Vec<f64> = (0..len).map(|i| demand_scale / (i + 1) as f64).collect();
+        let belief: Option<Vec<f64>> =
+            has_belief.then(|| (0..belief_len).map(|i| 1.0 / (i + 1) as f64).collect());
+        use netmeter_sentinel::sim::journal::{
+            DayRecord, FixRecord, HistoryRow, JournalHeader, RunJournal, JOURNAL_VERSION,
+        };
+        use netmeter_sentinel::types::{DayHealth, RunHealth};
+
+        let path = journal_path("proptest");
+        let header = JournalHeader {
+            version: JOURNAL_VERSION,
+            seed: 9,
+            detection_days: day_count,
+            fleet: 32,
+            scenario_fingerprint: 1,
+            config_fingerprint: 2,
+        };
+        let mut journal = RunJournal::create(&path, &header).unwrap();
+        let mut records = Vec::new();
+        for day in 0..day_count {
+            let record = DayRecord {
+                day,
+                true_buckets: buckets.clone(),
+                observed_buckets: buckets.clone(),
+                realized_demand: demand.clone(),
+                fixes: vec![FixRecord { slot, repaired }],
+                history_rows: demand
+                    .iter()
+                    .map(|&d| HistoryRow { price: d / 2.0, generation: d / 3.0, demand: d })
+                    .collect(),
+                compromised: compromised.clone(),
+                belief: belief.clone(),
+                health: RunHealth::new(),
+                day_health: DayHealth { day, ..DayHealth::default() },
+                quarantine: None,
+                events: Vec::new(),
+            };
+            journal.append_day(&record).unwrap();
+            records.push(record);
+        }
+
+        let loaded = RunJournal::load(&path).unwrap();
+        prop_assert_eq!(loaded.header.as_ref(), Some(&header));
+        prop_assert!(!loaded.dropped_tail);
+        prop_assert_eq!(loaded.days, records);
+        let _ = std::fs::remove_file(&path);
     }
 }

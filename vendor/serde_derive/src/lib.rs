@@ -16,16 +16,27 @@
 //! - type generics without defaults (e.g. `TimeSeries<T>`); each
 //!   parameter gets the corresponding trait bound on the impl
 //!
-//! All `#[serde(...)]` attributes are accepted and ignored; the only one
-//! used in-tree, `#[serde(transparent)]`, appears on `f64` newtypes whose
-//! default newtype representation is already transparent.
+//! `#[serde(...)]` attributes are accepted; most are ignored. Two are
+//! honoured: `#[serde(transparent)]` trivially (it appears on `f64`
+//! newtypes whose default newtype representation is already transparent)
+//! and the per-field `#[serde(default)]`, which makes deserialization
+//! fall back to `Default::default()` when the key is absent from the map
+//! — the mechanism that lets configs grown after a release still accept
+//! old serialized forms.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier plus whether `#[serde(default)]` was
+/// attached (missing-key fallback on deserialize).
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// How a struct or enum variant stores its data.
 enum Fields {
-    /// `{ a: A, b: B }` — the field names, in declaration order.
-    Named(Vec<String>),
+    /// `{ a: A, b: B }` — the fields, in declaration order.
+    Named(Vec<Field>),
     /// `(A, B)` — the arity.
     Tuple(usize),
     /// No payload.
@@ -106,16 +117,50 @@ fn parse_item(input: TokenStream) -> Item {
 
 /// Advances past any `#[...]` outer attributes (doc comments included).
 fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    consume_attributes(tokens, i);
+}
+
+/// Advances past any `#[...]` outer attributes, reporting whether one of
+/// them was `#[serde(...)]` containing a top-level `default` entry.
+fn consume_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
         if p.as_char() != '#' {
             break;
         }
         *i += 1; // '#'
         match tokens.get(*i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                has_default |= attribute_has_serde_default(g.stream());
+                *i += 1;
+            }
             other => panic!("serde_derive: malformed attribute near {other:?}"),
         }
     }
+    has_default
+}
+
+/// Inspects the interior of one `#[...]` bracket group for
+/// `serde(... default ...)` at the top nesting level of the parens.
+fn attribute_has_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let is_serde = matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return false;
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return false;
+    };
+    if args.delimiter() != Delimiter::Parenthesis {
+        return false;
+    }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    args.iter().enumerate().any(|(k, tok)| {
+        // Bare `default`, not `default = "path"` (unsupported) and not an
+        // argument to some other nested meta item.
+        matches!(tok, TokenTree::Ident(id) if id.to_string() == "default")
+            && !matches!(args.get(k + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+    })
 }
 
 /// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
@@ -206,13 +251,14 @@ fn parse_enum_body(tokens: &[TokenTree], i: &mut usize) -> Vec<Variant> {
     panic!("serde_derive: enum body not found");
 }
 
-/// Parses the interior of a named-field braced group into field names.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parses the interior of a named-field braced group into fields,
+/// honouring per-field `#[serde(default)]` attributes.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attributes(&tokens, &mut i);
+        let default = consume_attributes(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -227,7 +273,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             other => panic!("serde_derive: expected `:` after field `{name}`, got {other}"),
         }
         skip_type(&tokens, &mut i);
-        fields.push(name);
+        fields.push(Field { name, default });
         // Skip the separating comma if present.
         if let Some(TokenTree::Punct(p)) = tokens.get(i) {
             if p.as_char() == ',' {
@@ -351,7 +397,8 @@ fn gen_serialize(item: &Item) -> String {
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_content(&self.{f}))"
+                         ::serde::Serialize::to_content(&self.{f}))",
+                        f = f.name
                     )
                 })
                 .collect();
@@ -366,7 +413,7 @@ fn gen_serialize(item: &Item) -> String {
         }
         Shape::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
         Shape::Enum(variants) => {
-            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(v)).collect();
+            let arms: Vec<String> = variants.iter().map(serialize_arm).collect();
             format!("match self {{ {} }}", arms.join(" "))
         }
     };
@@ -409,18 +456,40 @@ fn serialize_arm(variant: &Variant) -> String {
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_content({f}))"
+                         ::serde::Serialize::to_content({f}))",
+                        f = f.name
                     )
                 })
                 .collect();
+            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
             format!(
                 "Self::{v} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
                      (::std::string::String::from(\"{v}\"), \
                       ::serde::Content::Map(::std::vec![{entries}]))]),",
-                binds = fields.join(", "),
+                binds = binds.join(", "),
                 entries = entries.join(", "),
             )
         }
+    }
+}
+
+/// The initializer expression for one named field read out of the map
+/// binding `entries_var`. Fields marked `#[serde(default)]` fall back to
+/// `Default::default()` when the key is absent.
+fn named_field_init(field: &Field, entries_var: &str) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match ::serde::field({entries_var}, \"{f}\") {{\
+                 ::std::result::Result::Ok(c) => ::serde::Deserialize::from_content(c)?,\
+                 ::std::result::Result::Err(_) => ::std::default::Default::default(),\
+             }}"
+        )
+    } else {
+        format!(
+            "{f}: ::serde::Deserialize::from_content(\
+             ::serde::field({entries_var}, \"{f}\")?)?"
+        )
     }
 }
 
@@ -430,12 +499,7 @@ fn gen_deserialize(item: &Item) -> String {
         Shape::Struct(Fields::Named(fields)) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_content(\
-                         ::serde::field(entries, \"{f}\")?)?"
-                    )
-                })
+                .map(|f| named_field_init(f, "entries"))
                 .collect();
             format!(
                 "let entries = content.as_map().ok_or_else(|| \
@@ -571,12 +635,7 @@ fn deserialize_payload_arm(name: &str, variant: &Variant) -> String {
         Fields::Named(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_content(\
-                         ::serde::field(fields, \"{f}\")?)?"
-                    )
-                })
+                .map(|f| named_field_init(f, "fields"))
                 .collect();
             format!(
                 "\"{v}\" => {{\n\
