@@ -11,12 +11,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use nms_bench::{bench_scenario, timing_scenario};
 use nms_sim::sweeps::sweep_fault_tolerance;
+use nms_sim::Parallelism;
 
 fn bench(c: &mut Criterion) {
     let mut scenario = bench_scenario();
     scenario.training_days = scenario.training_days.max(4);
     let rates = [0.0, 0.05, 0.2];
-    let points = sweep_fault_tolerance(&scenario, &rates).expect("sweep runs");
+    let points = sweep_fault_tolerance(&scenario, &rates, &Parallelism::SEQUENTIAL).expect("sweep runs");
     println!("\n=== Fault tolerance (accuracy vs telemetry fault rate) ===");
     for p in &points {
         println!(
@@ -34,10 +35,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_tolerance");
     group.sample_size(10);
     group.bench_function("sweep_pristine_48h", |b| {
-        b.iter(|| sweep_fault_tolerance(&timing, &[0.0]).expect("sweep runs"))
+        b.iter(|| sweep_fault_tolerance(&timing, &[0.0], &Parallelism::SEQUENTIAL).expect("sweep runs"))
     });
     group.bench_function("sweep_faulted_48h", |b| {
-        b.iter(|| sweep_fault_tolerance(&timing, &[0.1]).expect("sweep runs"))
+        b.iter(|| sweep_fault_tolerance(&timing, &[0.1], &Parallelism::SEQUENTIAL).expect("sweep runs"))
     });
     group.finish();
 }

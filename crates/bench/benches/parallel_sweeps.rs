@@ -1,0 +1,161 @@
+//! Sequential-vs-parallel sweep benchmark (DESIGN.md §9).
+//!
+//! Runs `sweep_attack_window` and `sweep_fault_tolerance` once on one
+//! thread and once on `NMS_BENCH_THREADS` workers, proves the outputs are
+//! bit-identical (down to the serialized CSV bytes), and records both wall
+//! times in `BENCH_results.json` so the speedup is a tracked artifact
+//! rather than a claim.
+//!
+//! Environment:
+//!
+//! - `NMS_BENCH_THREADS` — parallel worker count (default 4);
+//! - `NMS_BENCH_SMOKE` — set to run a tiny point set and skip the
+//!   Criterion timing loops (the CI smoke gate);
+//! - `NMS_BENCH_CUSTOMERS` / `NMS_BENCH_SEED` — as for every bench.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nms_bench::{bench_scenario, record_bench_results, timing_scenario, BenchRecord};
+use nms_sim::sweeps::{
+    sweep_attack_window, sweep_fault_tolerance, AttackWindowPoint, FaultTolerancePoint,
+};
+use nms_sim::Parallelism;
+
+fn bench_threads() -> usize {
+    std::env::var("NMS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+fn smoke() -> bool {
+    std::env::var_os("NMS_BENCH_SMOKE").is_some()
+}
+
+/// CSV rendering uses `f64`'s shortest-roundtrip `Display`, so two CSVs
+/// are byte-identical exactly when the underlying floats are bit-identical.
+fn attack_csv(points: &[AttackWindowPoint]) -> String {
+    let mut csv = String::from("from_hour,attacked_par,peak_slot\n");
+    for p in points {
+        csv.push_str(&format!("{},{},{}\n", p.from_hour, p.attacked_par, p.peak_slot));
+    }
+    csv
+}
+
+fn fault_csv(points: &[FaultTolerancePoint]) -> String {
+    let mut csv = String::from(
+        "fault_rate,aware_accuracy,naive_accuracy,aware_par,naive_par,slots_imputed,faults_injected\n",
+    );
+    for p in points {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            p.fault_rate,
+            p.aware_accuracy,
+            p.naive_accuracy,
+            p.aware_par,
+            p.naive_par,
+            p.slots_imputed,
+            p.faults_injected
+        ));
+    }
+    csv
+}
+
+fn timed<T>(run: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = run();
+    (value, start.elapsed().as_secs_f64())
+}
+
+fn bench(c: &mut Criterion) {
+    let threads = bench_threads();
+    let parallel = Parallelism::new(threads);
+    let scenario = {
+        let mut s = bench_scenario();
+        s.training_days = s.training_days.max(4);
+        s
+    };
+    let (windows, rates): (Vec<f64>, Vec<f64>) = if smoke() {
+        (vec![3.0, 16.0], vec![0.0, 0.1])
+    } else {
+        ((0..8).map(|i| f64::from(i) * 3.0).collect(), vec![0.0, 0.05, 0.1, 0.2])
+    };
+
+    let (attack_seq, attack_seq_secs) = timed(|| {
+        sweep_attack_window(&scenario, &windows, &Parallelism::SEQUENTIAL).expect("sweep runs")
+    });
+    let (attack_par, attack_par_secs) =
+        timed(|| sweep_attack_window(&scenario, &windows, &parallel).expect("sweep runs"));
+    assert_eq!(attack_seq, attack_par, "parallel attack sweep diverged");
+    assert_eq!(
+        attack_csv(&attack_seq),
+        attack_csv(&attack_par),
+        "attack sweep CSV bytes diverged"
+    );
+
+    let (fault_seq, fault_seq_secs) = timed(|| {
+        sweep_fault_tolerance(&scenario, &rates, &Parallelism::SEQUENTIAL).expect("sweep runs")
+    });
+    let (fault_par, fault_par_secs) =
+        timed(|| sweep_fault_tolerance(&scenario, &rates, &parallel).expect("sweep runs"));
+    assert_eq!(fault_seq, fault_par, "parallel fault sweep diverged");
+    assert_eq!(
+        fault_csv(&fault_seq),
+        fault_csv(&fault_par),
+        "fault sweep CSV bytes diverged"
+    );
+
+    println!("\n=== Parallel sweeps ({threads} threads, bit-identical to sequential) ===");
+    println!(
+        "sweep_attack_window   | seq {attack_seq_secs:>7.2}s | par {attack_par_secs:>7.2}s | {:>5.2}x",
+        attack_seq_secs / attack_par_secs.max(1e-9)
+    );
+    println!(
+        "sweep_fault_tolerance | seq {fault_seq_secs:>7.2}s | par {fault_par_secs:>7.2}s | {:>5.2}x",
+        fault_seq_secs / fault_par_secs.max(1e-9)
+    );
+
+    let record = |target: &str, wall_secs: f64, threads: usize| BenchRecord {
+        target: target.to_string(),
+        wall_secs,
+        customers: scenario.customers,
+        seed: scenario.seed,
+        threads,
+    };
+    record_bench_results(&[
+        record("sweep_attack_window/seq", attack_seq_secs, 1),
+        record("sweep_attack_window/par", attack_par_secs, threads),
+        record("sweep_fault_tolerance/seq", fault_seq_secs, 1),
+        record("sweep_fault_tolerance/par", fault_par_secs, threads),
+    ])
+    .expect("bench results written");
+    println!("recorded to {}", nms_bench::bench_results_path().display());
+
+    if smoke() {
+        return;
+    }
+
+    // Criterion loops at the smaller timing scale: the tracked number is
+    // the seq/par pair above; this keeps a regression trail on both paths.
+    let timing = {
+        let mut s = timing_scenario();
+        s.training_days = s.training_days.max(4);
+        s
+    };
+    let mut group = c.benchmark_group("parallel_sweeps");
+    group.sample_size(10);
+    group.bench_function("attack_window_seq", |b| {
+        b.iter(|| {
+            sweep_attack_window(&timing, &windows, &Parallelism::SEQUENTIAL).expect("sweep runs")
+        })
+    });
+    group.bench_function("attack_window_par", |b| {
+        b.iter(|| sweep_attack_window(&timing, &windows, &parallel).expect("sweep runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

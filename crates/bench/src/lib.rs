@@ -49,6 +49,57 @@ pub fn timing_scenario() -> PaperScenario {
     PaperScenario::small(customers, bench_seed())
 }
 
+/// One measured benchmark target, as persisted in `BENCH_results.json`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchRecord {
+    /// Benchmark target name, e.g. `"sweep_attack_window/par"`.
+    pub target: String,
+    /// Wall-clock seconds for one run of the target.
+    pub wall_secs: f64,
+    /// Community size the target ran at.
+    pub customers: usize,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Worker threads the target ran with (1 = sequential).
+    pub threads: usize,
+}
+
+/// Where bench records land: `NMS_BENCH_RESULTS` if set, else
+/// `BENCH_results.json` at the workspace root.
+pub fn bench_results_path() -> std::path::PathBuf {
+    match std::env::var_os("NMS_BENCH_RESULTS") {
+        Some(path) => path.into(),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_results.json"),
+    }
+}
+
+/// Merges `records` into the results file by target name: an existing
+/// record for the same target is replaced, everything else is kept, and
+/// the file is written atomically (`.tmp` then rename). A missing or
+/// unparsable results file starts fresh rather than failing the bench.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] when the file cannot be written.
+pub fn record_bench_results(records: &[BenchRecord]) -> std::io::Result<()> {
+    let path = bench_results_path();
+    let mut merged: Vec<BenchRecord> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|content| serde_json::from_str(&content).ok())
+        .unwrap_or_default();
+    merged.retain(|existing: &BenchRecord| !records.iter().any(|r| r.target == existing.target));
+    merged.extend(records.iter().cloned());
+    merged.sort_by(|a, b| a.target.cmp(&b.target));
+    let content = serde_json::to_string(&merged)
+        .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))?;
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, content + "\n")?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +109,29 @@ mod tests {
         let scenario = bench_scenario();
         assert!(scenario.customers > 0);
         assert!(scenario.validate().is_ok());
+    }
+
+    #[test]
+    fn bench_records_merge_by_target() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("nms-bench-results-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("NMS_BENCH_RESULTS", &path);
+        let record = |target: &str, wall: f64| BenchRecord {
+            target: target.into(),
+            wall_secs: wall,
+            customers: 8,
+            seed: 1,
+            threads: 2,
+        };
+        record_bench_results(&[record("a", 1.0), record("b", 2.0)]).unwrap();
+        record_bench_results(&[record("b", 3.0)]).unwrap();
+        let loaded: Vec<BenchRecord> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::env::remove_var("NMS_BENCH_RESULTS");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].target, "a");
+        assert_eq!(loaded[1].wall_secs, 3.0);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,354 @@
+//! Deterministic parallel execution layer (DESIGN.md §9).
+//!
+//! Every hot loop in this workspace — Jacobi game rounds, parameter
+//! sweeps, calibration backtests, cross-entropy sample evaluation — is a
+//! map over independent items whose per-item randomness is derived from a
+//! `(seed, index)` pair *before* the map runs. That makes the map's output
+//! a pure function of its inputs, so running it on N worker threads must
+//! produce bit-identical results to running it on one. This crate provides
+//! exactly that contract:
+//!
+//! - **ordered results** — `par_map(threads, items, f)` returns
+//!   `f(0, &items[0]) … f(n-1, &items[n-1])` in input order, however the
+//!   items were scheduled across workers;
+//! - **first-error propagation** — a fallible `f` fails the whole map with
+//!   the error of the *lowest-index* failing item, which is the same error
+//!   the sequential loop would have returned (items before it succeed in
+//!   both executions);
+//! - **panic rethrow with context** — a worker panic is re-raised on the
+//!   calling thread as a panic naming the item index and carrying the
+//!   original payload's message, instead of crossbeam's opaque
+//!   `Err(Box<dyn Any>)`;
+//! - **sequential degradation** — `threads <= 1` runs the plain loop on
+//!   the calling thread: no spawns, no `catch_unwind`, errors short-circuit
+//!   immediately.
+//!
+//! Scheduling is dynamic (workers pull the next item off a shared atomic
+//! counter), so heterogeneous item costs balance without tuning; the
+//! counter hands out indices in increasing order, which is what makes the
+//! first-error guarantee cheap to keep even with early abort.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// The workspace-wide parallelism knob: how many worker threads a
+/// parallelizable stage may use.
+///
+/// `threads == 1` (the serde default, so configurations written before
+/// this knob existed still load unchanged) selects the sequential path
+/// everywhere, which is also the reference behavior every parallel run is
+/// tested bit-identical against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Worker threads for parallel stages; `1` = sequential.
+    pub threads: usize,
+}
+
+impl Parallelism {
+    /// A sequential (single-threaded) configuration.
+    pub const SEQUENTIAL: Self = Self { threads: 1 };
+
+    /// Creates a knob with the given thread count.
+    pub fn new(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `threads` is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("parallelism needs at least one thread".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::SEQUENTIAL
+    }
+}
+
+/// What one item produced on a worker.
+enum ItemOutcome<R, E> {
+    Ok(R),
+    Err(E),
+    Panicked(String),
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning the
+/// results in input order. See the crate docs for the determinism
+/// contract; `f` must be a pure function of `(index, item)` for the
+/// bit-identity guarantee to mean anything.
+///
+/// Equivalent to [`par_map_chunked`] with a chunk size of 1 — the right
+/// default when per-item cost dominates scheduling cost, which is true for
+/// every solver-shaped workload in this workspace.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-index failing item.
+///
+/// # Panics
+///
+/// Re-raises the lowest-index worker panic on the calling thread, with the
+/// item index and original message in the payload.
+pub fn par_map<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_map_chunked(threads, 1, items, f)
+}
+
+/// Like [`par_map`], but workers pull `chunk`-sized runs of consecutive
+/// indices off the shared counter — amortizing scheduling overhead when
+/// individual items are cheap (e.g. objective evaluations inside an
+/// optimizer iteration).
+///
+/// # Errors
+///
+/// Returns the error of the lowest-index failing item.
+///
+/// # Panics
+///
+/// Re-raises the lowest-index worker panic on the calling thread, with the
+/// item index and original message in the payload.
+pub fn par_map_chunked<T, R, E, F>(
+    threads: usize,
+    chunk: usize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    let workers = threads.min(n);
+    if workers <= 1 {
+        // Sequential path: the reference behavior. No spawns, no
+        // catch_unwind, immediate short-circuit on the first error.
+        let mut results = Vec::with_capacity(n);
+        for (index, item) in items.iter().enumerate() {
+            results.push(f(index, item)?);
+        }
+        return Ok(results);
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let f = &f;
+    let next = &next;
+    let abort = &abort;
+
+    // Workers return (index, outcome) pairs; merging them into index order
+    // afterwards is what makes the output independent of scheduling.
+    let gathered: Vec<Vec<(usize, ItemOutcome<R, E>)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut local: Vec<(usize, ItemOutcome<R, E>)> = Vec::new();
+                    'pull: while !abort.load(Ordering::SeqCst) {
+                        let start = next.fetch_add(chunk, Ordering::SeqCst);
+                        if start >= n {
+                            break;
+                        }
+                        for index in start..(start + chunk).min(n) {
+                            match catch_unwind(AssertUnwindSafe(|| f(index, &items[index]))) {
+                                Ok(Ok(value)) => local.push((index, ItemOutcome::Ok(value))),
+                                Ok(Err(err)) => {
+                                    local.push((index, ItemOutcome::Err(err)));
+                                    abort.store(true, Ordering::SeqCst);
+                                    break 'pull;
+                                }
+                                Err(payload) => {
+                                    local.push((
+                                        index,
+                                        ItemOutcome::Panicked(payload_message(payload.as_ref())),
+                                    ));
+                                    abort.store(true, Ordering::SeqCst);
+                                    break 'pull;
+                                }
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("nms-par: worker vanished without result"))
+            .collect()
+    })
+    .expect("nms-par: scope itself panicked");
+
+    let mut slots: Vec<Option<ItemOutcome<R, E>>> = (0..n).map(|_| None).collect();
+    for (index, outcome) in gathered.into_iter().flatten() {
+        slots[index] = Some(outcome);
+    }
+
+    // The counter hands indices out in increasing order and a pulled chunk
+    // runs to its first failure, so every index below the lowest failure is
+    // guaranteed Some(Ok) — the ascending scan below therefore reports
+    // exactly the failure the sequential loop would have hit first.
+    let mut results = Vec::with_capacity(n);
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(ItemOutcome::Ok(value)) => results.push(value),
+            Some(ItemOutcome::Err(err)) => return Err(err),
+            Some(ItemOutcome::Panicked(message)) => {
+                panic!("nms-par: worker panicked on item {index}: {message}")
+            }
+            None => unreachable!("nms-par: item {index} skipped before the first failure"),
+        }
+    }
+    Ok(results)
+}
+
+/// Renders a panic payload's message for the rethrow; panics almost always
+/// carry `&str` or `String`.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square(index: usize, item: &u64) -> Result<u64, String> {
+        let _ = index;
+        Ok(item * item)
+    }
+
+    #[test]
+    fn parallelism_defaults_sequential_and_validates() {
+        assert_eq!(Parallelism::default().threads, 1);
+        assert!(Parallelism::default().validate().is_ok());
+        assert!(Parallelism::new(0).validate().is_err());
+        assert_eq!(Parallelism::SEQUENTIAL, Parallelism::new(1));
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let out = par_map(4, &items, square).unwrap();
+        let expected: Vec<u64> = items.iter().map(|v| v * v).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let items: Vec<u64> = (0..64).collect();
+        let seq = par_map(1, &items, square).unwrap();
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(par_map(threads, &items, square).unwrap(), seq);
+            assert_eq!(par_map_chunked(threads, 5, &items, square).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(par_map(4, &empty, square).unwrap(), Vec::<u64>::new());
+        assert_eq!(par_map(4, &[3u64], square).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn first_error_by_index_wins() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |_i: usize, item: &u64| -> Result<u64, String> {
+            if *item >= 7 && item % 2 == 1 {
+                Err(format!("item {item} failed"))
+            } else {
+                Ok(*item)
+            }
+        };
+        let seq_err = par_map(1, &items, f).unwrap_err();
+        for threads in [2, 4, 8] {
+            assert_eq!(par_map(threads, &items, f).unwrap_err(), seq_err);
+        }
+        assert_eq!(seq_err, "item 7 failed");
+    }
+
+    #[test]
+    fn worker_panic_rethrows_with_item_context() {
+        let items: Vec<u64> = (0..16).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(4, &items, |_i, item: &u64| -> Result<u64, String> {
+                if *item == 5 {
+                    panic!("boom at five");
+                }
+                Ok(*item)
+            })
+        }));
+        let payload = result.unwrap_err();
+        let message = payload_message(payload.as_ref());
+        assert!(message.contains("item 5"), "{message}");
+        assert!(message.contains("boom at five"), "{message}");
+    }
+
+    #[test]
+    fn sequential_path_short_circuits_without_evaluating_later_items() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..10).collect();
+        let err = par_map(1, &items, |_i, item: &u64| -> Result<u64, String> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if *item == 2 {
+                Err("stop".into())
+            } else {
+                Ok(*item)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "stop");
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items: Vec<u64> = (0..3).collect();
+        assert_eq!(par_map(16, &items, square).unwrap(), vec![0, 1, 4]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_parallel_matches_sequential(
+            len in 0usize..50,
+            threads in 1usize..9,
+            chunk in 1usize..7,
+            salt in 0u64..1000,
+        ) {
+            let items: Vec<u64> = (0..len as u64).map(|v| v.wrapping_mul(salt + 1)).collect();
+            let f = |i: usize, item: &u64| -> Result<u64, String> {
+                Ok(item.wrapping_add(i as u64))
+            };
+            let seq = par_map(1, &items, f).unwrap();
+            let par = par_map_chunked(threads, chunk, &items, f).unwrap();
+            prop_assert_eq!(seq, par);
+        }
+    }
+}

@@ -27,6 +27,7 @@ use rand_chacha::ChaCha8Rng;
 use nms_attack::AttackTimeline;
 use nms_core::{FrameworkConfig, ParObservationMap, PricePredictor};
 use nms_forecast::PriceHistory;
+use nms_par::Parallelism;
 use nms_types::{MeterId, RetryPolicy, RunHealth, SolveBudget, TimeSeries, ValidateError};
 
 use crate::{CommunityGenerator, Market, PaperScenario, SimError};
@@ -84,6 +85,7 @@ pub(crate) fn calibrate_detector(
     market: &Market,
     generator: &CommunityGenerator,
     history: &PriceHistory,
+    parallelism: &Parallelism,
     rng: &mut impl Rng,
 ) -> Result<DetectorCalibration, SimError> {
     // A backtest day needs `max_lag` slots of history *plus* one day of
@@ -102,74 +104,91 @@ pub(crate) fn calibrate_detector(
 
     // stat[d][b]: the emulated runtime statistic on backtest day d with b
     // buckets' worth of meters compromised.
-    let mut statistics: Vec<Vec<f64>> = Vec::with_capacity(backtest_days);
+    //
+    // Each backtest day consumes exactly two draws from the caller's RNG —
+    // the day-clearing seed and the realization seed — so drawing them all
+    // up front in loop order leaves the stream positioned exactly where the
+    // sequential loop would, and makes each day a pure function of its
+    // `(seeds, day)` pair that `par_map` may run on any worker.
+    let day_seeds: Vec<(u64, u64)> = (0..backtest_days).map(|_| (rng.gen(), rng.gen())).collect();
     let mut health = RunHealth::new();
 
-    for back in 0..backtest_days {
-        let day = scenario.training_days - 1 - back;
-        let community = generator.community_for_day(day, weather[day]);
-        let outcome = market.clear_day(&community, 2, rng)?;
-        let manipulated = timeline.attack().apply(&outcome.price);
+    let backtests = nms_par::par_map(
+        parallelism.threads,
+        &day_seeds,
+        |back, &(clear_seed, seed)| -> Result<(Vec<f64>, RunHealth), SimError> {
+            let day = scenario.training_days - 1 - back;
+            let community = generator.community_for_day(day, weather[day]);
+            let outcome = market.clear_day_seeded(&community, 2, clear_seed)?;
+            let manipulated = timeline.attack().apply(&outcome.price);
 
-        // The detector's day-ahead view of this (past) day.
-        let mut backtest_predictor = framework.price_predictor();
-        let sub_history = history.truncated(day * 24);
-        let report = backtest_predictor.train_robust_budgeted(&sub_history, retry, budget)?;
-        health.record_retries(report.retries);
-        health.record_budget_breaches(usize::from(report.budget_breached));
-        if let Some(fallback) = report.fallback {
-            health.record_fallback(fallback);
-        }
-        let theta = community.total_generation();
-        let generation_forecast = backtest_predictor
-            .features()
-            .target_generation
-            .then_some(&theta);
-        let backtest_price = backtest_predictor.predict_day(
-            &sub_history,
-            community.horizon(),
-            generation_forecast,
-        )?;
-        let seed: u64 = rng.gen();
-        let mut predicted_rng = ChaCha8Rng::seed_from_u64(seed);
-        let predicted = framework
-            .load
-            .predict(&community, &backtest_price, &mut predicted_rng)?;
+            // The detector's day-ahead view of this (past) day.
+            let mut day_health = RunHealth::new();
+            let mut backtest_predictor = framework.price_predictor();
+            let sub_history = history.truncated(day * 24);
+            let report = backtest_predictor.train_robust_budgeted(&sub_history, retry, budget)?;
+            day_health.record_retries(report.retries);
+            day_health.record_budget_breaches(usize::from(report.budget_breached));
+            if let Some(fallback) = report.fallback {
+                day_health.record_fallback(fallback);
+            }
+            let theta = community.total_generation();
+            let generation_forecast = backtest_predictor
+                .features()
+                .target_generation
+                .then_some(&theta);
+            let backtest_price = backtest_predictor.predict_day(
+                &sub_history,
+                community.horizon(),
+                generation_forecast,
+            )?;
+            let mut predicted_rng = ChaCha8Rng::seed_from_u64(seed);
+            let predicted = framework
+                .load
+                .predict(&community, &backtest_price, &mut predicted_rng)?;
 
-        // The detector's world-model view of the clean day, used to isolate
-        // the attack delta.
-        let mut honest_rng = ChaCha8Rng::seed_from_u64(seed);
-        let honest = framework
-            .load
-            .predict(&community, &outcome.price, &mut honest_rng)?;
+            // The detector's world-model view of the clean day, used to
+            // isolate the attack delta.
+            let mut honest_rng = ChaCha8Rng::seed_from_u64(seed);
+            let honest = framework
+                .load
+                .predict(&community, &outcome.price, &mut honest_rng)?;
 
-        let mut day_stats = Vec::with_capacity(buckets);
-        for bucket in 0..buckets {
-            let hacked =
-                ((bucket as f64 * bucket_fraction_step) * community.len() as f64).round() as usize;
-            let synthetic = if hacked == 0 {
-                outcome.response.grid_demand.clone()
-            } else {
-                let meters: Vec<MeterId> =
-                    (0..hacked.min(community.len())).map(MeterId::new).collect();
-                let mut mixed_rng = ChaCha8Rng::seed_from_u64(seed);
-                let mixed = framework.load.respond_unilaterally(
-                    &community,
-                    &honest,
-                    &manipulated,
-                    &meters,
-                    &mut mixed_rng,
-                )?;
-                // Superimpose the world-model attack delta on the observed
-                // clean demand.
-                TimeSeries::from_fn(community.horizon(), |h| {
-                    (outcome.response.grid_demand[h] + mixed.grid_demand[h] - honest.grid_demand[h])
-                        .max(0.0)
-                })
-            };
-            day_stats.push(peak_deviation(&synthetic, &predicted.grid_demand));
-        }
+            let mut day_stats = Vec::with_capacity(buckets);
+            for bucket in 0..buckets {
+                let hacked = ((bucket as f64 * bucket_fraction_step) * community.len() as f64)
+                    .round() as usize;
+                let synthetic = if hacked == 0 {
+                    outcome.response.grid_demand.clone()
+                } else {
+                    let meters: Vec<MeterId> =
+                        (0..hacked.min(community.len())).map(MeterId::new).collect();
+                    let mut mixed_rng = ChaCha8Rng::seed_from_u64(seed);
+                    let mixed = framework.load.respond_unilaterally(
+                        &community,
+                        &honest,
+                        &manipulated,
+                        &meters,
+                        &mut mixed_rng,
+                    )?;
+                    // Superimpose the world-model attack delta on the
+                    // observed clean demand.
+                    TimeSeries::from_fn(community.horizon(), |h| {
+                        (outcome.response.grid_demand[h] + mixed.grid_demand[h]
+                            - honest.grid_demand[h])
+                            .max(0.0)
+                    })
+                };
+                day_stats.push(peak_deviation(&synthetic, &predicted.grid_demand));
+            }
+            Ok((day_stats, day_health))
+        },
+    )?;
+
+    let mut statistics: Vec<Vec<f64>> = Vec::with_capacity(backtest_days);
+    for (day_stats, day_health) in backtests {
         statistics.push(day_stats);
+        health.merge(&day_health);
     }
 
     // Centroids: per-bucket mean over backtest days. Bucket 0 (the clean
@@ -283,6 +302,7 @@ mod tests {
             &market,
             &generator,
             &history,
+            &Parallelism::SEQUENTIAL,
             &mut rng,
         )
         .unwrap();
@@ -300,5 +320,50 @@ mod tests {
         // Centroids increase with the compromise level.
         let centroids = calibration.observation_map.centroids();
         assert!(centroids.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn parallel_backtest_is_bit_identical_to_sequential() {
+        let mut scenario = PaperScenario::small(8, 57);
+        scenario.training_days = 5;
+        let market = Market::new(&scenario).unwrap();
+        let generator = scenario.generator();
+        let framework = FrameworkConfig::new(DetectorMode::NetMeteringAware, 24);
+        let timeline =
+            AttackTimeline::new(vec![(4, 2)], PriceAttack::zero_window(16.0, 17.0).unwrap())
+                .unwrap();
+        let run = |threads: usize| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let history = market
+                .bootstrap_history(&generator, scenario.training_days, &mut rng)
+                .unwrap();
+            calibrate_detector(
+                &scenario,
+                &framework,
+                &timeline,
+                4,
+                0.15,
+                &RetryPolicy::default(),
+                &SolveBudget::unlimited(),
+                &market,
+                &generator,
+                &history,
+                &Parallelism::new(threads),
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let sequential = run(1);
+        let parallel = run(3);
+        assert_eq!(sequential.statistics, parallel.statistics);
+        assert_eq!(
+            sequential.observation_map.centroids(),
+            parallel.observation_map.centroids()
+        );
+        assert_eq!(sequential.observation_matrix, parallel.observation_matrix);
+        assert_eq!(
+            sequential.health.retries_consumed,
+            parallel.health.retries_consumed
+        );
     }
 }

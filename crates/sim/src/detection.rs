@@ -41,6 +41,7 @@ use nms_core::{
     PricePredictor, QuarantineConfig, QuarantineEvent, QuarantineTransition, SanitizeConfig,
 };
 use nms_forecast::PriceHistory;
+use nms_par::Parallelism;
 use nms_types::{
     DayHealth, MeterId, RetryPolicy, RunHealth, SolveBudget, TimeSeries, ValidateError,
 };
@@ -93,6 +94,10 @@ pub struct LongTermRunConfig {
     /// injection, which is when per-meter telemetry exists).
     #[serde(default)]
     pub quarantine: QuarantineConfig,
+    /// Worker threads for the calibration backtest (defaults to
+    /// sequential, which is bit-identical to every parallel setting).
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl LongTermRunConfig {
@@ -130,6 +135,7 @@ impl LongTermRunConfig {
         self.retry.validate()?;
         self.budget.validate()?;
         self.quarantine.validate()?;
+        self.parallelism.validate().map_err(ValidateError::new)?;
         Ok(())
     }
 }
@@ -256,6 +262,7 @@ fn train(
                 &setup.market,
                 &setup.generator,
                 &history,
+                &config.parallelism,
                 rng,
             )?;
             health.merge(&calibration.health);
@@ -847,6 +854,7 @@ mod tests {
             retry: RetryPolicy::default(),
             budget: SolveBudget::unlimited(),
             quarantine: QuarantineConfig::default(),
+            parallelism: Default::default(),
         }
     }
 

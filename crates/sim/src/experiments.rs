@@ -246,6 +246,7 @@ fn long_term_config(
         retry: RetryPolicy::default(),
         budget: SolveBudget::unlimited(),
         quarantine: QuarantineConfig::default(),
+        parallelism: Default::default(),
     }
 }
 

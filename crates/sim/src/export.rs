@@ -319,6 +319,7 @@ mod tests {
             retry: Default::default(),
             budget: nms_types::SolveBudget::unlimited(),
             quarantine: Default::default(),
+            parallelism: Default::default(),
         };
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let result = run_long_term_detection(&scenario, &config, &mut rng).unwrap();

@@ -9,9 +9,15 @@
 //!
 //! Durability model:
 //!
-//! - every append rewrites the whole file to a `.tmp` sibling and renames
-//!   it into place, so the journal on disk is always a prefix of complete
-//!   days — a kill mid-write leaves either the old file or the new one;
+//! - appends are true O(1): each completed day is one `write` of a single
+//!   sealed line to a file opened in append mode, synced before the append
+//!   reports success — prior records are never rewritten. A kill mid-write
+//!   can only tear the final line, which the loader drops;
+//! - the atomic `.tmp`-and-rename rewrite is reserved for the two
+//!   occasions the file's *prefix* must change: writing the header at
+//!   [`RunJournal::create`], and compacting a dropped torn tail away at
+//!   [`RunJournal::reopen`] so it cannot become an interior line once
+//!   appends resume;
 //! - on load, a truncated or hash-corrupt **final** line is dropped
 //!   silently (the day it described simply re-runs), while a corrupt
 //!   **interior** line is a typed [`JournalError::Corrupt`] — that file
@@ -262,33 +268,45 @@ pub struct LoadedJournal {
 #[derive(Debug)]
 pub struct RunJournal {
     path: PathBuf,
-    /// Sealed lines exactly as written (header first), so a rewrite
-    /// preserves prior records byte-for-byte.
-    lines: Vec<String>,
+    /// Append-mode handle; every day record is one `write` to it.
+    file: fs::File,
+    /// Day records persisted so far (excluding the header).
+    days: usize,
 }
 
 impl RunJournal {
     /// Starts a fresh journal at `path`, truncating whatever was there.
     ///
+    /// The header is the one write that must replace the file's prefix, so
+    /// it goes through the atomic `.tmp`-and-rename path; the handle then
+    /// reopens in append mode for the O(1) day appends.
+    ///
     /// # Errors
     ///
     /// Returns [`JournalError::Io`] when the file cannot be written.
     pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
         let body = serde_json::to_string(header)
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
         let line = serde_json::to_string(&JournalLine::seal(body))
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
-        let journal = Self {
-            path: path.as_ref().to_path_buf(),
-            lines: vec![line],
-        };
-        journal.flush()?;
-        Ok(journal)
+        atomic_rewrite(&path, &[line])?;
+        let file = open_append(&path)?;
+        Ok(Self {
+            path,
+            file,
+            days: 0,
+        })
     }
 
     /// Opens an existing journal for appending, resuming after `days`
     /// already-loaded records. Use [`RunJournal::load`] first to read and
     /// verify the records.
+    ///
+    /// A torn final line is dropped exactly as [`RunJournal::load`] drops
+    /// it — but here the file is also compacted (atomically) so the torn
+    /// bytes cannot end up as a corrupt *interior* line once appending
+    /// resumes. An intact file is left byte-for-byte untouched.
     ///
     /// # Errors
     ///
@@ -312,7 +330,15 @@ impl RunJournal {
                 });
             }
         }
-        Ok(Self { path, lines })
+        if lines.len() != raw.len() {
+            atomic_rewrite(&path, &lines)?;
+        }
+        let file = open_append(&path)?;
+        Ok(Self {
+            days: lines.len().saturating_sub(1),
+            path,
+            file,
+        })
     }
 
     fn verify_line(raw: &str, index: usize) -> Result<String, String> {
@@ -401,41 +427,58 @@ impl RunJournal {
 
     /// Days currently persisted (excluding the header).
     pub fn days_recorded(&self) -> usize {
-        self.lines.len().saturating_sub(1)
+        self.days
     }
 
-    /// Appends one completed day and atomically persists the journal.
+    /// Appends one completed day: a single sealed-line write to the
+    /// append-mode handle, synced before returning — O(1) in the number of
+    /// days already journaled.
     ///
     /// # Errors
     ///
-    /// Returns [`JournalError::Io`] when the rewrite fails; the previous
-    /// on-disk journal is left intact in that case.
+    /// Returns [`JournalError::Io`] when the write fails. A partial write
+    /// is truncated away when possible; if even that fails, the leftover
+    /// bytes are a torn *final* line, which the loader already drops.
     pub fn append_day(&mut self, record: &DayRecord) -> Result<(), JournalError> {
+        use io::Write;
+
         let body = serde_json::to_string(record)
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
-        let line = serde_json::to_string(&JournalLine::seal(body))
+        let mut line = serde_json::to_string(&JournalLine::seal(body))
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
-        self.lines.push(line);
-        match self.flush() {
-            Ok(()) => Ok(()),
-            Err(err) => {
-                self.lines.pop();
-                Err(err)
-            }
+        line.push('\n');
+        let offset = self.file.metadata()?.len();
+        let written = self
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data());
+        if let Err(err) = written {
+            // Roll a partial write back so it cannot linger; best-effort —
+            // a leftover is a torn tail, which recovery tolerates.
+            let _ = self.file.set_len(offset);
+            return Err(err.into());
         }
-    }
-
-    /// Atomic full rewrite: write a `.tmp` sibling, then rename over the
-    /// journal. O(days²) across a run, which is irrelevant at the run
-    /// lengths this simulates and buys a torn-write-free file.
-    fn flush(&self) -> Result<(), JournalError> {
-        let tmp = self.path.with_extension("jsonl.tmp");
-        let mut content = self.lines.join("\n");
-        content.push('\n');
-        fs::write(&tmp, content)?;
-        fs::rename(&tmp, &self.path)?;
+        self.days += 1;
         Ok(())
     }
+}
+
+/// Opens `path` for appending.
+fn open_append(path: &Path) -> Result<fs::File, JournalError> {
+    Ok(fs::OpenOptions::new().append(true).open(path)?)
+}
+
+/// Atomic whole-file write: a `.tmp` sibling renamed over the journal, so
+/// a kill leaves either the old file or the new one. Used only where the
+/// file's prefix changes — header creation and torn-tail compaction —
+/// never on the per-day append path.
+fn atomic_rewrite(path: &Path, lines: &[String]) -> Result<(), JournalError> {
+    let tmp = path.with_extension("jsonl.tmp");
+    let mut content = lines.join("\n");
+    content.push('\n');
+    fs::write(&tmp, content)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -529,6 +572,54 @@ mod tests {
         let reloaded = RunJournal::load(&path).unwrap();
         assert_eq!(reloaded.days.len(), 2);
         assert!(!reloaded.dropped_tail);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_extends_the_file_in_place() {
+        let path = temp_path("in-place");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        journal.append_day(&day(0)).unwrap();
+        let before = fs::read_to_string(&path).unwrap();
+        #[cfg(unix)]
+        let inode_before = {
+            use std::os::unix::fs::MetadataExt;
+            fs::metadata(&path).unwrap().ino()
+        };
+        journal.append_day(&day(1)).unwrap();
+        let after = fs::read_to_string(&path).unwrap();
+        // Prior records are never rewritten: the old file is a byte prefix
+        // of the new one, and (on unix) the inode never changes — appends
+        // go through the open handle, not a tmp-and-rename.
+        assert!(after.starts_with(&before));
+        assert_eq!(after.lines().count(), before.lines().count() + 1);
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::MetadataExt;
+            assert_eq!(fs::metadata(&path).unwrap().ino(), inode_before);
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_compacts_a_torn_tail_before_appending() {
+        let path = temp_path("compact");
+        let mut journal = RunJournal::create(&path, &header()).unwrap();
+        journal.append_day(&day(0)).unwrap();
+        journal.append_day(&day(1)).unwrap();
+        let intact = fs::read_to_string(&path).unwrap();
+        let last_len = intact.lines().last().unwrap().len();
+        fs::write(&path, &intact[..intact.len() - last_len / 2]).unwrap();
+
+        let reopened = RunJournal::reopen(&path).unwrap();
+        assert_eq!(reopened.days_recorded(), 1);
+        // The torn bytes are gone from disk immediately, not just ignored:
+        // every line of the compacted file verifies.
+        let compacted = fs::read_to_string(&path).unwrap();
+        assert_eq!(compacted.lines().count(), 2);
+        let loaded = RunJournal::load(&path).unwrap();
+        assert!(!loaded.dropped_tail);
+        assert_eq!(loaded.days, vec![day(0)]);
         let _ = fs::remove_file(&path);
     }
 

@@ -57,6 +57,7 @@ pub use faults::{
     corrupt_day, corrupt_day_meters, CorruptedDay, CorruptedMeters, FaultPlan, MeterOutage,
 };
 pub use market::{DayOutcome, Market};
+pub use nms_par::Parallelism;
 pub use report::{render_series, render_table};
 pub use scenario::{CommunityGenerator, PaperScenario};
 pub use weather::WeatherModel;

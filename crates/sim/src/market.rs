@@ -75,11 +75,29 @@ impl Market {
         iterations: usize,
         rng: &mut impl Rng,
     ) -> Result<DayOutcome, SimError> {
+        // One draw per day: callers that clear days in parallel pre-draw
+        // these seeds in sequential order and use `clear_day_seeded`
+        // directly, which keeps the parallel run on the same RNG stream.
+        let seed: u64 = rng.gen();
+        self.clear_day_seeded(community, iterations, seed)
+    }
+
+    /// [`Market::clear_day`] with the day's solver seed supplied explicitly
+    /// instead of drawn from a shared RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when scheduling fails.
+    pub fn clear_day_seeded(
+        &self,
+        community: &Community,
+        iterations: usize,
+        seed: u64,
+    ) -> Result<DayOutcome, SimError> {
         let horizon = community.horizon();
         let mut price = PriceSignal::flat(horizon, self.utility.config().base_price)?;
         // Common random numbers across iterations keep the fixed point from
         // chasing solver noise.
-        let seed: u64 = rng.gen();
         let mut response = None;
         for _ in 0..iterations.max(1) {
             let mut child = ChaCha8Rng::seed_from_u64(seed);

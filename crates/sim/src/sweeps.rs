@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use nms_attack::PriceAttack;
 use nms_core::{DetectorMode, FrameworkConfig, QuarantineConfig, SanitizeConfig};
+use nms_par::{par_map, Parallelism};
 use nms_pricing::NetMeteringTariff;
 use nms_types::{RetryPolicy, SolveBudget};
 
@@ -45,14 +46,15 @@ pub struct SweepPoint {
 pub fn sweep_tariff(
     scenario: &PaperScenario,
     w_values: &[f64],
+    parallelism: &Parallelism,
 ) -> Result<Vec<SweepPoint>, SimError> {
-    let mut points = Vec::with_capacity(w_values.len());
-    for &w in w_values {
+    // Every point seeds its own RNG from the scenario, so points are
+    // independent and the parallel sweep is bit-identical to sequential.
+    par_map(parallelism.threads, w_values, |_, &w| {
         let mut swept = scenario.clone();
         swept.tariff = NetMeteringTariff::new(w)?;
-        points.push(clear_point(&swept, w)?);
-    }
-    Ok(points)
+        clear_point(&swept, w)
+    })
 }
 
 /// Sweeps the PV ownership fraction.
@@ -64,15 +66,14 @@ pub fn sweep_tariff(
 pub fn sweep_pv_ownership(
     scenario: &PaperScenario,
     ownership_values: &[f64],
+    parallelism: &Parallelism,
 ) -> Result<Vec<SweepPoint>, SimError> {
-    let mut points = Vec::with_capacity(ownership_values.len());
-    for &ownership in ownership_values {
+    par_map(parallelism.threads, ownership_values, |_, &ownership| {
         let mut swept = scenario.clone();
         swept.pv_ownership = ownership;
         swept.validate()?;
-        points.push(clear_point(&swept, ownership)?);
-    }
-    Ok(points)
+        clear_point(&swept, ownership)
+    })
 }
 
 fn clear_point(scenario: &PaperScenario, parameter: f64) -> Result<SweepPoint, SimError> {
@@ -118,6 +119,7 @@ pub struct AttackWindowPoint {
 pub fn sweep_attack_window(
     scenario: &PaperScenario,
     start_hours: &[f64],
+    parallelism: &Parallelism,
 ) -> Result<Vec<AttackWindowPoint>, SimError> {
     let market = Market::new(scenario)?;
     let generator = scenario.generator();
@@ -126,21 +128,19 @@ pub fn sweep_attack_window(
     let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xa77ac);
     let clean = market.clear_day(&community, 2, &mut rng)?;
 
-    let mut points = Vec::with_capacity(start_hours.len());
-    for &from_hour in start_hours {
+    par_map(parallelism.threads, start_hours, |_, &from_hour| {
         let attack = PriceAttack::zero_window(from_hour, from_hour + 1.0)?;
         let manipulated = attack.apply(&clean.price);
         let mut attacked_rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xa77ac);
         let attacked = market
             .truth_model()
             .predict(&community, &manipulated, &mut attacked_rng)?;
-        points.push(AttackWindowPoint {
+        Ok(AttackWindowPoint {
             from_hour,
             attacked_par: attacked.par,
             peak_slot: attacked.grid_demand.peak_slot(),
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 /// One row of the fault-tolerance sweep: detection quality for both
@@ -176,9 +176,9 @@ pub struct FaultTolerancePoint {
 pub fn sweep_fault_tolerance(
     scenario: &PaperScenario,
     fault_rates: &[f64],
+    parallelism: &Parallelism,
 ) -> Result<Vec<FaultTolerancePoint>, SimError> {
-    let mut points = Vec::with_capacity(fault_rates.len());
-    for &rate in fault_rates {
+    par_map(parallelism.threads, fault_rates, |_, &rate| {
         let plan = (rate > 0.0).then(|| FaultPlan::degraded(scenario.seed ^ 0xfa_017, rate));
         let run = |mode: DetectorMode| -> Result<LongTermRunResult, SimError> {
             let config = LongTermRunConfig {
@@ -194,13 +194,14 @@ pub fn sweep_fault_tolerance(
                 retry: RetryPolicy::default(),
                 budget: SolveBudget::unlimited(),
                 quarantine: QuarantineConfig::default(),
+                parallelism: Default::default(),
             };
             let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xfa_417);
             run_long_term_detection(scenario, &config, &mut rng)
         };
         let aware = run(DetectorMode::NetMeteringAware)?;
         let naive = run(DetectorMode::IgnoreNetMetering)?;
-        points.push(FaultTolerancePoint {
+        Ok(FaultTolerancePoint {
             fault_rate: rate,
             aware_accuracy: aware.accuracy.accuracy().unwrap_or(0.0),
             naive_accuracy: naive.accuracy.accuracy().unwrap_or(0.0),
@@ -209,9 +210,8 @@ pub fn sweep_fault_tolerance(
             slots_imputed: aware.health.slots_imputed + naive.health.slots_imputed,
             faults_injected: aware.health.faults_injected.total()
                 + naive.health.faults_injected.total(),
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 #[cfg(test)]
@@ -224,7 +224,7 @@ mod tests {
 
     #[test]
     fn tariff_sweep_weakens_exports_with_w() {
-        let points = sweep_tariff(&scenario(), &[1.0, 3.0]).unwrap();
+        let points = sweep_tariff(&scenario(), &[1.0, 3.0], &Parallelism::SEQUENTIAL).unwrap();
         assert_eq!(points.len(), 2);
         // Full retail (W = 1) rewards exporting at least as much as W = 3.
         assert!(
@@ -238,7 +238,7 @@ mod tests {
 
     #[test]
     fn pv_sweep_hollows_midday() {
-        let points = sweep_pv_ownership(&scenario(), &[0.0, 1.0]).unwrap();
+        let points = sweep_pv_ownership(&scenario(), &[0.0, 1.0], &Parallelism::new(2)).unwrap();
         assert!(
             points[1].midday_draw < points[0].midday_draw,
             "full PV midday {} vs none {}",
@@ -257,14 +257,14 @@ mod tests {
 
     #[test]
     fn pv_sweep_rejects_bad_fraction() {
-        assert!(sweep_pv_ownership(&scenario(), &[1.5]).is_err());
+        assert!(sweep_pv_ownership(&scenario(), &[1.5], &Parallelism::new(2)).is_err());
     }
 
     #[test]
     fn fault_tolerance_sweep_reports_degradation() {
         let mut scenario = PaperScenario::small(8, 21);
         scenario.training_days = 4;
-        let points = sweep_fault_tolerance(&scenario, &[0.25]).unwrap();
+        let points = sweep_fault_tolerance(&scenario, &[0.25], &Parallelism::SEQUENTIAL).unwrap();
         assert_eq!(points.len(), 1);
         let p = &points[0];
         assert!((0.0..=1.0).contains(&p.aware_accuracy));
@@ -276,7 +276,7 @@ mod tests {
 
     #[test]
     fn attack_window_sweep_reports_each_window() {
-        let points = sweep_attack_window(&scenario(), &[3.0, 16.0]).unwrap();
+        let points = sweep_attack_window(&scenario(), &[3.0, 16.0], &Parallelism::new(2)).unwrap();
         assert_eq!(points.len(), 2);
         for p in &points {
             assert!(p.attacked_par >= 1.0);

@@ -183,6 +183,46 @@ pub fn try_optimize_battery_budgeted(
     rng: &mut impl Rng,
     clock: Option<&BudgetClock>,
 ) -> Result<(Vec<Kwh>, CeSolution), SolverError> {
+    optimize_battery_with(problem, warm_start, |bounds, init| {
+        optimizer.try_minimize_budgeted(|x| problem.objective(x), bounds, init, rng, clock)
+    })
+}
+
+/// Like [`try_optimize_battery_budgeted`], but the cross-entropy sample
+/// evaluations fan out over `parallelism` worker threads via
+/// [`CrossEntropyOptimizer::try_minimize_budgeted_par`] — bit-identical to
+/// the sequential variant under the same seed at any thread count.
+///
+/// # Errors
+///
+/// Same as [`try_optimize_battery`].
+pub fn try_optimize_battery_budgeted_par(
+    problem: &BatteryProblem<'_>,
+    optimizer: &CrossEntropyOptimizer,
+    warm_start: Option<&[f64]>,
+    rng: &mut impl Rng,
+    clock: Option<&BudgetClock>,
+    parallelism: &nms_par::Parallelism,
+) -> Result<(Vec<Kwh>, CeSolution), SolverError> {
+    optimize_battery_with(problem, warm_start, |bounds, init| {
+        optimizer.try_minimize_budgeted_par(
+            |x: &[f64]| problem.objective(x),
+            bounds,
+            init,
+            rng,
+            clock,
+            parallelism,
+        )
+    })
+}
+
+/// The shared shell around the CE step: the unusable-battery degenerate
+/// case, warm-start validation, and the never-worse-than-warm/idle floor.
+fn optimize_battery_with(
+    problem: &BatteryProblem<'_>,
+    warm_start: Option<&[f64]>,
+    solve: impl FnOnce(&[(f64, f64)], &[f64]) -> Result<CeSolution, SolverError>,
+) -> Result<(Vec<Kwh>, CeSolution), SolverError> {
     if !problem.battery().is_usable() {
         let interior = problem.idle_interior();
         let solution = CeSolution {
@@ -211,8 +251,7 @@ pub fn try_optimize_battery_budgeted(
         }
         None => problem.idle_interior(),
     };
-    let mut solution =
-        optimizer.try_minimize_budgeted(|x| problem.objective(x), &bounds, &init, rng, clock)?;
+    let mut solution = solve(&bounds, &init)?;
     // Never return something worse than the warm start or doing nothing.
     for candidate in [
         Some(init),

@@ -11,9 +11,19 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use nms_par::Parallelism;
 use nms_types::{BudgetClock, ValidateError};
 
 use crate::SolverError;
+
+/// The error produced when the objective evaluates to NaN on a sampled
+/// point — shared by the sequential and parallel evaluators so both paths
+/// fail identically.
+fn nan_sample_error() -> SolverError {
+    SolverError::Numeric {
+        detail: "objective returned NaN for a sampled point".into(),
+    }
+}
 
 /// Draws one standard-normal variate via the Box–Muller transform (keeps
 /// the workspace free of distribution crates; see DESIGN.md §6).
@@ -210,6 +220,85 @@ impl CrossEntropyOptimizer {
         rng: &mut impl Rng,
         clock: Option<&BudgetClock>,
     ) -> Result<CeSolution, SolverError> {
+        // Evaluate in input order and short-circuit on the first NaN —
+        // exactly what the pre-batch interleaved loop did.
+        self.minimize_core(
+            &mut |points| {
+                let mut values = Vec::with_capacity(points.len());
+                for point in points {
+                    let value = objective(point);
+                    if value.is_nan() {
+                        return Err(nan_sample_error());
+                    }
+                    values.push(value);
+                }
+                Ok(values)
+            },
+            bounds,
+            init_mean,
+            rng,
+            clock,
+        )
+    }
+
+    /// Like [`CrossEntropyOptimizer::try_minimize_budgeted`], but each
+    /// iteration's `K` sample evaluations fan out over
+    /// [`nms_par::par_map_chunked`]. Sample *generation* still happens
+    /// sequentially on the calling thread in the same RNG order, and the
+    /// objective consumes no randomness, so the result is bit-identical to
+    /// the sequential method under the same seed — at any thread count.
+    ///
+    /// The objective must be `Fn + Sync` (workers share it); keep using the
+    /// sequential method for stateful `FnMut` objectives.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CrossEntropyOptimizer::try_minimize_budgeted`]; a NaN on
+    /// any sampled point surfaces as the lowest-index failure, matching the
+    /// sequential first-error behavior.
+    pub fn try_minimize_budgeted_par(
+        &self,
+        objective: impl Fn(&[f64]) -> f64 + Sync,
+        bounds: &[(f64, f64)],
+        init_mean: &[f64],
+        rng: &mut impl Rng,
+        clock: Option<&BudgetClock>,
+        parallelism: &Parallelism,
+    ) -> Result<CeSolution, SolverError> {
+        let threads = parallelism.threads;
+        // Individual objective evaluations are cheap relative to thread
+        // scheduling; chunking amortizes the pull cost.
+        let chunk = (self.config.samples / (threads.max(1) * 4)).max(1);
+        self.minimize_core(
+            &mut |points| {
+                nms_par::par_map_chunked(threads, chunk, points, |_, point: &Vec<f64>| {
+                    let value = objective(point);
+                    if value.is_nan() {
+                        Err(nan_sample_error())
+                    } else {
+                        Ok(value)
+                    }
+                })
+            },
+            bounds,
+            init_mean,
+            rng,
+            clock,
+        )
+    }
+
+    /// The shared CE loop: per iteration, draw all `K` sample points from
+    /// `rng`, hand them to `eval_batch` (which returns their objective
+    /// values in order, or the lowest-index evaluation failure), then refit
+    /// the sampling distribution on the elites.
+    fn minimize_core(
+        &self,
+        eval_batch: &mut dyn FnMut(&[Vec<f64>]) -> Result<Vec<f64>, SolverError>,
+        bounds: &[(f64, f64)],
+        init_mean: &[f64],
+        rng: &mut impl Rng,
+        clock: Option<&BudgetClock>,
+    ) -> Result<CeSolution, SolverError> {
         if bounds.len() != init_mean.len() {
             return Err(SolverError::Numeric {
                 detail: format!(
@@ -221,9 +310,10 @@ impl CrossEntropyOptimizer {
         }
         let dim = bounds.len();
         if dim == 0 {
+            let values = eval_batch(&[Vec::new()])?;
             return Ok(CeSolution {
                 point: Vec::new(),
-                objective: objective(&[]),
+                objective: values[0],
                 iterations: 0,
                 converged: true,
                 budget_breached: false,
@@ -256,12 +346,10 @@ impl CrossEntropyOptimizer {
             .clamp(1, self.config.samples);
 
         let mut best_point = mean.clone();
-        let mut best_value = objective(&best_point);
-        if best_value.is_nan() {
-            return Err(SolverError::Numeric {
+        let mut best_value = eval_batch(std::slice::from_ref(&best_point))
+            .map_err(|_| SolverError::Numeric {
                 detail: "objective returned NaN at the initial mean".into(),
-            });
-        }
+            })?[0];
 
         let mut samples: Vec<(f64, Vec<f64>)> = Vec::with_capacity(self.config.samples);
         let mut iterations = 0;
@@ -276,21 +364,22 @@ impl CrossEntropyOptimizer {
                 }
             }
             iterations += 1;
-            samples.clear();
+            // Draw every sample point before evaluating any of them: the
+            // objective consumes no randomness, so this keeps the RNG
+            // stream identical to the old interleaved loop while letting
+            // the evaluation batch fan out across workers.
+            let mut points: Vec<Vec<f64>> = Vec::with_capacity(self.config.samples);
             for _ in 0..self.config.samples {
                 let mut x = Vec::with_capacity(dim);
                 for d in 0..dim {
                     let v = mean[d] + std[d].max(1e-12) * sample_standard_normal(rng);
                     x.push(v.clamp(bounds[d].0, bounds[d].1));
                 }
-                let value = objective(&x);
-                if value.is_nan() {
-                    return Err(SolverError::Numeric {
-                        detail: "objective returned NaN for a sampled point".into(),
-                    });
-                }
-                samples.push((value, x));
+                points.push(x);
             }
+            let values = eval_batch(&points)?;
+            samples.clear();
+            samples.extend(values.into_iter().zip(points));
             // No NaN can reach this sort: every sample was checked above.
             samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("objective values not NaN"));
             if samples[0].0 < best_value {
@@ -494,13 +583,16 @@ mod tests {
         // The best-so-far point is still inside the box and usable.
         assert!((0.0..=1.0).contains(&solution.point[0]));
 
-        // An expired wall clock stops before the first iteration.
-        let clock = SolveBudget {
-            max_iterations: None,
-            max_wall_secs: Some(1e-12),
-        }
-        .start();
-        std::thread::sleep(std::time::Duration::from_millis(1));
+        // An expired wall clock stops before the first iteration. The
+        // elapsed time is injected rather than slept, so the test cannot
+        // flake under scheduler load.
+        let clock = BudgetClock::with_elapsed(
+            SolveBudget {
+                max_iterations: None,
+                max_wall_secs: Some(0.5),
+            },
+            1.0,
+        );
         let solution = optimizer
             .try_minimize_budgeted(
                 |x| (x[0] - 0.5).powi(2),
@@ -513,6 +605,78 @@ mod tests {
         assert!(solution.budget_breached);
         assert_eq!(solution.iterations, 0);
         assert_eq!(solution.point, vec![0.9]);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_sequential() {
+        let optimizer = CrossEntropyOptimizer::new(CeConfig {
+            samples: 48,
+            max_iters: 20,
+            ..CeConfig::default()
+        });
+        let objective =
+            |x: &[f64]| (x[0] - 0.3).powi(2) + (x[1] + 0.4).powi(2) + (x[0] * x[1]).sin();
+        let bounds = [(-1.0, 1.0); 2];
+        let init = [0.5; 2];
+        let sequential = optimizer
+            .try_minimize_budgeted(objective, &bounds, &init, &mut rng(31), None)
+            .unwrap();
+        for threads in [1, 2, 4] {
+            let parallel = optimizer
+                .try_minimize_budgeted_par(
+                    objective,
+                    &bounds,
+                    &init,
+                    &mut rng(31),
+                    None,
+                    &Parallelism::new(threads),
+                )
+                .unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_respects_budget_clock() {
+        use nms_types::SolveBudget;
+        let optimizer = CrossEntropyOptimizer::new(CeConfig {
+            max_iters: 50,
+            std_tol_fraction: 0.0,
+            ..CeConfig::default()
+        });
+        let clock = SolveBudget {
+            max_iterations: Some(2),
+            max_wall_secs: None,
+        }
+        .start();
+        let solution = optimizer
+            .try_minimize_budgeted_par(
+                |x: &[f64]| (x[0] - 0.5).powi(2),
+                &[(0.0, 1.0)],
+                &[0.9],
+                &mut rng(7),
+                Some(&clock),
+                &Parallelism::new(4),
+            )
+            .unwrap();
+        assert!(solution.budget_breached);
+        assert_eq!(solution.iterations, 2);
+    }
+
+    #[test]
+    fn parallel_evaluation_reports_nan_as_error() {
+        let optimizer = CrossEntropyOptimizer::default();
+        let err = optimizer
+            .try_minimize_budgeted_par(
+                |_: &[f64]| f64::NAN,
+                &[(0.0, 1.0)],
+                &[0.5],
+                &mut rng(0),
+                None,
+                &Parallelism::new(4),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("NaN"), "{err}");
     }
 
     #[test]

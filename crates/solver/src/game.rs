@@ -6,10 +6,13 @@
 //! (Gauss–Seidel), or for a fixed number of Jacobi rounds when running the
 //! parallel variant.
 
+use std::collections::HashMap;
+
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use nms_par::Parallelism;
 use nms_pricing::{CostModel, NetMeteringTariff, PriceSignal};
 use nms_smarthome::{Community, CommunitySchedule, CustomerSchedule};
 use nms_types::{TimeSeries, ValidateError};
@@ -25,10 +28,19 @@ pub struct GameConfig {
     pub tolerance: f64,
     /// Per-customer best-response settings.
     pub response: ResponseConfig,
-    /// Number of worker threads for parallel Jacobi rounds; `1` selects the
-    /// sequential Gauss–Seidel iteration (better convergence, the paper's
-    /// formulation).
-    pub threads: usize,
+    /// Worker threads for parallel Jacobi rounds; `threads == 1` selects
+    /// the sequential Gauss–Seidel iteration (better convergence, the
+    /// paper's formulation). Configurations serialized before this knob
+    /// existed load as sequential.
+    #[serde(default)]
+    pub parallelism: Parallelism,
+    /// Quantum (kWh) for the best-response memo cache key: two rounds whose
+    /// inputs agree after rounding to this grid share one cached response
+    /// (DESIGN.md §9). `0.0` — the default, and what old serialized configs
+    /// load as — disables the cache entirely, keeping the legacy bit-exact
+    /// path.
+    #[serde(default)]
+    pub cache_quantum: f64,
 }
 
 impl GameConfig {
@@ -37,7 +49,8 @@ impl GameConfig {
     /// # Errors
     ///
     /// Returns [`ValidateError`] on zero rounds/threads, a non-positive
-    /// tolerance, or an invalid response configuration.
+    /// tolerance, a negative or non-finite cache quantum, or an invalid
+    /// response configuration.
     pub fn validate(&self) -> Result<(), ValidateError> {
         if self.max_rounds == 0 {
             return Err(ValidateError::new("need at least one round"));
@@ -45,8 +58,11 @@ impl GameConfig {
         if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
             return Err(ValidateError::new("tolerance must be positive"));
         }
-        if self.threads == 0 {
-            return Err(ValidateError::new("need at least one thread"));
+        self.parallelism.validate().map_err(ValidateError::new)?;
+        if !(self.cache_quantum >= 0.0 && self.cache_quantum.is_finite()) {
+            return Err(ValidateError::new(
+                "cache quantum must be finite and non-negative",
+            ));
         }
         self.response.validate()
     }
@@ -57,7 +73,8 @@ impl GameConfig {
             max_rounds: 6,
             tolerance: 0.05,
             response: ResponseConfig::fast(),
-            threads: 1,
+            parallelism: Parallelism::SEQUENTIAL,
+            cache_quantum: 0.0,
         }
     }
 }
@@ -68,7 +85,36 @@ impl Default for GameConfig {
             max_rounds: 12,
             tolerance: 0.01,
             response: ResponseConfig::default(),
-            threads: 1,
+            parallelism: Parallelism::SEQUENTIAL,
+            cache_quantum: 0.0,
+        }
+    }
+}
+
+/// Hit/miss counters for the best-response memo cache.
+///
+/// All-zero when the cache is disabled (`cache_quantum == 0.0`). When
+/// enabled, every best-response invocation is tallied exactly once, so
+/// `hits + misses` equals customers × rounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Invocations answered from the cache.
+    pub hits: usize,
+    /// Invocations that ran the full DP + CE best response.
+    pub misses: usize,
+    /// Hits per round (index = zero-based round); divide by the customer
+    /// count for a per-round hit rate.
+    pub hits_by_round: Vec<usize>,
+}
+
+impl CacheStats {
+    /// Overall hit fraction; `0.0` when nothing was tallied.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
         }
     }
 }
@@ -84,6 +130,8 @@ pub struct GameOutcome {
     pub converged: bool,
     /// Largest per-slot trading change after each round (kWh).
     pub history: Vec<f64>,
+    /// Best-response memo cache tallies (all-zero when disabled).
+    pub cache: CacheStats,
 }
 
 /// Which guideline price each customer's smart controller sees.
@@ -204,6 +252,11 @@ impl<'a> GameEngine<'a> {
     /// Runs the iterative best-response loop, deterministically seeded from
     /// `rng`.
     ///
+    /// Per-customer seeds for every round are drawn from `rng` up front and
+    /// regardless of cache hits, so the draw order (and therefore any
+    /// downstream consumer of `rng`) is identical across thread counts and
+    /// cache settings.
+    ///
     /// # Errors
     ///
     /// Propagates [`SolverError`] from any customer's subproblem.
@@ -217,6 +270,8 @@ impl<'a> GameEngine<'a> {
         let mut history = Vec::new();
         let mut converged = false;
         let mut rounds = 0;
+        let mut cache = ResponseCache::new(self.config.cache_quantum);
+        let mut stats = CacheStats::default();
 
         for _round in 0..self.config.max_rounds {
             rounds += 1;
@@ -224,21 +279,33 @@ impl<'a> GameEngine<'a> {
             // same per-customer randomness.
             let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
             let mut round_delta = 0.0_f64;
+            if cache.enabled() {
+                stats.hits_by_round.push(0);
+            }
 
-            if self.config.threads <= 1 {
+            if self.config.parallelism.threads <= 1 {
                 // Gauss–Seidel: each customer sees the freshest totals.
                 for (index, customer) in self.community.iter().enumerate() {
                     let others = total.sub(&tradings[index]).expect("aligned horizons");
-                    let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
-                    let cost_model = CostModel::new(self.prices.for_customer(index), self.tariff);
-                    let response = best_response(
-                        customer,
-                        &others,
-                        cost_model,
-                        &self.config.response,
-                        schedules[index].as_ref(),
-                        &mut child,
-                    )?;
+                    let key = cache.key(index, &others, schedules[index].as_ref());
+                    let response = match cache.lookup(key, &mut stats) {
+                        Some(hit) => hit,
+                        None => {
+                            let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
+                            let cost_model =
+                                CostModel::new(self.prices.for_customer(index), self.tariff);
+                            let response = best_response(
+                                customer,
+                                &others,
+                                cost_model,
+                                &self.config.response,
+                                schedules[index].as_ref(),
+                                &mut child,
+                            )?;
+                            cache.insert(key, &response);
+                            response
+                        }
+                    };
                     let delta = max_abs_diff(response.trading(), &tradings[index]);
                     round_delta = round_delta.max(delta);
                     total = others.add(response.trading()).expect("aligned horizons");
@@ -247,10 +314,28 @@ impl<'a> GameEngine<'a> {
                 }
             } else {
                 // Jacobi: all respond to the same snapshot, in parallel.
+                // Cache lookups run sequentially against the snapshot; only
+                // the misses fan out to the worker pool.
                 let snapshot_total = total.clone();
-                let responses =
-                    self.parallel_round(&snapshot_total, &tradings, &schedules, &seeds)?;
+                let mut responses: Vec<Option<CustomerSchedule>> = vec![None; n];
+                let mut misses: Vec<(usize, Option<u64>)> = Vec::new();
+                for index in 0..n {
+                    let others = snapshot_total.sub(&tradings[index]).expect("aligned horizons");
+                    let key = cache.key(index, &others, schedules[index].as_ref());
+                    match cache.lookup(key, &mut stats) {
+                        Some(hit) => responses[index] = Some(hit),
+                        None => misses.push((index, key)),
+                    }
+                }
+                let miss_indices: Vec<usize> = misses.iter().map(|(index, _)| *index).collect();
+                let computed =
+                    self.parallel_round(&snapshot_total, &tradings, &schedules, &seeds, &miss_indices)?;
+                for ((index, key), response) in misses.into_iter().zip(computed) {
+                    cache.insert(key, &response);
+                    responses[index] = Some(response);
+                }
                 for (index, response) in responses.into_iter().enumerate() {
+                    let response = response.expect("every customer answered this round");
                     let delta = max_abs_diff(response.trading(), &tradings[index]);
                     round_delta = round_delta.max(delta);
                     tradings[index] = response.trading().clone();
@@ -276,56 +361,145 @@ impl<'a> GameEngine<'a> {
             rounds,
             converged,
             history,
+            cache: stats,
         })
     }
 
-    /// One parallel Jacobi round over all customers.
+    /// One parallel Jacobi round over the given customer indices (the cache
+    /// misses; every index when the cache is disabled), via the ordered
+    /// deterministic [`nms_par::par_map`].
     fn parallel_round(
         &self,
         snapshot_total: &TimeSeries<f64>,
         tradings: &[TimeSeries<f64>],
         schedules: &[Option<CustomerSchedule>],
         seeds: &[u64],
+        indices: &[usize],
     ) -> Result<Vec<CustomerSchedule>, SolverError> {
-        let n = self.community.len();
-        let threads = self.config.threads.min(n);
-        let chunk = n.div_ceil(threads);
-        let mut results: Vec<Option<Result<CustomerSchedule, SolverError>>> = vec![None; n];
-
-        crossbeam::thread::scope(|scope| {
-            for (t, slots) in results.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                let config = &self.config.response;
-                let community = self.community;
-                let prices = self.prices;
-                let tariff = self.tariff;
-                scope.spawn(move |_| {
-                    for (offset, slot) in slots.iter_mut().enumerate() {
-                        let index = start + offset;
-                        let customer = &community.customers()[index];
-                        let others = snapshot_total
-                            .sub(&tradings[index])
-                            .expect("aligned horizons");
-                        let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
-                        let cost_model = CostModel::new(prices.for_customer(index), tariff);
-                        *slot = Some(best_response(
-                            customer,
-                            &others,
-                            cost_model,
-                            config,
-                            schedules[index].as_ref(),
-                            &mut child,
-                        ));
-                    }
-                });
-            }
+        nms_par::par_map(self.config.parallelism.threads, indices, |_, &index| {
+            let customer = &self.community.customers()[index];
+            let others = snapshot_total
+                .sub(&tradings[index])
+                .expect("aligned horizons");
+            let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
+            let cost_model = CostModel::new(self.prices.for_customer(index), self.tariff);
+            best_response(
+                customer,
+                &others,
+                cost_model,
+                &self.config.response,
+                schedules[index].as_ref(),
+                &mut child,
+            )
         })
-        .expect("worker thread panicked");
+    }
+}
 
-        results
-            .into_iter()
-            .map(|r| r.expect("every index visited"))
-            .collect()
+/// Per-solve memo cache for best responses, keyed on a quantized
+/// fingerprint of everything the response depends on: the customer index,
+/// that customer's believed price signal, the aggregate trading of the
+/// others, and the warm-start schedule. In late rounds these inputs settle
+/// onto the quantization grid, so re-solves collapse into lookups.
+///
+/// Cache hits skip the DP + CE re-solve but never the per-round seed draw,
+/// so the caller-visible RNG stream is unchanged by caching.
+struct ResponseCache {
+    quantum: f64,
+    map: HashMap<u64, CustomerSchedule>,
+}
+
+impl ResponseCache {
+    fn new(quantum: f64) -> Self {
+        Self {
+            quantum,
+            map: HashMap::new(),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.quantum > 0.0
+    }
+
+    /// The cache key for one invocation, `None` when disabled.
+    fn key(
+        &self,
+        index: usize,
+        others_trading: &TimeSeries<f64>,
+        warm: Option<&CustomerSchedule>,
+    ) -> Option<u64> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut hash = Fnv1a::new();
+        hash.word(index as u64);
+        for &v in others_trading.iter() {
+            hash.word(self.quantize(v));
+        }
+        match warm {
+            None => hash.word(0),
+            Some(schedule) => {
+                hash.word(1);
+                for appliance in schedule.appliance_schedules() {
+                    for &v in appliance.energy().iter() {
+                        hash.word(self.quantize(v));
+                    }
+                }
+                for level in schedule.battery() {
+                    hash.word(self.quantize(level.value()));
+                }
+            }
+        }
+        Some(hash.finish())
+    }
+
+    fn lookup(&self, key: Option<u64>, stats: &mut CacheStats) -> Option<CustomerSchedule> {
+        let key = key?;
+        match self.map.get(&key) {
+            Some(hit) => {
+                stats.hits += 1;
+                if let Some(last) = stats.hits_by_round.last_mut() {
+                    *last += 1;
+                }
+                Some(hit.clone())
+            }
+            None => {
+                stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: Option<u64>, response: &CustomerSchedule) {
+        if let Some(key) = key {
+            self.map.insert(key, response.clone());
+        }
+    }
+
+    /// Rounds a value onto the quantization grid; values within half a
+    /// quantum of each other map to the same cell.
+    fn quantize(&self, value: f64) -> u64 {
+        ((value / self.quantum).round() as i64) as u64
+    }
+}
+
+/// FNV-1a 64-bit hasher over little-endian `u64` words (the same scheme the
+/// journal uses for record integrity).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -399,7 +573,19 @@ mod tests {
         .validate()
         .is_err());
         assert!(GameConfig {
-            threads: 0,
+            parallelism: Parallelism::new(0),
+            ..GameConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GameConfig {
+            cache_quantum: -1.0,
+            ..GameConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GameConfig {
+            cache_quantum: f64::NAN,
             ..GameConfig::default()
         }
         .validate()
@@ -510,7 +696,7 @@ mod tests {
         let sequential = engine.solve(&mut rng).unwrap();
 
         let mut parallel_config = sequential_config;
-        parallel_config.threads = 4;
+        parallel_config.parallelism = Parallelism::new(4);
         let engine = GameEngine::new(
             &community,
             &prices,
@@ -527,5 +713,101 @@ mod tests {
         let seq_total = sequential.schedule.load().total().value();
         let par_total = parallel.schedule.load().total().value();
         assert!((seq_total - par_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jacobi_rounds_are_thread_count_invariant() {
+        // Jacobi customers respond to a per-round snapshot with pre-drawn
+        // per-customer seeds, so the worker count cannot affect the result.
+        let community = small_community(5, true);
+        let prices = tou_prices();
+        let run = |threads: usize| {
+            let mut config = GameConfig::fast();
+            config.max_rounds = 3;
+            config.parallelism = Parallelism::new(threads);
+            let engine =
+                GameEngine::new(&community, &prices, NetMeteringTariff::default(), config).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            engine.solve(&mut rng).unwrap()
+        };
+        let two = run(2);
+        let four = run(4);
+        assert_eq!(two.history, four.history);
+        assert_eq!(two.rounds, four.rounds);
+        for (a, b) in two
+            .schedule
+            .customer_schedules()
+            .iter()
+            .zip(four.schedule.customer_schedules())
+        {
+            assert_eq!(a.trading(), b.trading());
+            assert_eq!(a.battery(), b.battery());
+        }
+    }
+
+    #[test]
+    fn cache_disabled_by_default() {
+        let community = small_community(3, false);
+        let prices = tou_prices();
+        let engine = GameEngine::new(
+            &community,
+            &prices,
+            NetMeteringTariff::default(),
+            GameConfig::fast(),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let outcome = engine.solve(&mut rng).unwrap();
+        assert_eq!(outcome.cache, CacheStats::default());
+        assert_eq!(outcome.cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn memo_cache_preserves_loads_and_hits_late_rounds() {
+        // Battery-less customers make the best response pure deterministic
+        // DP, and the Jacobi iteration settles into an exact period-2 limit
+        // cycle after a few rounds: every late round re-solves a problem the
+        // cache has already seen, while the round delta stays above tolerance
+        // so the run keeps going. A hit returns exactly what recomputation
+        // would, so loads are bit-identical with the cache on or off.
+        let community = small_community(4, false);
+        let prices = tou_prices();
+        let run = |cache_quantum: f64| {
+            let mut config = GameConfig::fast();
+            config.max_rounds = 12;
+            config.tolerance = 1e-6;
+            config.parallelism = Parallelism::new(2);
+            config.cache_quantum = cache_quantum;
+            let engine =
+                GameEngine::new(&community, &prices, NetMeteringTariff::default(), config).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(23);
+            engine.solve(&mut rng).unwrap()
+        };
+        let plain = run(0.0);
+        let cached = run(1e-6);
+
+        // The cache skips re-solves but must not change what anyone
+        // consumes: per-customer load profiles are bit-identical.
+        for (a, b) in plain
+            .schedule
+            .customer_schedules()
+            .iter()
+            .zip(cached.schedule.customer_schedules())
+        {
+            assert_eq!(a.load().series(), b.load().series());
+        }
+
+        // Late rounds re-solve an (almost) identical problem and should hit.
+        assert!(cached.cache.hits > 0, "stats: {:?}", cached.cache);
+        let last_round_hits = *cached.cache.hits_by_round.last().unwrap();
+        assert!(
+            last_round_hits * 2 > community.len(),
+            "late-round hit rate too low: {:?}",
+            cached.cache
+        );
+        assert_eq!(
+            cached.cache.hits + cached.cache.misses,
+            community.len() * cached.rounds
+        );
     }
 }

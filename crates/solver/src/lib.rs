@@ -49,12 +49,13 @@ mod retry;
 
 pub use battery::{
     coordinate_descent_battery, optimize_battery, try_optimize_battery,
-    try_optimize_battery_budgeted, BatteryProblem,
+    try_optimize_battery_budgeted, try_optimize_battery_budgeted_par, BatteryProblem,
 };
 pub use ce::{CeConfig, CeSolution, CrossEntropyOptimizer};
 pub use dp::DpScheduler;
 pub use error::SolverError;
-pub use game::{GameConfig, GameEngine, GameOutcome, PriceAssignment};
+pub use game::{CacheStats, GameConfig, GameEngine, GameOutcome, PriceAssignment};
+pub use nms_par::Parallelism;
 pub use nash::{nash_gap, NashGap};
 pub use response::{best_response, ResponseConfig};
 pub use retry::{solve_battery_robust, BatterySolveStage, RobustBatteryOutcome};

@@ -227,6 +227,7 @@ impl SolveBudget {
         BudgetClock {
             budget: *self,
             started: std::time::Instant::now(),
+            elapsed_offset: 0.0,
         }
     }
 }
@@ -239,9 +240,26 @@ impl SolveBudget {
 pub struct BudgetClock {
     budget: SolveBudget,
     started: std::time::Instant,
+    /// Seconds treated as already elapsed when the clock started. Zero in
+    /// production; tests inject a positive offset to make wall-deadline
+    /// breaches deterministic instead of racing a real `sleep` against a
+    /// tiny deadline.
+    elapsed_offset: f64,
 }
 
 impl BudgetClock {
+    /// A clock that behaves as though `secs` seconds had already elapsed
+    /// when it started. This is the deterministic-test hook: an expired
+    /// deadline can be constructed outright, with no sleeping and no
+    /// dependence on scheduler load.
+    pub fn with_elapsed(budget: SolveBudget, secs: f64) -> Self {
+        Self {
+            budget,
+            started: std::time::Instant::now(),
+            elapsed_offset: secs,
+        }
+    }
+
     /// Returns the breach description if `iterations_done` or the elapsed
     /// wall clock has exhausted the budget, `None` while within it.
     pub fn breach(&self, iterations_done: usize) -> Option<String> {
@@ -251,7 +269,7 @@ impl BudgetClock {
             }
         }
         if let Some(secs) = self.budget.max_wall_secs {
-            let elapsed = self.started.elapsed().as_secs_f64();
+            let elapsed = self.started.elapsed().as_secs_f64() + self.elapsed_offset;
             if elapsed >= secs {
                 return Some(format!(
                     "wall-clock budget exhausted ({elapsed:.3}s elapsed, {secs}s allowed)"
@@ -496,14 +514,26 @@ mod tests {
         assert!(clock.breach(4).is_none());
         assert!(clock.breach(5).is_some());
 
-        // A zero-ish deadline breaches immediately once started.
-        let clock = SolveBudget {
-            max_iterations: None,
-            max_wall_secs: Some(1e-12),
-        }
-        .start();
-        std::thread::sleep(std::time::Duration::from_millis(1));
+        // An expired deadline breaches immediately; injecting the elapsed
+        // time keeps this deterministic under any scheduler load.
+        let clock = BudgetClock::with_elapsed(
+            SolveBudget {
+                max_iterations: None,
+                max_wall_secs: Some(0.5),
+            },
+            1.0,
+        );
         assert!(clock.breach(0).is_some());
+
+        // An injected elapsed time short of the deadline does not breach.
+        let clock = BudgetClock::with_elapsed(
+            SolveBudget {
+                max_iterations: None,
+                max_wall_secs: Some(3600.0),
+            },
+            1.0,
+        );
+        assert!(clock.breach(0).is_none());
 
         // Unlimited never breaches.
         let clock = SolveBudget::unlimited().start();

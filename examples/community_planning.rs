@@ -10,6 +10,7 @@
 use std::error::Error;
 
 use netmeter_sentinel::sim::sweeps::{sweep_pv_ownership, sweep_tariff};
+use netmeter_sentinel::sim::Parallelism;
 use netmeter_sentinel::sim::{render_table, PaperScenario};
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -28,7 +29,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // --- Sweep 1: the net-metering reward divisor W. ---
     println!("sweep 1: net-metering reward rate (W) at fixed PV penetration\n");
-    let points = sweep_tariff(&scenario, &[1.0, 1.25, 1.5, 2.0, 3.0])?;
+    let points = sweep_tariff(&scenario, &[1.0, 1.25, 1.5, 2.0, 3.0], &Parallelism::SEQUENTIAL)?;
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -46,7 +47,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // --- Sweep 2: PV penetration. ---
     println!("\nsweep 2: PV ownership at the default tariff (W = 1.5)\n");
-    let points = sweep_pv_ownership(&scenario, &[0.0, 0.25, 0.5, 0.75, 1.0])?;
+    let points = sweep_pv_ownership(&scenario, &[0.0, 0.25, 0.5, 0.75, 1.0], &Parallelism::SEQUENTIAL)?;
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {

@@ -13,6 +13,7 @@
 use std::error::Error;
 
 use netmeter_sentinel::sim::sweeps::sweep_fault_tolerance;
+use netmeter_sentinel::sim::Parallelism;
 use netmeter_sentinel::sim::{export, render_table, PaperScenario};
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -36,7 +37,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!(
         "fault-tolerance sweep: {customers} homes, 48 h detection, rates {rates:?}\n"
     );
-    let points = sweep_fault_tolerance(&scenario, &rates)?;
+    let points = sweep_fault_tolerance(&scenario, &rates, &Parallelism::SEQUENTIAL)?;
 
     let rows: Vec<Vec<String>> = points
         .iter()

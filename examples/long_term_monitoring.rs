@@ -75,6 +75,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             retry: Default::default(),
             budget: Default::default(),
             quarantine: Default::default(),
+            parallelism: Default::default(),
         };
         let result: LongTermRunResult = match &journal {
             None => {

@@ -137,6 +137,7 @@ fn long_term_run_is_deterministic_under_seed() {
         retry: Default::default(),
         budget: Default::default(),
         quarantine: Default::default(),
+        parallelism: Default::default(),
     };
     let run = |seed: u64| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -167,6 +168,7 @@ fn no_detection_run_never_repairs() {
         retry: Default::default(),
         budget: Default::default(),
         quarantine: Default::default(),
+        parallelism: Default::default(),
     };
     let mut rng = ChaCha8Rng::seed_from_u64(12);
     let result = run_long_term_detection(&s, &config, &mut rng).unwrap();
@@ -193,6 +195,7 @@ fn detector_with_long_lag_requires_enough_training_days() {
         retry: Default::default(),
         budget: Default::default(),
         quarantine: Default::default(),
+        parallelism: Default::default(),
     };
     let mut rng = ChaCha8Rng::seed_from_u64(13);
     let err = run_long_term_detection(&s, &config, &mut rng).unwrap_err();

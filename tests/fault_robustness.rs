@@ -58,6 +58,7 @@ fn config(detector: Option<FrameworkConfig>, days: usize, faults: Option<FaultPl
         retry: RetryPolicy::default(),
         budget: Default::default(),
         quarantine: QuarantineConfig::default(),
+        parallelism: Default::default(),
     }
 }
 

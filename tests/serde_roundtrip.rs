@@ -61,6 +61,32 @@ fn solver_and_scenario_configs_roundtrip() {
 }
 
 #[test]
+fn parallelism_roundtrips_and_defaults_sequential() {
+    use netmeter_sentinel::solver::Parallelism;
+
+    roundtrip(&Parallelism::SEQUENTIAL);
+    roundtrip(&Parallelism::new(8));
+
+    // A GameConfig serialized before the parallelism/cache knobs existed
+    // must still load, landing on the sequential cache-free defaults that
+    // keep old runs bit-identical: strip the new keys from today's JSON to
+    // reconstruct a pre-knob config file.
+    let full = serde_json::to_string(&GameConfig::default()).expect("serialize");
+    let legacy = full
+        .replace(",\"parallelism\":{\"threads\":1}", "")
+        .replace("\"parallelism\":{\"threads\":1},", "")
+        .replace(",\"cache_quantum\":0.0", "")
+        .replace("\"cache_quantum\":0.0,", "");
+    assert!(
+        !legacy.contains("parallelism") && !legacy.contains("cache_quantum"),
+        "failed to strip new keys from {legacy}"
+    );
+    let config: GameConfig = serde_json::from_str(&legacy).expect("legacy config loads");
+    assert_eq!(config.parallelism, Parallelism::SEQUENTIAL);
+    assert_eq!(config.cache_quantum, 0.0);
+}
+
+#[test]
 fn robustness_types_roundtrip() {
     use netmeter_sentinel::sim::FaultPlan;
     use netmeter_sentinel::types::{FallbackRecord, FaultKind, FaultCounts, RetryPolicy, RunHealth};

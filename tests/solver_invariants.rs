@@ -7,7 +7,7 @@ use rand_chacha::ChaCha8Rng;
 use netmeter_sentinel::pricing::{NetMeteringTariff, PriceSignal};
 use netmeter_sentinel::sim::PaperScenario;
 use netmeter_sentinel::solver::{
-    nash_gap, GameConfig, GameEngine, PriceAssignment, ResponseConfig,
+    nash_gap, GameConfig, GameEngine, Parallelism, PriceAssignment, ResponseConfig,
 };
 use netmeter_sentinel::types::TimeSeries;
 
@@ -108,7 +108,7 @@ fn parallel_and_sequential_engines_agree_on_conserved_quantities() {
     let prices = PriceSignal::time_of_use(community.horizon(), 0.05, 0.25).unwrap();
     let run = |threads: usize| {
         let mut config = GameConfig::fast();
-        config.threads = threads;
+        config.parallelism = Parallelism::new(threads);
         let engine =
             GameEngine::new(&community, &prices, NetMeteringTariff::default(), config).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(6);
