@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use nms_bench::{bench_scenario, record_bench_results, timing_scenario, BenchRecord};
+use nms_bench::{bench_scenario, host_cores, record_bench_results, timing_scenario, BenchRecord};
 use nms_sim::sweeps::{
     sweep_attack_window, sweep_fault_tolerance, AttackWindowPoint, FaultTolerancePoint,
 };
@@ -37,11 +37,9 @@ fn smoke() -> bool {
 /// CSV rendering uses `f64`'s shortest-roundtrip `Display`, so two CSVs
 /// are byte-identical exactly when the underlying floats are bit-identical.
 fn attack_csv(points: &[AttackWindowPoint]) -> String {
-    let mut csv = String::from("from_hour,attacked_par,peak_slot\n");
-    for p in points {
-        csv.push_str(&format!("{},{},{}\n", p.from_hour, p.attacked_par, p.peak_slot));
-    }
-    csv
+    let mut buffer = Vec::new();
+    nms_sim::export::export_attack_window(&mut buffer, points).expect("vec write cannot fail");
+    String::from_utf8(buffer).expect("CSV is UTF-8")
 }
 
 fn fault_csv(points: &[FaultTolerancePoint]) -> String {
@@ -117,18 +115,43 @@ fn bench(c: &mut Criterion) {
         fault_seq_secs / fault_par_secs.max(1e-9)
     );
 
-    let record = |target: &str, wall_secs: f64, threads: usize| BenchRecord {
-        target: target.to_string(),
-        wall_secs,
-        customers: scenario.customers,
-        seed: scenario.seed,
-        threads,
+    // Solver effort and cache tallies are deterministic point fields, so
+    // the seq/par pairs share them by construction (asserted above).
+    let attack_rounds: u64 = attack_seq.iter().map(|p| p.solver_rounds as u64).sum();
+    let attack_hits: u64 = attack_seq.iter().map(|p| p.cache_hits as u64).sum();
+    let attack_misses: u64 = attack_seq.iter().map(|p| p.cache_misses as u64).sum();
+    let record = |target: &str, wall_secs: f64, threads: usize, rounds: u64, hits: u64, misses: u64| {
+        BenchRecord {
+            target: target.to_string(),
+            wall_secs,
+            customers: scenario.customers,
+            seed: scenario.seed,
+            threads,
+            host_cores: host_cores(),
+            solver_rounds: rounds,
+            cache_hits: hits,
+            cache_misses: misses,
+        }
     };
     record_bench_results(&[
-        record("sweep_attack_window/seq", attack_seq_secs, 1),
-        record("sweep_attack_window/par", attack_par_secs, threads),
-        record("sweep_fault_tolerance/seq", fault_seq_secs, 1),
-        record("sweep_fault_tolerance/par", fault_par_secs, threads),
+        record(
+            "sweep_attack_window/seq",
+            attack_seq_secs,
+            1,
+            attack_rounds,
+            attack_hits,
+            attack_misses,
+        ),
+        record(
+            "sweep_attack_window/par",
+            attack_par_secs,
+            threads,
+            attack_rounds,
+            attack_hits,
+            attack_misses,
+        ),
+        record("sweep_fault_tolerance/seq", fault_seq_secs, 1, 0, 0, 0),
+        record("sweep_fault_tolerance/par", fault_par_secs, threads, 0, 0, 0),
     ])
     .expect("bench results written");
     println!("recorded to {}", nms_bench::bench_results_path().display());

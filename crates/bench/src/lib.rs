@@ -62,6 +62,25 @@ pub struct BenchRecord {
     pub seed: u64,
     /// Worker threads the target ran with (1 = sequential).
     pub threads: usize,
+    /// Logical cores available on the host that produced the record
+    /// (`0` in records written before this field existed).
+    #[serde(default)]
+    pub host_cores: usize,
+    /// Total best-response rounds executed across the target's games.
+    #[serde(default)]
+    pub solver_rounds: u64,
+    /// Solver memo-cache hits across the target's games (zero when the
+    /// cache is disabled, the default).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Solver memo-cache misses across the target's games.
+    #[serde(default)]
+    pub cache_misses: u64,
+}
+
+/// Logical cores on this host (0 when the count cannot be determined).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
 }
 
 /// Where bench records land: `NMS_BENCH_RESULTS` if set, else
@@ -112,6 +131,17 @@ mod tests {
     }
 
     #[test]
+    fn legacy_records_without_host_fields_deserialize() {
+        let legacy = "{\"target\":\"a\",\"wall_secs\":1.0,\"customers\":8,\
+                      \"seed\":1,\"threads\":2}";
+        let record: BenchRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(record.host_cores, 0);
+        assert_eq!(record.cache_hits, 0);
+        assert_eq!(record.cache_misses, 0);
+        assert!(host_cores() >= 1, "this host has at least one core");
+    }
+
+    #[test]
     fn bench_records_merge_by_target() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("nms-bench-results-{}.json", std::process::id()));
@@ -123,6 +153,10 @@ mod tests {
             customers: 8,
             seed: 1,
             threads: 2,
+            host_cores: host_cores(),
+            solver_rounds: 0,
+            cache_hits: 0,
+            cache_misses: 0,
         };
         record_bench_results(&[record("a", 1.0), record("b", 2.0)]).unwrap();
         record_bench_results(&[record("b", 3.0)]).unwrap();

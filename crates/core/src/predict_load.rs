@@ -1,12 +1,13 @@
 //! Net-metering-aware energy-load prediction (§3): simulate the community's
 //! scheduling response to a guideline price by solving the game.
 
+use nms_obs::{NoopRecorder, Recorder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use nms_pricing::{CostModel, NetMeteringTariff, PriceSignal};
 use nms_smarthome::{Community, CommunitySchedule, Customer, LoadProfile};
-use nms_solver::{GameConfig, GameEngine, PriceAssignment, SolverError};
+use nms_solver::{CacheStats, GameConfig, GameEngine, PriceAssignment, SolverError};
 use nms_types::{MeterId, TimeSeries};
 
 /// The community's predicted response to a price signal.
@@ -20,6 +21,12 @@ pub struct PredictedResponse {
     pub par: f64,
     /// Whether the game converged within its round budget.
     pub converged: bool,
+    /// Best-response rounds the game executed (`0` for responses that did
+    /// not run the full game, e.g. unilateral deviations).
+    pub rounds: usize,
+    /// Solver memo-cache tallies from the game (all-zero when the cache is
+    /// disabled or no game ran).
+    pub cache: CacheStats,
 }
 
 impl PredictedResponse {
@@ -76,7 +83,24 @@ impl LoadPredictor {
         prices: &PriceSignal,
         rng: &mut impl Rng,
     ) -> Result<PredictedResponse, SolverError> {
-        self.predict_with_assignment(community, PriceAssignment::Uniform(prices), rng)
+        self.predict_with_assignment(community, PriceAssignment::Uniform(prices), rng, &NoopRecorder)
+    }
+
+    /// [`LoadPredictor::predict`] with solver telemetry routed into `rec`
+    /// (see [`GameEngine::solve_recorded`]). Bit-identical results to
+    /// [`LoadPredictor::predict`] under the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LoadPredictor::predict`].
+    pub fn predict_recorded(
+        &self,
+        community: &Community,
+        prices: &PriceSignal,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+    ) -> Result<PredictedResponse, SolverError> {
+        self.predict_with_assignment(community, PriceAssignment::Uniform(prices), rng, rec)
     }
 
     /// Predicts the community response when each customer's meter reports
@@ -94,7 +118,28 @@ impl LoadPredictor {
         signals: &[PriceSignal],
         rng: &mut impl Rng,
     ) -> Result<PredictedResponse, SolverError> {
-        self.predict_with_assignment(community, PriceAssignment::PerCustomer(signals), rng)
+        self.predict_with_assignment(
+            community,
+            PriceAssignment::PerCustomer(signals),
+            rng,
+            &NoopRecorder,
+        )
+    }
+
+    /// [`LoadPredictor::predict_per_customer`] with solver telemetry routed
+    /// into `rec`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LoadPredictor::predict_per_customer`].
+    pub fn predict_per_customer_recorded(
+        &self,
+        community: &Community,
+        signals: &[PriceSignal],
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+    ) -> Result<PredictedResponse, SolverError> {
+        self.predict_with_assignment(community, PriceAssignment::PerCustomer(signals), rng, rec)
     }
 
     /// The community's realized response when `hacked_meters` deviate
@@ -118,6 +163,31 @@ impl LoadPredictor {
         manipulated_price: &PriceSignal,
         hacked_meters: &[MeterId],
         rng: &mut impl Rng,
+    ) -> Result<PredictedResponse, SolverError> {
+        self.respond_unilaterally_recorded(
+            community,
+            committed,
+            manipulated_price,
+            hacked_meters,
+            rng,
+            &NoopRecorder,
+        )
+    }
+
+    /// [`LoadPredictor::respond_unilaterally`] with solver telemetry routed
+    /// into `rec` (the per-meter best responses tally DP/CE work).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LoadPredictor::respond_unilaterally`].
+    pub fn respond_unilaterally_recorded(
+        &self,
+        community: &Community,
+        committed: &PredictedResponse,
+        manipulated_price: &PriceSignal,
+        hacked_meters: &[MeterId],
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
     ) -> Result<PredictedResponse, SolverError> {
         let stripped_storage;
         let community_model: &Community = if self.net_metering {
@@ -156,13 +226,14 @@ impl LoadPredictor {
             let others = total
                 .sub(committed_own.trading())
                 .expect("aligned horizons");
-            schedules[index] = nms_solver::best_response(
+            schedules[index] = nms_solver::best_response_recorded(
                 customer,
                 &others,
                 cost_model,
                 &response_config,
                 Some(committed_own),
                 rng,
+                rec,
             )?;
         }
 
@@ -173,6 +244,8 @@ impl LoadPredictor {
             grid_demand,
             par,
             converged: committed.converged,
+            rounds: 0,
+            cache: CacheStats::default(),
             schedule,
         })
     }
@@ -182,6 +255,7 @@ impl LoadPredictor {
         community: &Community,
         prices: PriceAssignment<'_>,
         rng: &mut impl Rng,
+        rec: &dyn Recorder,
     ) -> Result<PredictedResponse, SolverError> {
         let stripped_storage;
         let community_model: &Community = if self.net_metering {
@@ -196,13 +270,15 @@ impl LoadPredictor {
         }
         let engine = GameEngine::with_price_assignment(community_model, prices, self.tariff, game)
             .map_err(SolverError::Config)?;
-        let outcome = engine.solve(rng)?;
+        let outcome = engine.solve_recorded(rng, rec)?;
         let grid_demand = outcome.schedule.grid_demand_clamped();
         let par = grid_demand.par().unwrap_or(1.0);
         Ok(PredictedResponse {
             grid_demand,
             par,
             converged: outcome.converged,
+            rounds: outcome.rounds,
+            cache: outcome.cache,
             schedule: outcome.schedule,
         })
     }

@@ -1,0 +1,326 @@
+//! In-memory metrics: counters, gauges, and fixed-bucket histograms, with
+//! a Prometheus-style text exposition writer.
+//!
+//! The registry is a shared handle (`Clone` clones the handle, not the
+//! data) guarded by one mutex — contention is irrelevant at the rates the
+//! pipeline records (per solve / per day, not per sample). All recording
+//! operations are commutative, so totals are independent of the order in
+//! which parallel workers land their updates.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::{Recorder, TraceEvent};
+
+/// Default histogram bucket upper bounds: an exponential ladder that
+/// covers both sub-millisecond timings and iteration counts up to a few
+/// hundred.
+const DEFAULT_BOUNDS: [f64; 12] = [
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0, 100.0, 300.0, 1000.0,
+];
+
+/// A fixed-bucket histogram: `counts[i]` tallies observations `<=
+/// bounds[i]`, with one extra overflow (`+Inf`) bucket at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds an empty histogram. Non-finite bounds are dropped and the
+    /// rest sorted ascending, so any input yields a usable histogram; an
+    /// empty bound list leaves only the overflow bucket.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        bounds.dedup();
+        let counts = vec![0; bounds.len() + 1];
+        Self {
+            bounds,
+            counts,
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation. NaN observations land in the overflow
+    /// bucket and contribute nothing to the sum.
+    pub fn observe(&mut self, value: f64) {
+        let index = self
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(self.bounds.len());
+        self.counts[index] += 1;
+        self.total += 1;
+        if value.is_finite() {
+            self.sum += value;
+        }
+    }
+
+    /// The bucket upper bounds (the final `+Inf` bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The in-memory metrics sink: counters, gauges, histograms, and a
+/// Prometheus-style exposition renderer. Cloning shares the underlying
+/// storage.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock means a panicking recorder call elsewhere;
+        // telemetry keeps best-effort working rather than cascading.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Pre-registers `name` as a histogram with explicit bucket bounds.
+    /// Without this, the first [`MetricsRegistry::observe_value`] creates
+    /// the histogram with default bounds.
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds));
+    }
+
+    /// Adds `by` to the counter `name` (created at zero on first use).
+    pub fn add_counter(&self, name: &str, by: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe_value(&self, name: &str, value: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(&DEFAULT_BOUNDS))
+            .observe(value);
+    }
+
+    /// Current value of counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// A snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    /// Metric names are prefixed `nms_` and sanitized to the exposition
+    /// charset.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (name, value) in &inner.counters {
+            let name = metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &inner.gauges {
+            let name = metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, histogram) in &inner.histograms {
+            let name = metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in histogram.bounds.iter().zip(&histogram.counts) {
+                cumulative += count;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", histogram.total);
+            let _ = writeln!(out, "{name}_sum {}", histogram.sum);
+            let _ = writeln!(out, "{name}_count {}", histogram.total);
+        }
+        out
+    }
+
+    /// Writes the exposition atomically (tmp + rename, the journal's
+    /// write discipline) so a scraper never reads a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write_prometheus(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.render_prometheus())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// `nms_`-prefixed exposition-safe metric name.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("nms_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl Recorder for MetricsRegistry {
+    // `enabled` stays false: the registry ignores events, and call sites
+    // only consult `enabled` to decide whether building an event payload
+    // is worth it.
+    fn event(&self, event: &TraceEvent) {
+        let _ = event;
+    }
+
+    fn add(&self, name: &str, by: u64) {
+        self.add_counter(name, by);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.set_gauge(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.observe_value(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let registry = MetricsRegistry::new();
+        registry.add_counter("hits", 3);
+        registry.add_counter("hits", 4);
+        registry.set_gauge("entropy", 1.25);
+        registry.set_gauge("entropy", 0.5);
+        assert_eq!(registry.counter("hits"), 7);
+        assert_eq!(registry.counter("absent"), 0);
+        assert_eq!(registry.gauge_value("entropy"), Some(0.5));
+        assert_eq!(registry.gauge_value("absent"), None);
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero() {
+        let registry = MetricsRegistry::new();
+        registry.register_histogram("idle_seconds", &[0.1, 1.0]);
+        let h = registry.histogram("idle_seconds").unwrap();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.counts(), &[0, 0, 0]);
+        let exposition = registry.render_prometheus();
+        assert!(exposition.contains("nms_idle_seconds_count 0"));
+        assert!(exposition.contains("nms_idle_seconds_bucket{le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn single_sample_lands_in_its_bucket() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(5.0);
+        assert_eq!(h.counts(), &[0, 1, 0]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 5.0);
+        // Boundary values are inclusive on the upper bound.
+        let mut edge = Histogram::new(&[1.0]);
+        edge.observe(1.0);
+        assert_eq!(edge.counts(), &[1, 0]);
+    }
+
+    #[test]
+    fn overflow_and_nan_land_in_the_inf_bucket() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(1e9);
+        h.observe(f64::NAN);
+        assert_eq!(h.counts(), &[0, 0, 2]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1e9, "NaN contributes nothing to the sum");
+    }
+
+    #[test]
+    fn hostile_bounds_are_sanitized() {
+        let h = Histogram::new(&[f64::NAN, 5.0, f64::INFINITY, 1.0, 5.0]);
+        assert_eq!(h.bounds(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_sanitized() {
+        let registry = MetricsRegistry::new();
+        registry.register_histogram("solve.secs", &[1.0, 10.0]);
+        registry.observe_value("solve.secs", 0.5);
+        registry.observe_value("solve.secs", 2.0);
+        registry.observe_value("solve.secs", 100.0);
+        let exposition = registry.render_prometheus();
+        assert!(exposition.contains("# TYPE nms_solve_secs histogram"));
+        assert!(exposition.contains("nms_solve_secs_bucket{le=\"1\"} 1"));
+        assert!(exposition.contains("nms_solve_secs_bucket{le=\"10\"} 2"));
+        assert!(exposition.contains("nms_solve_secs_bucket{le=\"+Inf\"} 3"));
+        assert!(exposition.contains("nms_solve_secs_sum 102.5"));
+        assert!(exposition.contains("nms_solve_secs_count 3"));
+    }
+
+    #[test]
+    fn write_prometheus_is_atomic_and_readable() {
+        let registry = MetricsRegistry::new();
+        registry.add_counter("writes", 1);
+        let mut path = std::env::temp_dir();
+        path.push(format!("nms-obs-metrics-{}.prom", std::process::id()));
+        registry.write_prometheus(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("nms_writes 1"));
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,379 @@
+//! The JSONL structured-event sink and its schema.
+//!
+//! One line per event, each line a hash-sealed envelope
+//! `{"hash":"<fnv1a64 of body>","body":"<event json>"}` — the same
+//! sealed-line discipline as the run journal (`nms-sim::journal`), so a
+//! torn tail or bit-rotted line is detectable instead of silently parsed.
+//! The first line is a sealed header identifying the stream and schema
+//! version.
+//!
+//! Traces are telemetry, not recovery state: writes go through an
+//! append-only buffered handle flushed per line (no fsync), and a write
+//! error degrades to a dropped-line counter instead of failing the
+//! simulation that emitted the event.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Recorder;
+
+/// Schema version stamped into every trace header.
+pub const TRACE_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit — the same line-seal hash the run journal uses.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A named numeric payload entry of a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceField {
+    /// Field name.
+    pub key: String,
+    /// Field value.
+    pub value: f64,
+}
+
+/// A named string payload entry of a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLabel {
+    /// Label name.
+    pub key: String,
+    /// Label value.
+    pub value: String,
+}
+
+/// One structured event: a kind, an optional detection-day anchor, and
+/// flat numeric/string payloads. Deliberately schema-light — every stage
+/// shares this one shape, and consumers filter on `kind`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// What happened, e.g. `"game_round"`, `"day_phases"`, `"quarantine"`.
+    pub kind: String,
+    /// Detection-day offset the event belongs to, when it has one.
+    #[serde(default)]
+    pub day: Option<usize>,
+    /// Numeric payload.
+    #[serde(default)]
+    pub fields: Vec<TraceField>,
+    /// String payload.
+    #[serde(default)]
+    pub labels: Vec<TraceLabel>,
+}
+
+impl TraceEvent {
+    /// Starts an event of the given kind.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Self {
+            kind: kind.into(),
+            day: None,
+            fields: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Anchors the event to a detection day.
+    #[must_use]
+    pub fn day(mut self, day: usize) -> Self {
+        self.day = Some(day);
+        self
+    }
+
+    /// Appends a numeric field.
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.fields.push(TraceField {
+            key: key.into(),
+            value,
+        });
+        self
+    }
+
+    /// Appends a string label.
+    #[must_use]
+    pub fn label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push(TraceLabel {
+            key: key.into(),
+            value: value.into(),
+        });
+        self
+    }
+
+    /// The first numeric field named `key`.
+    pub fn field_value(&self, key: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|field| field.key == key)
+            .map(|field| field.value)
+    }
+
+    /// The first label named `key`.
+    pub fn label_value(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|label| label.key == key)
+            .map(|label| label.value.as_str())
+    }
+}
+
+/// The sealed envelope around every line (header and events alike).
+#[derive(Debug, Serialize, Deserialize)]
+struct TraceLine {
+    hash: String,
+    body: String,
+}
+
+impl TraceLine {
+    fn seal(body: String) -> Self {
+        let hash = format!("{:016x}", fnv1a64(body.as_bytes()));
+        Self { hash, body }
+    }
+
+    fn verify(&self) -> bool {
+        self.hash == format!("{:016x}", fnv1a64(self.body.as_bytes()))
+    }
+}
+
+/// The sealed first line of a trace file.
+#[derive(Debug, Serialize, Deserialize)]
+struct TraceHeader {
+    version: u32,
+    stream: String,
+}
+
+/// Why reading a trace file failed.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// A line failed to parse or its seal did not match.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "trace io error: {err}"),
+            Self::Corrupt { line, detail } => write!(f, "trace line {line} corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+/// The JSONL event sink: every [`TraceEvent`] becomes one sealed line.
+pub struct JsonlTrace {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    dropped: AtomicU64,
+}
+
+impl JsonlTrace {
+    /// Creates (truncating) a trace file at `path` and writes the sealed
+    /// header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut writer = BufWriter::new(File::create(&path)?);
+        let header = TraceHeader {
+            version: TRACE_VERSION,
+            stream: "nms-trace".to_string(),
+        };
+        let body = serde_json::to_string(&header)
+            .map_err(|err| std::io::Error::other(err.to_string()))?;
+        let line = serde_json::to_string(&TraceLine::seal(body))
+            .map_err(|err| std::io::Error::other(err.to_string()))?;
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        Ok(Self {
+            path,
+            writer: Mutex::new(writer),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Where the trace lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events that could not be serialized or written (telemetry loss is
+    /// tolerated; results never depend on it).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Recorder for JsonlTrace {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&self, event: &TraceEvent) {
+        let sealed = serde_json::to_string(event)
+            .map(TraceLine::seal)
+            .and_then(|line| serde_json::to_string(&line));
+        let Ok(line) = sealed else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if writeln!(writer, "{line}").and_then(|()| writer.flush()).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Reads a trace file back: verifies the header and every line's seal,
+/// returning the events in file order.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Corrupt`] for a bad seal, an unparseable line, or
+/// a wrong header, and [`TraceError::Io`] when the file cannot be read.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>, TraceError> {
+    let reader = BufReader::new(File::open(path.as_ref())?);
+    let mut events = Vec::new();
+    for (index, line) in reader.lines().enumerate() {
+        let number = index + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let corrupt = |detail: String| TraceError::Corrupt {
+            line: number,
+            detail,
+        };
+        let sealed: TraceLine =
+            serde_json::from_str(&line).map_err(|err| corrupt(err.to_string()))?;
+        if !sealed.verify() {
+            return Err(corrupt("seal mismatch".to_string()));
+        }
+        if number == 1 {
+            let header: TraceHeader =
+                serde_json::from_str(&sealed.body).map_err(|err| corrupt(err.to_string()))?;
+            if header.version != TRACE_VERSION || header.stream != "nms-trace" {
+                return Err(corrupt(format!(
+                    "unexpected header: version {} stream {:?}",
+                    header.version, header.stream
+                )));
+            }
+            continue;
+        }
+        events.push(serde_json::from_str(&sealed.body).map_err(|err| corrupt(err.to_string()))?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_trace(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("nms-obs-trace-{tag}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn events_round_trip_through_the_sealed_file() {
+        let path = temp_trace("roundtrip");
+        let written = vec![
+            TraceEvent::new("game_round")
+                .day(0)
+                .field("round", 1.0)
+                .field("delta", 0.25),
+            TraceEvent::new("quarantine")
+                .day(3)
+                .field("meter", 2.0)
+                .label("transition", "tripped"),
+        ];
+        {
+            let trace = JsonlTrace::create(&path).unwrap();
+            for event in &written {
+                trace.event(event);
+            }
+            assert_eq!(trace.dropped(), 0);
+        }
+        let read = read_trace(&path).unwrap();
+        assert_eq!(read, written);
+        assert_eq!(read[1].label_value("transition"), Some("tripped"));
+        assert_eq!(read[0].field_value("delta"), Some(0.25));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tampered_line_is_detected() {
+        let path = temp_trace("tamper");
+        {
+            let trace = JsonlTrace::create(&path).unwrap();
+            trace.event(&TraceEvent::new("fix").day(1).field("slot", 30.0));
+        }
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("30", "31");
+        std::fs::write(&path, tampered).unwrap();
+        match read_trace(&path) {
+            Err(TraceError::Corrupt { line, detail }) => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("seal"), "{detail}");
+            }
+            other => panic!("expected corrupt line, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_header_is_rejected() {
+        let path = temp_trace("header");
+        std::fs::write(
+            &path,
+            {
+                let body = "{\"version\":99,\"stream\":\"nms-trace\"}".to_string();
+                let line = TraceLine::seal(body);
+                format!("{}\n", serde_json::to_string(&line).unwrap())
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_trace(&path),
+            Err(TraceError::Corrupt { line: 1, .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fnv_matches_the_journal_constants() {
+        // Known FNV-1a vector: the empty input hashes to the offset basis.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

@@ -33,7 +33,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
+use nms_obs::{NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 
 /// The workspace-wide parallelism knob: how many worker threads a
@@ -108,7 +110,37 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
-    par_map_chunked(threads, 1, items, f)
+    par_map_chunked_recorded(threads, 1, items, &NoopRecorder, f)
+}
+
+/// [`par_map`] with worker telemetry: records `par_maps` / `par_items`
+/// counters and per-worker `par_worker_items` / `par_worker_busy_seconds`
+/// histograms into `rec`. Telemetry is gathered locally on each worker and
+/// recorded by the calling thread after the join, so the recorder never
+/// sits on the worker hot path and results stay bit-identical to
+/// [`par_map`].
+///
+/// # Errors
+///
+/// Returns the error of the lowest-index failing item.
+///
+/// # Panics
+///
+/// Re-raises the lowest-index worker panic on the calling thread, with the
+/// item index and original message in the payload.
+pub fn par_map_recorded<T, R, E, F>(
+    threads: usize,
+    items: &[T],
+    rec: &dyn Recorder,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_map_chunked_recorded(threads, 1, items, rec, f)
 }
 
 /// Like [`par_map`], but workers pull `chunk`-sized runs of consecutive
@@ -136,16 +168,47 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
+    par_map_chunked_recorded(threads, chunk, items, &NoopRecorder, f)
+}
+
+/// [`par_map_chunked`] with the worker telemetry of [`par_map_recorded`].
+///
+/// # Errors
+///
+/// Returns the error of the lowest-index failing item.
+///
+/// # Panics
+///
+/// Re-raises the lowest-index worker panic on the calling thread, with the
+/// item index and original message in the payload.
+pub fn par_map_chunked_recorded<T, R, E, F>(
+    threads: usize,
+    chunk: usize,
+    items: &[T],
+    rec: &dyn Recorder,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
     let n = items.len();
     let chunk = chunk.max(1);
     let workers = threads.min(n);
+    rec.add("par_maps", 1);
+    rec.add("par_items", n as u64);
     if workers <= 1 {
         // Sequential path: the reference behavior. No spawns, no
         // catch_unwind, immediate short-circuit on the first error.
+        let busy = Instant::now();
         let mut results = Vec::with_capacity(n);
         for (index, item) in items.iter().enumerate() {
             results.push(f(index, item)?);
         }
+        rec.observe("par_worker_items", n as f64);
+        rec.observe("par_worker_busy_seconds", busy.elapsed().as_secs_f64());
         return Ok(results);
     }
 
@@ -155,12 +218,16 @@ where
     let next = &next;
     let abort = &abort;
 
-    // Workers return (index, outcome) pairs; merging them into index order
-    // afterwards is what makes the output independent of scheduling.
-    let gathered: Vec<Vec<(usize, ItemOutcome<R, E>)>> = crossbeam::thread::scope(|scope| {
+    // Workers return (index, outcome) pairs plus their own load tally;
+    // merging the pairs into index order afterwards is what makes the
+    // output independent of scheduling, and recording the tallies only
+    // after the join keeps the recorder off the worker hot path.
+    type WorkerYield<R, E> = (Vec<(usize, ItemOutcome<R, E>)>, f64);
+    let gathered: Vec<WorkerYield<R, E>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move |_| {
+                    let busy = Instant::now();
                     let mut local: Vec<(usize, ItemOutcome<R, E>)> = Vec::new();
                     'pull: while !abort.load(Ordering::SeqCst) {
                         let start = next.fetch_add(chunk, Ordering::SeqCst);
@@ -186,7 +253,7 @@ where
                             }
                         }
                     }
-                    local
+                    (local, busy.elapsed().as_secs_f64())
                 })
             })
             .collect();
@@ -198,8 +265,12 @@ where
     .expect("nms-par: scope itself panicked");
 
     let mut slots: Vec<Option<ItemOutcome<R, E>>> = (0..n).map(|_| None).collect();
-    for (index, outcome) in gathered.into_iter().flatten() {
-        slots[index] = Some(outcome);
+    for (local, busy_secs) in gathered {
+        rec.observe("par_worker_items", local.len() as f64);
+        rec.observe("par_worker_busy_seconds", busy_secs);
+        for (index, outcome) in local {
+            slots[index] = Some(outcome);
+        }
     }
 
     // The counter hands indices out in increasing order and a pulled chunk
@@ -325,6 +396,19 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, "stop");
         assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn recorded_map_tallies_workers_without_changing_results() {
+        let items: Vec<u64> = (0..32).collect();
+        let metrics = nms_obs::MetricsRegistry::new();
+        let out = par_map_recorded(4, &items, &metrics, square).unwrap();
+        assert_eq!(out, par_map(1, &items, square).unwrap());
+        assert_eq!(metrics.counter("par_maps"), 1);
+        assert_eq!(metrics.counter("par_items"), 32);
+        let per_worker = metrics.histogram("par_worker_items").unwrap();
+        assert_eq!(per_worker.sum(), 32.0, "every item lands on some worker");
+        assert!(metrics.histogram("par_worker_busy_seconds").is_some());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! model is biased (ignoring net metering) calibrates against its *own*
 //! bias, exactly as the prior art would have.
 
+use nms_obs::{Recorder, Stopwatch, TraceEvent};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -87,7 +88,9 @@ pub(crate) fn calibrate_detector(
     history: &PriceHistory,
     parallelism: &Parallelism,
     rng: &mut impl Rng,
+    rec: &dyn Recorder,
 ) -> Result<DetectorCalibration, SimError> {
+    let watch = Stopwatch::start();
     // A backtest day needs `max_lag` slots of history *plus* one day of
     // training samples before it.
     let max_lag = framework.price_predictor().features().max_lag();
@@ -113,12 +116,17 @@ pub(crate) fn calibrate_detector(
     let day_seeds: Vec<(u64, u64)> = (0..backtest_days).map(|_| (rng.gen(), rng.gen())).collect();
     let mut health = RunHealth::new();
 
-    let backtests = nms_par::par_map(
+    let backtests = nms_par::par_map_recorded(
         parallelism.threads,
         &day_seeds,
+        rec,
         |back, &(clear_seed, seed)| -> Result<(Vec<f64>, RunHealth), SimError> {
             let day = scenario.training_days - 1 - back;
             let community = generator.community_for_day(day, weather[day]);
+            // Workers deliberately use the unrecorded clear: the game layer
+            // emits trace *events*, which the nms-obs contract keeps out of
+            // parallel regions (worker telemetry flows through
+            // `par_map_recorded`'s commutative metrics instead).
             let outcome = market.clear_day_seeded(&community, 2, clear_seed)?;
             let manipulated = timeline.attack().apply(&outcome.price);
 
@@ -249,6 +257,18 @@ pub(crate) fn calibrate_detector(
         health.record_fallback(fallback);
     }
 
+    rec.observe("calibrate_seconds", watch.secs());
+    rec.add("calibrate_backtest_days", backtest_days as u64);
+    if rec.enabled() {
+        rec.event(
+            &TraceEvent::new("calibration")
+                .field("backtest_days", backtest_days as f64)
+                .field("buckets", buckets as f64)
+                .field("retries", health.retries_consumed as f64)
+                .field("seconds", watch.secs()),
+        );
+    }
+
     Ok(DetectorCalibration {
         price_predictor,
         observation_map,
@@ -304,6 +324,7 @@ mod tests {
             &history,
             &Parallelism::SEQUENTIAL,
             &mut rng,
+            &nms_obs::NoopRecorder,
         )
         .unwrap();
         assert!(calibration.price_predictor.is_trained());
@@ -350,6 +371,7 @@ mod tests {
                 &history,
                 &Parallelism::new(threads),
                 &mut rng,
+                &nms_obs::NoopRecorder,
             )
             .unwrap()
         };

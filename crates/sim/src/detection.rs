@@ -28,7 +28,9 @@
 //!   bit-identically from the journal (see `journal` and DESIGN.md §8).
 
 use std::path::Path;
+use std::sync::Arc;
 
+use nms_obs::{NoopRecorder, Recorder, Stopwatch, TraceEvent};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -181,6 +183,17 @@ fn bucket_of(count: usize, fleet: usize, buckets: usize, step: f64) -> usize {
     ((fraction / step).round() as usize).min(buckets - 1)
 }
 
+/// Shannon entropy (nats) of a belief vector; zero entries contribute
+/// nothing. A collapsing belief → entropy falling toward zero, the
+/// telemetry signature of the POMDP locking onto a bucket.
+fn belief_entropy(belief: &[f64]) -> f64 {
+    -belief
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>()
+}
+
 // ---------------------------------------------------------------------------
 // Shared run machinery
 // ---------------------------------------------------------------------------
@@ -242,11 +255,14 @@ fn train(
     config: &LongTermRunConfig,
     setup: &RunSetup,
     rng: &mut impl Rng,
+    rec: &dyn Recorder,
 ) -> Result<RunState, SimError> {
+    let watch = Stopwatch::start();
     let mut health = RunHealth::new();
-    let history = setup
-        .market
-        .bootstrap_history(&setup.generator, scenario.training_days, rng)?;
+    let history =
+        setup
+            .market
+            .bootstrap_history_recorded(&setup.generator, scenario.training_days, rng, rec)?;
 
     let detector = match &config.detector {
         None => None,
@@ -264,6 +280,7 @@ fn train(
                 &history,
                 &config.parallelism,
                 rng,
+                rec,
             )?;
             health.merge(&calibration.health);
             let mut long_term_config = framework.long_term;
@@ -287,6 +304,16 @@ fn train(
         Some(_) => Some(MeterQuarantine::new(setup.fleet, config.quarantine)?),
         None => None,
     };
+
+    rec.observe("detect_training_seconds", watch.secs());
+    if rec.enabled() {
+        rec.event(
+            &TraceEvent::new("training")
+                .field("training_days", scenario.training_days as f64)
+                .field("detector", f64::from(u8::from(detector.is_some())))
+                .field("seconds", watch.secs()),
+        );
+    }
 
     let training_health = DayHealth::delta(0, &RunHealth::new(), &health, 0);
     Ok(RunState {
@@ -324,6 +351,7 @@ fn faulted_view(
     health: &mut RunHealth,
     day_recorded: &mut bool,
     day_failed: &mut Option<Vec<bool>>,
+    rec: &dyn Recorder,
 ) -> Result<TimeSeries<f64>, SimError> {
     let per_meter = corrupt_day_meters(plan, day, &realization.schedule);
     let excluded: Vec<bool> = (0..per_meter.fleet())
@@ -337,6 +365,20 @@ fn faulted_view(
     if !*day_recorded {
         health.faults_injected.merge(&per_meter.injected);
         health.slots_imputed += report.imputed_slots;
+        rec.add("sim_faults_injected", per_meter.injected.total() as u64);
+        rec.add("sim_slots_imputed", report.imputed_slots as u64);
+        if rec.enabled() {
+            rec.event(
+                &TraceEvent::new("sanitize")
+                    .day(day)
+                    .field("faults_injected", per_meter.injected.total() as f64)
+                    .field("slots_imputed", report.imputed_slots as f64)
+                    .field(
+                        "meters_excluded",
+                        excluded.iter().filter(|&&e| e).count() as f64,
+                    ),
+            );
+        }
         *day_recorded = true;
     }
     if day_failed.is_none() {
@@ -373,6 +415,7 @@ fn simulate_day(
     state: &mut RunState,
     day_offset: usize,
     rng: &mut impl Rng,
+    rec: &dyn Recorder,
 ) -> Result<DayRecord, SimError> {
     let fault_plan = config.faults.as_ref().filter(|plan| !plan.is_noop());
     let fleet = setup.fleet;
@@ -383,11 +426,14 @@ fn simulate_day(
     let demand_start = state.realized_demand.len();
 
     let community = setup.generator.community_for_day(day, setup.weather[day]);
-    let clean = setup.market.clear_day(&community, 2, rng)?;
+    let clearing_watch = Stopwatch::start();
+    let clean = setup.market.clear_day_recorded(&community, 2, rng, rec)?;
+    let clearing_secs = clearing_watch.secs();
     let manipulated = config.timeline.attack().apply(&clean.price);
     let realization_seed: u64 = rng.gen();
 
     // The detector's day-ahead view.
+    let prediction_watch = Stopwatch::start();
     let day_prediction = match state.detector.as_mut() {
         None => None,
         Some(det) => {
@@ -403,13 +449,16 @@ fn simulate_day(
                 generation_forecast,
             )?;
             let mut predicted_rng = ChaCha8Rng::seed_from_u64(realization_seed);
-            let predicted =
-                det.framework
-                    .load
-                    .predict(&community, &predicted_price, &mut predicted_rng)?;
+            let predicted = det.framework.load.predict_recorded(
+                &community,
+                &predicted_price,
+                &mut predicted_rng,
+                rec,
+            )?;
             Some(predicted)
         }
     };
+    let prediction_secs = prediction_watch.secs();
 
     // Quarantined suspects feed the observation: a breaker the detector has
     // opened is a meter it already distrusts, so the observed bucket can
@@ -431,12 +480,13 @@ fn simulate_day(
         }
         let meters: Vec<MeterId> = compromised.iter().collect();
         let mut child = ChaCha8Rng::seed_from_u64(realization_seed);
-        Ok(setup.market.truth_model().respond_unilaterally(
+        Ok(setup.market.truth_model().respond_unilaterally_recorded(
             &community,
             &clean.response,
             &manipulated,
             &meters,
             &mut child,
+            rec,
         )?)
     };
     let mut realization = realize(&state.compromised)?;
@@ -446,6 +496,11 @@ fn simulate_day(
     let mut day_faults_recorded = false;
     let mut day_failed: Option<Vec<bool>> = None;
     let mut fixes: Vec<FixRecord> = Vec::new();
+    // Wall-clock spent in the PAR statistic vs the POMDP update, summed
+    // over the day's slots. Timings flow only into telemetry, never back
+    // into the simulation (the nms-obs determinism contract).
+    let mut par_secs = 0.0;
+    let mut pomdp_secs = 0.0;
 
     for slot in 0..SLOTS_PER_DAY {
         let global_slot = day_offset * SLOTS_PER_DAY + slot;
@@ -478,14 +533,17 @@ fn simulate_day(
                         &mut state.health,
                         &mut day_faults_recorded,
                         &mut day_failed,
+                        rec,
                     )?);
                 }
             }
+            let par_watch = Stopwatch::start();
             let telemetry: &TimeSeries<f64> =
                 observed_view.as_ref().unwrap_or(&realization.grid_demand);
             let statistic = peak_deviation(telemetry, &predicted.grid_demand);
             state.health.slots_observed += 1;
             let observed = det.observation_map.observe(statistic).max(suspect_bucket);
+            par_secs += par_watch.secs();
             if std::env::var("NMS_DEBUG_CALIBRATION").is_ok() {
                 eprintln!(
                     "slot {global_slot}: stat {statistic:.4} true {true_bucket} obs {observed}"
@@ -493,8 +551,24 @@ fn simulate_day(
             }
             state.observed_buckets.push(observed);
             state.accuracy.record(true_bucket, observed);
+            if observed != true_bucket {
+                rec.add("detect_bucket_error", 1);
+            }
+            if rec.enabled() {
+                rec.event(
+                    &TraceEvent::new("slot")
+                        .day(day_offset)
+                        .field("slot", global_slot as f64)
+                        .field("statistic", statistic)
+                        .field("true_bucket", true_bucket as f64)
+                        .field("observed_bucket", observed as f64),
+                );
+            }
 
-            if det.long_term.observe_and_act(observed) == DetectorAction::Fix {
+            let pomdp_watch = Stopwatch::start();
+            let action = det.long_term.observe_and_act(observed);
+            pomdp_secs += pomdp_watch.secs();
+            if action == DetectorAction::Fix {
                 let repaired = state.compromised.repair_all();
                 state.labor.record_fix(repaired);
                 state.fixes_at.push(global_slot);
@@ -502,6 +576,14 @@ fn simulate_day(
                     slot: global_slot,
                     repaired,
                 });
+                if rec.enabled() {
+                    rec.event(
+                        &TraceEvent::new("fix")
+                            .day(day_offset)
+                            .field("slot", global_slot as f64)
+                            .field("repaired", repaired as f64),
+                    );
+                }
                 realization = realize(&state.compromised)?;
                 observed_view = None;
             }
@@ -519,11 +601,21 @@ fn simulate_day(
             match event.transition {
                 QuarantineTransition::Tripped | QuarantineTransition::Retripped => {
                     state.health.quarantine_trips += 1;
+                    rec.add("sim_quarantine_trips", 1);
                 }
                 QuarantineTransition::Recovered => {
                     state.health.quarantine_recoveries += 1;
+                    rec.add("sim_quarantine_recoveries", 1);
                 }
                 QuarantineTransition::Probation => {}
+            }
+            if rec.enabled() {
+                rec.event(
+                    &TraceEvent::new("quarantine")
+                        .day(day_offset)
+                        .field("meter", event.meter as f64)
+                        .label("transition", format!("{:?}", event.transition)),
+                );
             }
         }
     }
@@ -547,6 +639,34 @@ fn simulate_day(
     let meters_quarantined = state.quarantine.as_ref().map_or(0, MeterQuarantine::open_count);
     let day_health = DayHealth::delta(day_offset, &health_before, &state.health, meters_quarantined);
     state.day_health.push(day_health);
+
+    // Per-day phase timings and belief telemetry. Everything recorded here
+    // is either wall-clock (never fed back into the run) or a value the
+    // simulation already produced.
+    rec.observe("detect_clearing_seconds", clearing_secs);
+    rec.observe("detect_prediction_seconds", prediction_secs);
+    rec.observe("detect_par_seconds", par_secs);
+    rec.observe("detect_pomdp_seconds", pomdp_secs);
+    if let Some(det) = state.detector.as_ref() {
+        rec.gauge("detect_belief_entropy", belief_entropy(det.long_term.belief().as_slice()));
+    }
+    if rec.enabled() {
+        let mut event = TraceEvent::new("day_phases")
+            .day(day_offset)
+            .field("clearing_seconds", clearing_secs)
+            .field("prediction_seconds", prediction_secs)
+            .field("par_seconds", par_secs)
+            .field("pomdp_seconds", pomdp_secs)
+            .field("meters_compromised", state.compromised.count() as f64)
+            .field("meters_quarantined", meters_quarantined as f64);
+        if let Some(det) = state.detector.as_ref() {
+            event = event.field(
+                "belief_entropy",
+                belief_entropy(det.long_term.belief().as_slice()),
+            );
+        }
+        rec.event(&event);
+    }
 
     Ok(DayRecord {
         day: day_offset,
@@ -637,10 +757,29 @@ pub fn run_long_term_detection(
     config: &LongTermRunConfig,
     rng: &mut impl Rng,
 ) -> Result<LongTermRunResult, SimError> {
+    run_long_term_detection_recorded(scenario, config, rng, &NoopRecorder)
+}
+
+/// [`run_long_term_detection`] with observability routed into `rec`.
+///
+/// The recorder sees per-day phase timings, solver convergence telemetry,
+/// sanitize/quarantine events, and belief entropy; it never feeds anything
+/// back, so results are bit-identical to the unrecorded run
+/// (`tests/obs_determinism.rs` asserts this).
+///
+/// # Errors
+///
+/// Same as [`run_long_term_detection`].
+pub fn run_long_term_detection_recorded(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    rng: &mut impl Rng,
+    rec: &dyn Recorder,
+) -> Result<LongTermRunResult, SimError> {
     let setup = prepare(scenario, config)?;
-    let mut state = train(scenario, config, &setup, rng)?;
+    let mut state = train(scenario, config, &setup, rng, rec)?;
     for day_offset in 0..config.detection_days {
-        simulate_day(scenario, config, &setup, &mut state, day_offset, rng)?;
+        simulate_day(scenario, config, &setup, &mut state, day_offset, rng, rec)?;
     }
     finalize(state)
 }
@@ -683,6 +822,7 @@ pub struct SupervisedRun {
     state: RunState,
     journal: RunJournal,
     next_day: usize,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl SupervisedRun {
@@ -703,9 +843,29 @@ impl SupervisedRun {
         seed: u64,
         journal_path: impl AsRef<Path>,
     ) -> Result<Self, SimError> {
+        Self::new_recorded(scenario, config, seed, journal_path, Arc::new(NoopRecorder))
+    }
+
+    /// [`SupervisedRun::new`] with observability routed into `recorder` for
+    /// the training epoch and every subsequent [`SupervisedRun::step_day`].
+    ///
+    /// The recorder is telemetry-only: an active recorder produces a run
+    /// bit-identical to a [`SupervisedRun::new`] run with the same
+    /// `(seed, scenario, config)` triple.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SupervisedRun::new`].
+    pub fn new_recorded(
+        scenario: &PaperScenario,
+        config: &LongTermRunConfig,
+        seed: u64,
+        journal_path: impl AsRef<Path>,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<Self, SimError> {
         let setup = prepare(scenario, config)?;
         let mut training_rng = ChaCha8Rng::seed_from_u64(seed ^ TRAINING_STREAM);
-        let mut state = train(scenario, config, &setup, &mut training_rng)?;
+        let mut state = train(scenario, config, &setup, &mut training_rng, recorder.as_ref())?;
 
         let header = JournalHeader {
             version: JOURNAL_VERSION,
@@ -744,6 +904,7 @@ impl SupervisedRun {
             state,
             journal,
             next_day,
+            recorder,
         })
     }
 
@@ -775,6 +936,7 @@ impl SupervisedRun {
             return Ok(());
         }
         let mut rng = ChaCha8Rng::seed_from_u64(day_stream_seed(self.seed, self.next_day));
+        let rec = self.recorder.as_ref();
         let record = simulate_day(
             &self.scenario,
             &self.config,
@@ -782,8 +944,18 @@ impl SupervisedRun {
             &mut self.state,
             self.next_day,
             &mut rng,
+            rec,
         )?;
+        let append_watch = Stopwatch::start();
         self.journal.append_day(&record)?;
+        rec.observe("journal_append_seconds", append_watch.secs());
+        if rec.enabled() {
+            rec.event(
+                &TraceEvent::new("journal_append")
+                    .day(self.next_day)
+                    .field("seconds", append_watch.secs()),
+            );
+        }
         self.next_day += 1;
         Ok(())
     }
@@ -824,6 +996,21 @@ pub fn run_long_term_supervised(
     journal_path: impl AsRef<Path>,
 ) -> Result<LongTermRunResult, SimError> {
     SupervisedRun::new(scenario, config, seed, journal_path)?.run()
+}
+
+/// [`run_long_term_supervised`] with observability routed into `recorder`.
+///
+/// # Errors
+///
+/// Same as [`run_long_term_supervised`].
+pub fn run_long_term_supervised_recorded(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    seed: u64,
+    journal_path: impl AsRef<Path>,
+    recorder: Arc<dyn Recorder>,
+) -> Result<LongTermRunResult, SimError> {
+    SupervisedRun::new_recorded(scenario, config, seed, journal_path, recorder)?.run()
 }
 
 #[cfg(test)]

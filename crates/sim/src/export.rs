@@ -7,7 +7,7 @@
 use std::io::{self, Write};
 
 use crate::experiments::{AccuracyExperiment, AttackExperiment, PredictionExperiment};
-use crate::sweeps::FaultTolerancePoint;
+use crate::sweeps::{AttackWindowPoint, FaultTolerancePoint, SweepPoint};
 use crate::LongTermRunResult;
 
 /// Escapes one CSV cell (quotes fields containing separators or quotes).
@@ -167,6 +167,71 @@ pub fn export_fault_tolerance<W: Write>(
     )
 }
 
+/// Exports a tariff or PV-ownership sweep: one row per swept value with the
+/// cleared grid shape plus the point's solver telemetry (rounds,
+/// convergence, memo-cache tallies).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn export_sweep<W: Write>(writer: W, points: &[SweepPoint]) -> io::Result<()> {
+    write_csv(
+        writer,
+        &[
+            "parameter",
+            "par",
+            "energy_sold",
+            "midday_draw",
+            "solver_rounds",
+            "solver_converged",
+            "cache_hits",
+            "cache_misses",
+        ],
+        points.iter().map(|p| {
+            vec![
+                p.parameter,
+                p.par,
+                p.energy_sold,
+                p.midday_draw,
+                p.solver_rounds as f64,
+                f64::from(u8::from(p.solver_converged)),
+                p.cache_hits as f64,
+                p.cache_misses as f64,
+            ]
+        }),
+    )
+}
+
+/// Exports an attack-window sweep: one row per window start with the
+/// attacked PAR, peak slot, and solver rounds.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn export_attack_window<W: Write>(writer: W, points: &[AttackWindowPoint]) -> io::Result<()> {
+    write_csv(
+        writer,
+        &[
+            "from_hour",
+            "attacked_par",
+            "peak_slot",
+            "solver_rounds",
+            "cache_hits",
+            "cache_misses",
+        ],
+        points.iter().map(|p| {
+            vec![
+                p.from_hour,
+                p.attacked_par,
+                p.peak_slot as f64,
+                p.solver_rounds as f64,
+                p.cache_hits as f64,
+                p.cache_misses as f64,
+            ]
+        }),
+    )
+}
+
 /// Exports a long-term run's per-day fault/degradation timeline: a
 /// `training` row for the calibration epoch, then one row per detection
 /// day with that day's fault counts, imputations, retries, fallbacks,
@@ -265,6 +330,44 @@ mod tests {
         export_attack(&mut buffer, &experiment).unwrap();
         let text = String::from_utf8(buffer).unwrap();
         assert_eq!(text.lines().count(), 25);
+    }
+
+    #[test]
+    fn sweep_export_includes_solver_columns() {
+        let points = vec![SweepPoint {
+            parameter: 1.0,
+            par: 1.4,
+            energy_sold: 3.0,
+            midday_draw: 2.0,
+            solver_rounds: 5,
+            solver_converged: true,
+            cache_hits: 7,
+            cache_misses: 13,
+        }];
+        let mut buffer = Vec::new();
+        export_sweep(&mut buffer, &points).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].ends_with("solver_rounds,solver_converged,cache_hits,cache_misses"));
+        assert_eq!(lines[1], "1,1.4,3,2,5,1,7,13");
+
+        let windows = vec![AttackWindowPoint {
+            from_hour: 16.0,
+            attacked_par: 2.1,
+            peak_slot: 16,
+            solver_rounds: 4,
+            cache_hits: 0,
+            cache_misses: 9,
+        }];
+        let mut buffer = Vec::new();
+        export_attack_window(&mut buffer, &windows).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(
+            text,
+            "from_hour,attacked_par,peak_slot,solver_rounds,cache_hits,cache_misses\n\
+             16,2.1,16,4,0,9\n"
+        );
     }
 
     #[test]

@@ -49,8 +49,8 @@ mod weather;
 
 pub use calibrate::DetectorCalibration;
 pub use detection::{
-    run_long_term_detection, run_long_term_supervised, LongTermRunConfig, LongTermRunResult,
-    SupervisedRun,
+    run_long_term_detection, run_long_term_detection_recorded, run_long_term_supervised,
+    run_long_term_supervised_recorded, LongTermRunConfig, LongTermRunResult, SupervisedRun,
 };
 pub use error::SimError;
 pub use faults::{

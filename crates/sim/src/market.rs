@@ -3,6 +3,7 @@
 //! metering changes the grid energy demand, which is considered by the
 //! utility when designing the guideline price").
 
+use nms_obs::{NoopRecorder, Recorder};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -75,11 +76,27 @@ impl Market {
         iterations: usize,
         rng: &mut impl Rng,
     ) -> Result<DayOutcome, SimError> {
+        self.clear_day_recorded(community, iterations, rng, &NoopRecorder)
+    }
+
+    /// [`Market::clear_day`] with solver telemetry routed into `rec` (see
+    /// [`GameEngine::solve_recorded`](nms_solver::GameEngine::solve_recorded)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when scheduling fails.
+    pub fn clear_day_recorded(
+        &self,
+        community: &Community,
+        iterations: usize,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+    ) -> Result<DayOutcome, SimError> {
         // One draw per day: callers that clear days in parallel pre-draw
         // these seeds in sequential order and use `clear_day_seeded`
         // directly, which keeps the parallel run on the same RNG stream.
         let seed: u64 = rng.gen();
-        self.clear_day_seeded(community, iterations, seed)
+        self.clear_day_seeded_recorded(community, iterations, seed, rec)
     }
 
     /// [`Market::clear_day`] with the day's solver seed supplied explicitly
@@ -94,6 +111,21 @@ impl Market {
         iterations: usize,
         seed: u64,
     ) -> Result<DayOutcome, SimError> {
+        self.clear_day_seeded_recorded(community, iterations, seed, &NoopRecorder)
+    }
+
+    /// [`Market::clear_day_seeded`] with solver telemetry routed into `rec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when scheduling fails.
+    pub fn clear_day_seeded_recorded(
+        &self,
+        community: &Community,
+        iterations: usize,
+        seed: u64,
+        rec: &dyn Recorder,
+    ) -> Result<DayOutcome, SimError> {
         let horizon = community.horizon();
         let mut price = PriceSignal::flat(horizon, self.utility.config().base_price)?;
         // Common random numbers across iterations keep the fixed point from
@@ -101,7 +133,7 @@ impl Market {
         let mut response = None;
         for _ in 0..iterations.max(1) {
             let mut child = ChaCha8Rng::seed_from_u64(seed);
-            let r = self.truth.predict(community, &price, &mut child)?;
+            let r = self.truth.predict_recorded(community, &price, &mut child, rec)?;
             price = self.utility.design_price(&r.grid_demand);
             response = Some(r);
         }
@@ -109,7 +141,7 @@ impl Market {
         let mut child = ChaCha8Rng::seed_from_u64(seed);
         let response = match iterations {
             0 => response.expect("at least one iteration ran"),
-            _ => self.truth.predict(community, &price, &mut child)?,
+            _ => self.truth.predict_recorded(community, &price, &mut child, rec)?,
         };
         Ok(DayOutcome { price, response })
     }
@@ -127,13 +159,29 @@ impl Market {
         days: usize,
         rng: &mut impl Rng,
     ) -> Result<PriceHistory, SimError> {
+        self.bootstrap_history_recorded(generator, days, rng, &NoopRecorder)
+    }
+
+    /// [`Market::bootstrap_history`] with solver telemetry routed into
+    /// `rec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when any day fails to clear.
+    pub fn bootstrap_history_recorded(
+        &self,
+        generator: &CommunityGenerator,
+        days: usize,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+    ) -> Result<PriceHistory, SimError> {
         let weather = self.scenario.weather_factors(days);
         let mut prices = Vec::new();
         let mut generation = Vec::new();
         let mut demand = Vec::new();
         for (day, &clearness) in weather.iter().enumerate() {
             let community = generator.community_for_day(day, clearness);
-            let outcome = self.clear_day(&community, 2, rng)?;
+            let outcome = self.clear_day_recorded(&community, 2, rng, rec)?;
             let theta = community.total_generation();
             for h in 0..community.horizon().slots() {
                 prices.push(outcome.price.at(h).value());

@@ -5,13 +5,14 @@
 //! PV penetration, and the attack window shape the grid's load and the
 //! attack surface.
 
+use nms_obs::{NoopRecorder, Recorder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use nms_attack::PriceAttack;
 use nms_core::{DetectorMode, FrameworkConfig, QuarantineConfig, SanitizeConfig};
-use nms_par::{par_map, Parallelism};
+use nms_par::{par_map_recorded, Parallelism};
 use nms_pricing::NetMeteringTariff;
 use nms_types::{RetryPolicy, SolveBudget};
 
@@ -32,6 +33,22 @@ pub struct SweepPoint {
     pub energy_sold: f64,
     /// Total midday (11:00–15:00) grid draw (kWh).
     pub midday_draw: f64,
+    /// Best-response rounds the point's final game clearing executed.
+    ///
+    /// Deterministic and thread-invariant (each point's game is solved
+    /// sequentially within its worker), so it is safe to compare across
+    /// sequential and parallel sweeps.
+    #[serde(default)]
+    pub solver_rounds: usize,
+    /// Whether that game converged within its round budget.
+    #[serde(default)]
+    pub solver_converged: bool,
+    /// Solver memo-cache hits in that game (zero when the cache is off).
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Solver memo-cache misses in that game (zero when the cache is off).
+    #[serde(default)]
+    pub cache_misses: usize,
 }
 
 /// Sweeps the net-metering reward divisor `W` and reports the cleared grid
@@ -48,9 +65,26 @@ pub fn sweep_tariff(
     w_values: &[f64],
     parallelism: &Parallelism,
 ) -> Result<Vec<SweepPoint>, SimError> {
+    sweep_tariff_recorded(scenario, w_values, parallelism, &NoopRecorder)
+}
+
+/// [`sweep_tariff`] with worker telemetry routed into `rec` (see
+/// [`par_map_recorded`]). The sweep's results are unaffected.
+///
+/// # Errors
+///
+/// Same as [`sweep_tariff`].
+pub fn sweep_tariff_recorded(
+    scenario: &PaperScenario,
+    w_values: &[f64],
+    parallelism: &Parallelism,
+    rec: &dyn Recorder,
+) -> Result<Vec<SweepPoint>, SimError> {
     // Every point seeds its own RNG from the scenario, so points are
     // independent and the parallel sweep is bit-identical to sequential.
-    par_map(parallelism.threads, w_values, |_, &w| {
+    // Workers clear unrecorded: the game layer emits trace events, which
+    // the nms-obs contract keeps out of parallel regions.
+    par_map_recorded(parallelism.threads, w_values, rec, |_, &w| {
         let mut swept = scenario.clone();
         swept.tariff = NetMeteringTariff::new(w)?;
         clear_point(&swept, w)
@@ -68,12 +102,31 @@ pub fn sweep_pv_ownership(
     ownership_values: &[f64],
     parallelism: &Parallelism,
 ) -> Result<Vec<SweepPoint>, SimError> {
-    par_map(parallelism.threads, ownership_values, |_, &ownership| {
-        let mut swept = scenario.clone();
-        swept.pv_ownership = ownership;
-        swept.validate()?;
-        clear_point(&swept, ownership)
-    })
+    sweep_pv_ownership_recorded(scenario, ownership_values, parallelism, &NoopRecorder)
+}
+
+/// [`sweep_pv_ownership`] with worker telemetry routed into `rec`.
+///
+/// # Errors
+///
+/// Same as [`sweep_pv_ownership`].
+pub fn sweep_pv_ownership_recorded(
+    scenario: &PaperScenario,
+    ownership_values: &[f64],
+    parallelism: &Parallelism,
+    rec: &dyn Recorder,
+) -> Result<Vec<SweepPoint>, SimError> {
+    par_map_recorded(
+        parallelism.threads,
+        ownership_values,
+        rec,
+        |_, &ownership| {
+            let mut swept = scenario.clone();
+            swept.pv_ownership = ownership;
+            swept.validate()?;
+            clear_point(&swept, ownership)
+        },
+    )
 }
 
 fn clear_point(scenario: &PaperScenario, parameter: f64) -> Result<SweepPoint, SimError> {
@@ -96,6 +149,10 @@ fn clear_point(scenario: &PaperScenario, parameter: f64) -> Result<SweepPoint, S
         par: outcome.response.par,
         energy_sold,
         midday_draw,
+        solver_rounds: outcome.response.rounds,
+        solver_converged: outcome.response.converged,
+        cache_hits: outcome.response.cache.hits,
+        cache_misses: outcome.response.cache.misses,
     })
 }
 
@@ -108,6 +165,16 @@ pub struct AttackWindowPoint {
     pub attacked_par: f64,
     /// Slot where the attacked demand peaks.
     pub peak_slot: usize,
+    /// Best-response rounds of the attacked game (deterministic and
+    /// thread-invariant, like [`SweepPoint::solver_rounds`]).
+    #[serde(default)]
+    pub solver_rounds: usize,
+    /// Solver memo-cache hits in the attacked game.
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Solver memo-cache misses in the attacked game.
+    #[serde(default)]
+    pub cache_misses: usize,
 }
 
 /// Sweeps one-hour zero-price windows across the day: where does the
@@ -121,14 +188,28 @@ pub fn sweep_attack_window(
     start_hours: &[f64],
     parallelism: &Parallelism,
 ) -> Result<Vec<AttackWindowPoint>, SimError> {
+    sweep_attack_window_recorded(scenario, start_hours, parallelism, &NoopRecorder)
+}
+
+/// [`sweep_attack_window`] with worker telemetry routed into `rec`.
+///
+/// # Errors
+///
+/// Same as [`sweep_attack_window`].
+pub fn sweep_attack_window_recorded(
+    scenario: &PaperScenario,
+    start_hours: &[f64],
+    parallelism: &Parallelism,
+    rec: &dyn Recorder,
+) -> Result<Vec<AttackWindowPoint>, SimError> {
     let market = Market::new(scenario)?;
     let generator = scenario.generator();
     let weather = scenario.weather_factors(1);
     let community = generator.community_for_day(0, weather[0]);
     let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xa77ac);
-    let clean = market.clear_day(&community, 2, &mut rng)?;
+    let clean = market.clear_day_recorded(&community, 2, &mut rng, rec)?;
 
-    par_map(parallelism.threads, start_hours, |_, &from_hour| {
+    par_map_recorded(parallelism.threads, start_hours, rec, |_, &from_hour| {
         let attack = PriceAttack::zero_window(from_hour, from_hour + 1.0)?;
         let manipulated = attack.apply(&clean.price);
         let mut attacked_rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xa77ac);
@@ -139,6 +220,9 @@ pub fn sweep_attack_window(
             from_hour,
             attacked_par: attacked.par,
             peak_slot: attacked.grid_demand.peak_slot(),
+            solver_rounds: attacked.rounds,
+            cache_hits: attacked.cache.hits,
+            cache_misses: attacked.cache.misses,
         })
     })
 }
@@ -178,7 +262,21 @@ pub fn sweep_fault_tolerance(
     fault_rates: &[f64],
     parallelism: &Parallelism,
 ) -> Result<Vec<FaultTolerancePoint>, SimError> {
-    par_map(parallelism.threads, fault_rates, |_, &rate| {
+    sweep_fault_tolerance_recorded(scenario, fault_rates, parallelism, &NoopRecorder)
+}
+
+/// [`sweep_fault_tolerance`] with worker telemetry routed into `rec`.
+///
+/// # Errors
+///
+/// Same as [`sweep_fault_tolerance`].
+pub fn sweep_fault_tolerance_recorded(
+    scenario: &PaperScenario,
+    fault_rates: &[f64],
+    parallelism: &Parallelism,
+    rec: &dyn Recorder,
+) -> Result<Vec<FaultTolerancePoint>, SimError> {
+    par_map_recorded(parallelism.threads, fault_rates, rec, |_, &rate| {
         let plan = (rate > 0.0).then(|| FaultPlan::degraded(scenario.seed ^ 0xfa_017, rate));
         let run = |mode: DetectorMode| -> Result<LongTermRunResult, SimError> {
             let config = LongTermRunConfig {

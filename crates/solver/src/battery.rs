@@ -231,6 +231,7 @@ fn optimize_battery_with(
             iterations: 0,
             converged: true,
             budget_breached: false,
+            std_history: Vec::new(),
         };
         return Ok((problem.full_trajectory(&interior), solution));
     }

@@ -129,6 +129,11 @@ pub struct CeSolution {
     /// stopped the run before its own limits did. The solution still holds
     /// the best point sampled so far.
     pub budget_breached: bool,
+    /// Sampling-distribution spread after each iteration's refit (the mean
+    /// std across dimensions) — the variance trajectory observability
+    /// consumes. One entry per executed iteration; empty for
+    /// zero-dimensional problems.
+    pub std_history: Vec<f64>,
 }
 
 /// Minimizes black-box objectives over axis-aligned boxes with the
@@ -317,6 +322,7 @@ impl CrossEntropyOptimizer {
                 iterations: 0,
                 converged: true,
                 budget_breached: false,
+                std_history: Vec::new(),
             });
         }
         for (d, &(lo, hi)) in bounds.iter().enumerate() {
@@ -355,6 +361,7 @@ impl CrossEntropyOptimizer {
         let mut iterations = 0;
         let mut converged = false;
         let mut budget_breached = false;
+        let mut std_history: Vec<f64> = Vec::new();
 
         for _ in 0..self.config.max_iters {
             if let Some(clock) = clock {
@@ -405,6 +412,8 @@ impl CrossEntropyOptimizer {
                 std[d] = alpha * elite_var.sqrt() + (1.0 - alpha) * std[d];
             }
 
+            std_history.push(std.iter().sum::<f64>() / dim as f64);
+
             let collapsed = std
                 .iter()
                 .zip(&widths)
@@ -421,6 +430,7 @@ impl CrossEntropyOptimizer {
             iterations,
             converged,
             budget_breached,
+            std_history,
         })
     }
 }
@@ -485,6 +495,10 @@ mod tests {
             assert!((v - 0.7).abs() < 0.05, "point {v}");
         }
         assert!(solution.converged);
+        assert_eq!(solution.std_history.len(), solution.iterations);
+        assert!(solution.std_history.iter().all(|s| s.is_finite() && *s >= 0.0));
+        // Convergence means the spread collapsed over the run.
+        assert!(solution.std_history.last().unwrap() < solution.std_history.first().unwrap());
     }
 
     #[test]

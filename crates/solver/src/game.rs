@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use nms_obs::{NoopRecorder, Recorder, TraceEvent};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -17,7 +18,7 @@ use nms_pricing::{CostModel, NetMeteringTariff, PriceSignal};
 use nms_smarthome::{Community, CommunitySchedule, CustomerSchedule};
 use nms_types::{TimeSeries, ValidateError};
 
-use crate::{best_response, ResponseConfig, SolverError};
+use crate::{best_response_recorded, ResponseConfig, SolverError};
 
 /// Configuration for [`GameEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -261,6 +262,27 @@ impl<'a> GameEngine<'a> {
     ///
     /// Propagates [`SolverError`] from any customer's subproblem.
     pub fn solve(&self, rng: &mut impl Rng) -> Result<GameOutcome, SolverError> {
+        self.solve_recorded(rng, &NoopRecorder)
+    }
+
+    /// [`GameEngine::solve`] with solver telemetry: per-round `game_round`
+    /// events (Jacobi/Gauss–Seidel residuals), a closing `game_solved`
+    /// event, `solver_round_delta` observations, and
+    /// `solver_games` / `solver_rounds` / `solver_cache_*` counters into
+    /// `rec` — plus everything [`best_response_recorded`] tallies per
+    /// customer. Recording only reads values the solve already produced
+    /// (see the crate-level RNG-neutrality contract in `nms-obs`), so the
+    /// outcome is bit-identical to [`GameEngine::solve`] under the same
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolverError`] from any customer's subproblem.
+    pub fn solve_recorded(
+        &self,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+    ) -> Result<GameOutcome, SolverError> {
         let horizon = self.community.horizon();
         let n = self.community.len();
 
@@ -294,13 +316,14 @@ impl<'a> GameEngine<'a> {
                             let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
                             let cost_model =
                                 CostModel::new(self.prices.for_customer(index), self.tariff);
-                            let response = best_response(
+                            let response = best_response_recorded(
                                 customer,
                                 &others,
                                 cost_model,
                                 &self.config.response,
                                 schedules[index].as_ref(),
                                 &mut child,
+                                rec,
                             )?;
                             cache.insert(key, &response);
                             response
@@ -328,8 +351,14 @@ impl<'a> GameEngine<'a> {
                     }
                 }
                 let miss_indices: Vec<usize> = misses.iter().map(|(index, _)| *index).collect();
-                let computed =
-                    self.parallel_round(&snapshot_total, &tradings, &schedules, &seeds, &miss_indices)?;
+                let computed = self.parallel_round(
+                    &snapshot_total,
+                    &tradings,
+                    &schedules,
+                    &seeds,
+                    &miss_indices,
+                    rec,
+                )?;
                 for ((index, key), response) in misses.into_iter().zip(computed) {
                     cache.insert(key, &response);
                     responses[index] = Some(response);
@@ -345,10 +374,39 @@ impl<'a> GameEngine<'a> {
             }
 
             history.push(round_delta);
+            rec.observe("solver_round_delta", round_delta);
+            if rec.enabled() {
+                let mut event = TraceEvent::new("game_round")
+                    .field("round", rounds as f64)
+                    .field("delta", round_delta);
+                if cache.enabled() {
+                    let round_hits = stats.hits_by_round.last().copied().unwrap_or(0);
+                    event = event.field("cache_hits", round_hits as f64);
+                }
+                rec.event(&event);
+            }
             if round_delta <= self.config.tolerance {
                 converged = true;
                 break;
             }
+        }
+
+        rec.add("solver_games", 1);
+        rec.add("solver_rounds", rounds as u64);
+        if converged {
+            rec.add("solver_games_converged", 1);
+        }
+        rec.add("solver_cache_hits", stats.hits as u64);
+        rec.add("solver_cache_misses", stats.misses as u64);
+        if rec.enabled() {
+            rec.event(
+                &TraceEvent::new("game_solved")
+                    .field("rounds", rounds as f64)
+                    .field("converged", f64::from(u8::from(converged)))
+                    .field("final_delta", history.last().copied().unwrap_or(0.0))
+                    .field("cache_hits", stats.hits as f64)
+                    .field("cache_misses", stats.misses as f64),
+            );
         }
 
         let schedules: Vec<CustomerSchedule> = schedules
@@ -368,6 +426,7 @@ impl<'a> GameEngine<'a> {
     /// One parallel Jacobi round over the given customer indices (the cache
     /// misses; every index when the cache is disabled), via the ordered
     /// deterministic [`nms_par::par_map`].
+    #[allow(clippy::too_many_arguments)]
     fn parallel_round(
         &self,
         snapshot_total: &TimeSeries<f64>,
@@ -375,21 +434,26 @@ impl<'a> GameEngine<'a> {
         schedules: &[Option<CustomerSchedule>],
         seeds: &[u64],
         indices: &[usize],
+        rec: &dyn Recorder,
     ) -> Result<Vec<CustomerSchedule>, SolverError> {
-        nms_par::par_map(self.config.parallelism.threads, indices, |_, &index| {
+        // Workers record only the commutative metric methods (via
+        // best_response_recorded), so totals stay reproducible at any
+        // thread count.
+        nms_par::par_map_recorded(self.config.parallelism.threads, indices, rec, |_, &index| {
             let customer = &self.community.customers()[index];
             let others = snapshot_total
                 .sub(&tradings[index])
                 .expect("aligned horizons");
             let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
             let cost_model = CostModel::new(self.prices.for_customer(index), self.tariff);
-            best_response(
+            best_response_recorded(
                 customer,
                 &others,
                 cost_model,
                 &self.config.response,
                 schedules[index].as_ref(),
                 &mut child,
+                rec,
             )
         })
     }

@@ -57,5 +57,5 @@ pub use error::SolverError;
 pub use game::{CacheStats, GameConfig, GameEngine, GameOutcome, PriceAssignment};
 pub use nms_par::Parallelism;
 pub use nash::{nash_gap, NashGap};
-pub use response::{best_response, ResponseConfig};
+pub use response::{best_response, best_response_recorded, ResponseConfig};
 pub use retry::{solve_battery_robust, BatterySolveStage, RobustBatteryOutcome};

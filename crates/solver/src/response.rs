@@ -2,6 +2,9 @@
 //! lines 3–6): alternate DP appliance scheduling with cross-entropy battery
 //! optimization until the customer's plan stabilizes.
 
+use std::cell::Cell;
+
+use nms_obs::{NoopRecorder, Recorder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +88,38 @@ pub fn best_response(
     previous: Option<&CustomerSchedule>,
     rng: &mut impl Rng,
 ) -> Result<CustomerSchedule, SolverError> {
+    best_response_recorded(
+        customer,
+        others_trading,
+        cost_model,
+        config,
+        previous,
+        rng,
+        &NoopRecorder,
+    )
+}
+
+/// [`best_response`] with solver telemetry: tallies DP cost-cell
+/// evaluations (`solver_dp_cells`), cross-entropy solves / iterations /
+/// convergences (`solver_ce_*`), and the CE variance trajectory
+/// (`solver_ce_std` observations) into `rec`. Recording reads only values
+/// the solve already produced and draws nothing from `rng`, so the
+/// returned schedule is bit-identical to [`best_response`] under the same
+/// seed.
+///
+/// # Errors
+///
+/// Same as [`best_response`].
+#[allow(clippy::too_many_arguments)]
+pub fn best_response_recorded(
+    customer: &Customer,
+    others_trading: &TimeSeries<f64>,
+    cost_model: CostModel<'_>,
+    config: &ResponseConfig,
+    previous: Option<&CustomerSchedule>,
+    rng: &mut impl Rng,
+    rec: &dyn Recorder,
+) -> Result<CustomerSchedule, SolverError> {
     config.validate()?;
     let horizon = customer.horizon();
     let dp = DpScheduler::new(config.dp_resolution);
@@ -110,6 +145,10 @@ pub fn best_response(
 
     let generation = TimeSeries::from_fn(horizon, |h| customer.generation(h).value());
 
+    // Tallied locally (the DP cost closure is not `Sync`-friendly to hand
+    // the recorder into) and flushed to `rec` once per response.
+    let dp_cells = Cell::new(0_u64);
+
     for _ in 0..config.inner_iters {
         // Battery contribution to own trading, fixed during the DP step.
         let battery_delta =
@@ -128,6 +167,7 @@ pub fn best_response(
                 customer.base_load()[h] + other_appliances + battery_delta[h] - generation[h]
             });
             let schedule = dp.schedule(appliance, horizon, |slot, energy| {
+                dp_cells.set(dp_cells.get() + 1);
                 cost_model
                     .slot_cost(slot, others_trading[slot], base[slot] + energy)
                     .value()
@@ -157,10 +197,20 @@ pub fn best_response(
             } else {
                 previous
             };
-            let (trajectory, _) = optimize_battery(&problem, &ce, Some(&warm), rng);
+            let (trajectory, solution) = optimize_battery(&problem, &ce, Some(&warm), rng);
+            rec.add("solver_ce_solves", 1);
+            rec.add("solver_ce_iterations", solution.iterations as u64);
+            if solution.converged {
+                rec.add("solver_ce_converged", 1);
+            }
+            for std in &solution.std_history {
+                rec.observe("solver_ce_std", *std);
+            }
             battery = trajectory;
         }
     }
+
+    rec.add("solver_dp_cells", dp_cells.get());
 
     let appliance_schedules: Vec<ApplianceSchedule> = customer
         .appliances()

@@ -18,17 +18,31 @@
 //! cargo run --release --example long_term_monitoring -- \
 //!     --journal /tmp/run.jsonl                  # resumes day 2, finishes
 //! ```
+//!
+//! Observability: `--trace <path>` streams structured JSONL events (phase
+//! timings, solver convergence, sanitize/quarantine transitions) and
+//! `--metrics <path>` writes a Prometheus-style exposition snapshot at the
+//! end. Both are telemetry-only — the run's results are bit-identical with
+//! or without them:
+//!
+//! ```sh
+//! cargo run --release --example long_term_monitoring -- \
+//!     --trace /tmp/run-trace.jsonl --metrics /tmp/run-metrics.prom
+//! ```
 
 use std::error::Error;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use netmeter_sentinel::core::{DetectorMode, FrameworkConfig};
+use netmeter_sentinel::obs::{JsonlTrace, MetricsRegistry, NoopRecorder, Recorder, Tee};
 use netmeter_sentinel::sim::experiments::paper_timeline;
 use netmeter_sentinel::sim::{
-    run_long_term_detection, LongTermRunConfig, LongTermRunResult, PaperScenario, SupervisedRun,
+    run_long_term_detection_recorded, LongTermRunConfig, LongTermRunResult, PaperScenario,
+    SupervisedRun,
 };
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -36,6 +50,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut seed = 7u64;
     let mut journal: Option<PathBuf> = None;
     let mut kill_after: Option<usize> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,6 +59,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             "--seed" | "-s" => seed = args.next().ok_or("need value")?.parse()?,
             "--journal" | "-j" => journal = Some(args.next().ok_or("need value")?.into()),
             "--kill-after" | "-k" => kill_after = Some(args.next().ok_or("need value")?.parse()?),
+            "--trace" | "-t" => trace_path = Some(args.next().ok_or("need value")?.into()),
+            "--metrics" | "-m" => metrics_path = Some(args.next().ok_or("need value")?.into()),
             other => return Err(format!("unknown flag {other:?}").into()),
         }
     }
@@ -50,6 +68,23 @@ fn main() -> Result<(), Box<dyn Error>> {
         return Err("--kill-after only makes sense with --journal".into());
     }
     let scenario = PaperScenario::small(customers, seed);
+
+    // Assemble the recorder: a no-op unless --trace/--metrics asked for
+    // sinks. Telemetry never feeds back, so every assembly produces the
+    // same results.
+    let metrics = metrics_path.as_ref().map(|_| MetricsRegistry::new());
+    let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+    if let Some(path) = &trace_path {
+        sinks.push(Arc::new(JsonlTrace::create(path)?));
+    }
+    if let Some(registry) = &metrics {
+        sinks.push(Arc::new(registry.clone()));
+    }
+    let recorder: Arc<dyn Recorder> = match sinks.len() {
+        0 => Arc::new(NoopRecorder),
+        1 => sinks.remove(0),
+        _ => Arc::new(Tee::new(sinks)),
+    };
 
     println!("48-hour monitoring, {} customers, seed {seed}", customers);
     println!(
@@ -80,7 +115,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         let result: LongTermRunResult = match &journal {
             None => {
                 let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xf1906);
-                run_long_term_detection(&scenario, &config, &mut rng)?
+                run_long_term_detection_recorded(&scenario, &config, &mut rng, recorder.as_ref())?
             }
             Some(base) => {
                 // One journal per detector mode, derived from the flag.
@@ -89,7 +124,13 @@ fn main() -> Result<(), Box<dyn Error>> {
                     DetectorMode::IgnoreNetMetering => "naive",
                 };
                 let path = base.with_extension(format!("{tag}.jsonl"));
-                let mut run = SupervisedRun::new(&scenario, &config, seed ^ 0xf1906, &path)?;
+                let mut run = SupervisedRun::new_recorded(
+                    &scenario,
+                    &config,
+                    seed ^ 0xf1906,
+                    &path,
+                    Arc::clone(&recorder),
+                )?;
                 if run.completed_days() > 0 {
                     println!(
                         "[{}] resumed from {} ({} day(s) checkpointed)",
@@ -160,6 +201,14 @@ fn main() -> Result<(), Box<dyn Error>> {
             aware.observed_buckets.get(slot).copied().unwrap_or(0),
             naive.observed_buckets.get(slot).copied().unwrap_or(0),
         );
+    }
+
+    if let Some(path) = &trace_path {
+        println!("\ntrace written to {}", path.display());
+    }
+    if let (Some(path), Some(registry)) = (&metrics_path, &metrics) {
+        registry.write_prometheus(path)?;
+        println!("metrics written to {}", path.display());
     }
     Ok(())
 }

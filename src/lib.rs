@@ -40,6 +40,7 @@
 //! | [`pomdp`] | beliefs, QMDP/PBVI solvers, model estimation |
 //! | [`core`] | the paper's detection framework |
 //! | [`sim`] | scenario generation and the paper's experiments |
+//! | [`obs`] | recorder trait, metrics registry, JSONL trace sink |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +48,7 @@
 pub use nms_attack as attack;
 pub use nms_core as core;
 pub use nms_forecast as forecast;
+pub use nms_obs as obs;
 pub use nms_pomdp as pomdp;
 pub use nms_pricing as pricing;
 pub use nms_sim as sim;
