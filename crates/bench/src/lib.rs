@@ -76,6 +76,10 @@ pub struct BenchRecord {
     /// Solver memo-cache misses across the target's games.
     #[serde(default)]
     pub cache_misses: u64,
+    /// Free-form provenance note (thread/chunking choices, iteration
+    /// counts) so a record explains its own measurement conditions.
+    #[serde(default)]
+    pub note: String,
 }
 
 /// Logical cores on this host (0 when the count cannot be determined).
@@ -138,6 +142,7 @@ mod tests {
         assert_eq!(record.host_cores, 0);
         assert_eq!(record.cache_hits, 0);
         assert_eq!(record.cache_misses, 0);
+        assert_eq!(record.note, "");
         assert!(host_cores() >= 1, "this host has at least one core");
     }
 
@@ -157,6 +162,7 @@ mod tests {
             solver_rounds: 0,
             cache_hits: 0,
             cache_misses: 0,
+            note: String::new(),
         };
         record_bench_results(&[record("a", 1.0), record("b", 2.0)]).unwrap();
         record_bench_results(&[record("b", 3.0)]).unwrap();

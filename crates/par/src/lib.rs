@@ -27,6 +27,16 @@
 //! counter), so heterogeneous item costs balance without tuning; the
 //! counter hands out indices in increasing order, which is what makes the
 //! first-error guarantee cheap to keep even with early abort.
+//!
+//! **Granularity** (DESIGN.md §11): the worker count is clamped to the
+//! host's logical cores — oversubscribing a small host only adds
+//! context-switch and cache-thrash overhead while the bit-identity
+//! contract already makes the thread count observationally irrelevant.
+//! On a 1-core host every `par_map` therefore degrades to the sequential
+//! loop, which is exactly the fastest correct schedule there. For maps
+//! over many cheap items, [`auto_chunk`] sizes chunks so per-item dispatch
+//! cost (one `SeqCst` fetch-add per pull) is amortized; maps over few
+//! heavy items should keep chunk 1 for load balance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -77,6 +87,35 @@ impl Default for Parallelism {
     fn default() -> Self {
         Self::SEQUENTIAL
     }
+}
+
+/// Logical cores on this host; `1` when the count cannot be determined.
+/// Cached after the first call (the underlying query is a syscall).
+pub fn host_threads() -> usize {
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// The chunk size that amortizes per-item dispatch cost for a map of `n`
+/// items over `workers` threads: roughly four pulls per worker, so dynamic
+/// load balancing still has slack while the shared-counter traffic drops by
+/// the chunk factor. Always at least 1.
+///
+/// Use this for many-cheap-item maps (e.g. objective evaluations inside an
+/// optimizer iteration); keep chunk 1 for few-heavy-item maps (e.g. sweep
+/// points), where balance matters more than dispatch cost.
+pub fn auto_chunk(n: usize, workers: usize) -> usize {
+    (n / (workers.max(1) * 4)).max(1)
+}
+
+/// The worker count actually used for a map of `n` items requested at
+/// `threads`: never more workers than items, never more than the host has
+/// logical cores.
+fn resolve_workers(threads: usize, n: usize) -> usize {
+    threads.min(n).min(host_threads())
 }
 
 /// What one item produced on a worker.
@@ -194,18 +233,90 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
+    par_map_core(
+        resolve_workers(threads, items.len()),
+        chunk,
+        items,
+        rec,
+        || (),
+        |(), index, item| f(index, item),
+    )
+}
+
+/// [`par_map_recorded`] with per-worker scratch state: `scratch()` is
+/// called once per worker (once total on the sequential path) and the
+/// resulting value is threaded mutably through every item that worker
+/// processes. This is the persistent-workspace hook solvers use to keep
+/// their hot paths allocation-free across items (DESIGN.md §11): the
+/// scratch is reused, never shared, and must be fully overwritten by `f`
+/// for the bit-identity contract to hold — `f`'s result must be a pure
+/// function of `(index, item)` regardless of what earlier items left in
+/// the scratch.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-index failing item.
+///
+/// # Panics
+///
+/// Re-raises the lowest-index worker panic on the calling thread, with the
+/// item index and original message in the payload.
+pub fn par_map_scratch_recorded<T, R, E, W, S, F>(
+    threads: usize,
+    items: &[T],
+    rec: &dyn Recorder,
+    scratch: S,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    W: Send,
+    S: Fn() -> W + Sync,
+    F: Fn(&mut W, usize, &T) -> Result<R, E> + Sync,
+{
+    par_map_core(
+        resolve_workers(threads, items.len()),
+        1,
+        items,
+        rec,
+        scratch,
+        f,
+    )
+}
+
+/// The shared map engine. `workers` is already resolved (≤ items, ≤ host
+/// cores); `scratch` builds one per-worker state reused across that
+/// worker's items.
+fn par_map_core<T, R, E, W, S, F>(
+    workers: usize,
+    chunk: usize,
+    items: &[T],
+    rec: &dyn Recorder,
+    scratch: S,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    W: Send,
+    S: Fn() -> W + Sync,
+    F: Fn(&mut W, usize, &T) -> Result<R, E> + Sync,
+{
     let n = items.len();
     let chunk = chunk.max(1);
-    let workers = threads.min(n);
     rec.add("par_maps", 1);
     rec.add("par_items", n as u64);
     if workers <= 1 {
         // Sequential path: the reference behavior. No spawns, no
         // catch_unwind, immediate short-circuit on the first error.
         let busy = Instant::now();
+        let mut ws = scratch();
         let mut results = Vec::with_capacity(n);
         for (index, item) in items.iter().enumerate() {
-            results.push(f(index, item)?);
+            results.push(f(&mut ws, index, item)?);
         }
         rec.observe("par_worker_items", n as f64);
         rec.observe("par_worker_busy_seconds", busy.elapsed().as_secs_f64());
@@ -215,6 +326,7 @@ where
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let f = &f;
+    let scratch = &scratch;
     let next = &next;
     let abort = &abort;
 
@@ -228,6 +340,7 @@ where
             .map(|_| {
                 scope.spawn(move |_| {
                     let busy = Instant::now();
+                    let mut ws = scratch();
                     let mut local: Vec<(usize, ItemOutcome<R, E>)> = Vec::new();
                     'pull: while !abort.load(Ordering::SeqCst) {
                         let start = next.fetch_add(chunk, Ordering::SeqCst);
@@ -235,7 +348,7 @@ where
                             break;
                         }
                         for index in start..(start + chunk).min(n) {
-                            match catch_unwind(AssertUnwindSafe(|| f(index, &items[index]))) {
+                            match catch_unwind(AssertUnwindSafe(|| f(&mut ws, index, &items[index]))) {
                                 Ok(Ok(value)) => local.push((index, ItemOutcome::Ok(value))),
                                 Ok(Err(err)) => {
                                     local.push((index, ItemOutcome::Err(err)));
@@ -313,6 +426,25 @@ mod tests {
         Ok(item * item)
     }
 
+    /// Runs the map engine with an explicit worker count, bypassing the
+    /// host-core clamp so the genuinely-parallel path is exercised even on
+    /// small CI hosts.
+    fn forced<T: Sync, R: Send, E: Send>(
+        workers: usize,
+        chunk: usize,
+        items: &[T],
+        f: impl Fn(usize, &T) -> Result<R, E> + Sync,
+    ) -> Result<Vec<R>, E> {
+        par_map_core(
+            workers.min(items.len()),
+            chunk,
+            items,
+            &NoopRecorder,
+            || (),
+            |(), index, item| f(index, item),
+        )
+    }
+
     #[test]
     fn parallelism_defaults_sequential_and_validates() {
         assert_eq!(Parallelism::default().threads, 1);
@@ -324,9 +456,11 @@ mod tests {
     #[test]
     fn results_preserve_input_order() {
         let items: Vec<u64> = (0..97).collect();
-        let out = par_map(4, &items, square).unwrap();
+        let out = forced(4, 1, &items, square).unwrap();
         let expected: Vec<u64> = items.iter().map(|v| v * v).collect();
         assert_eq!(out, expected);
+        // The public entry point (possibly core-clamped) agrees.
+        assert_eq!(par_map(4, &items, square).unwrap(), expected);
     }
 
     #[test]
@@ -334,9 +468,67 @@ mod tests {
         let items: Vec<u64> = (0..64).collect();
         let seq = par_map(1, &items, square).unwrap();
         for threads in [2, 3, 4, 8] {
+            assert_eq!(forced(threads, 1, &items, square).unwrap(), seq);
+            assert_eq!(forced(threads, 5, &items, square).unwrap(), seq);
             assert_eq!(par_map(threads, &items, square).unwrap(), seq);
             assert_eq!(par_map_chunked(threads, 5, &items, square).unwrap(), seq);
         }
+    }
+
+    #[test]
+    fn worker_clamp_and_auto_chunk_heuristics() {
+        let cores = host_threads();
+        assert!(cores >= 1);
+        assert_eq!(resolve_workers(8, 3), 3.min(cores));
+        assert_eq!(resolve_workers(2, 100), 2.min(cores));
+        assert_eq!(resolve_workers(1, 100), 1);
+        assert_eq!(auto_chunk(0, 4), 1);
+        assert_eq!(auto_chunk(32, 4), 2);
+        assert_eq!(auto_chunk(256, 4), 16);
+        assert_eq!(auto_chunk(7, 0), 1, "zero workers must not divide by zero");
+    }
+
+    #[test]
+    fn scratch_state_is_per_worker_and_results_match_sequential() {
+        // The scratch is deliberately left dirty between items; f fully
+        // overwrites it, so results must match the stateless map.
+        let items: Vec<u64> = (0..50).collect();
+        let run = |workers: usize| {
+            par_map_core(
+                workers,
+                1,
+                &items,
+                &NoopRecorder,
+                Vec::<u64>::new,
+                |ws, _index, item: &u64| -> Result<u64, String> {
+                    // Reuse the buffer without clearing first: stale length
+                    // from the previous item must not leak into the result.
+                    ws.clear();
+                    ws.extend(std::iter::repeat(*item).take((*item % 7) as usize + 1));
+                    Ok(ws.iter().sum::<u64>() / ws.len() as u64 * *item)
+                },
+            )
+        };
+        let seq = run(1).unwrap();
+        for workers in [2, 4] {
+            assert_eq!(run(workers).unwrap(), seq);
+        }
+        let expected: Vec<u64> = items.iter().map(|v| v * v).collect();
+        assert_eq!(seq, expected);
+        // Public entry point with scratch.
+        let public = par_map_scratch_recorded(
+            4,
+            &items,
+            &NoopRecorder,
+            Vec::<u64>::new,
+            |ws, _i, item: &u64| -> Result<u64, String> {
+                ws.clear();
+                ws.push(*item);
+                Ok(ws[0] * ws[0])
+            },
+        )
+        .unwrap();
+        assert_eq!(public, expected);
     }
 
     #[test]
@@ -358,6 +550,7 @@ mod tests {
         };
         let seq_err = par_map(1, &items, f).unwrap_err();
         for threads in [2, 4, 8] {
+            assert_eq!(forced(threads, 1, &items, f).unwrap_err(), seq_err);
             assert_eq!(par_map(threads, &items, f).unwrap_err(), seq_err);
         }
         assert_eq!(seq_err, "item 7 failed");
@@ -367,7 +560,7 @@ mod tests {
     fn worker_panic_rethrows_with_item_context() {
         let items: Vec<u64> = (0..16).collect();
         let result = catch_unwind(AssertUnwindSafe(|| {
-            par_map(4, &items, |_i, item: &u64| -> Result<u64, String> {
+            forced(4, 1, &items, |_i, item: &u64| -> Result<u64, String> {
                 if *item == 5 {
                     panic!("boom at five");
                 }

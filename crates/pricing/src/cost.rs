@@ -134,6 +134,44 @@ impl<'a> CostModel<'a> {
             .sum()
     }
 
+    /// Hoists the per-slot billing terms into a dense [`HoistedCostTable`]
+    /// so inner-loop solvers can evaluate [`CostModel::slot_cost`] as an
+    /// array lookup + multiply instead of a billing-engine call.
+    ///
+    /// The table is rebuilt in place (no allocation once `table`'s buffers
+    /// have reached the horizon length) and is **exact**: for every slot and
+    /// every `own_trading`, [`HoistedCostTable::slot_cost`] performs the
+    /// same floating-point operations in the same order as
+    /// [`CostModel::slot_cost`], so results are bit-identical (see
+    /// DESIGN.md §11 for the exactness argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `others_trading` has a different slot count than the price
+    /// signal.
+    pub fn hoist_into(&self, others_trading: &TimeSeries<f64>, table: &mut HoistedCostTable) {
+        assert_eq!(
+            others_trading.len(),
+            self.prices.len(),
+            "others/prices slots"
+        );
+        table.price.clear();
+        table
+            .price
+            .extend((0..self.prices.len()).map(|slot| self.prices.at(slot).value()));
+        table.others.clear();
+        table.others.extend(others_trading.iter().copied());
+        table.sell_fraction = self.tariff.sell_fraction();
+    }
+
+    /// Convenience wrapper around [`CostModel::hoist_into`] that allocates a
+    /// fresh table.
+    pub fn hoist(&self, others_trading: &TimeSeries<f64>) -> HoistedCostTable {
+        let mut table = HoistedCostTable::default();
+        self.hoist_into(others_trading, &mut table);
+        table
+    }
+
     /// The community-level procurement cost `Σ_h p_h (Σ_n y_n^h)²` the
     /// utility faces (paper §2.3), with exports clamped at zero.
     pub fn community_cost(&self, total_trading: &TimeSeries<f64>) -> Dollars {
@@ -148,6 +186,64 @@ impl<'a> CostModel<'a> {
                 Dollars::new(self.prices.at(slot).value() * y * y)
             })
             .sum()
+    }
+}
+
+/// Dense per-slot billing terms hoisted out of [`CostModel`] (one guideline
+/// price, one aggregate-others trading value per slot, plus the tariff's
+/// sell fraction), built once per best-response/Jacobi round by
+/// [`CostModel::hoist_into`].
+///
+/// The inner loops of the DP appliance scheduler evaluate
+/// [`HoistedCostTable::slot_cost`] `O(H·R·J)` times per schedule; hoisting
+/// turns each evaluation into two array reads and a handful of multiplies.
+///
+/// **Exactness.** `slot_cost(slot, own)` computes
+/// `price[slot] * (others[slot] + own).max(0.0)` and then multiplies by
+/// `own` (buyer) or `sell_fraction * own` (seller) — operation for
+/// operation the body of [`CostModel::slot_cost`]. Because the hoisted
+/// terms are the exact `f64`s the cost model would have read, every result
+/// is bit-identical to the billing-engine call; no tolerance is involved.
+/// Arbitrary cost closures that are not of this billing form cannot be
+/// hoisted and keep using the closure path (see `nms-solver`'s
+/// `DpScheduler::schedule`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HoistedCostTable {
+    price: Vec<f64>,
+    others: Vec<f64>,
+    sell_fraction: f64,
+}
+
+impl HoistedCostTable {
+    /// Number of hoisted slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.price.len()
+    }
+
+    /// `true` when no slots have been hoisted yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.price.is_empty()
+    }
+
+    /// The aggregate trading of the other customers at `slot`, as hoisted.
+    #[inline]
+    pub fn others(&self, slot: usize) -> f64 {
+        self.others[slot]
+    }
+
+    /// Bit-identical to
+    /// `CostModel::slot_cost(slot, others[slot], own_trading).value()` for
+    /// the model and others-series this table was hoisted from.
+    #[inline]
+    pub fn slot_cost(&self, slot: usize, own_trading: f64) -> f64 {
+        let unit = self.price[slot] * (self.others[slot] + own_trading).max(0.0);
+        if own_trading >= 0.0 {
+            unit * own_trading
+        } else {
+            unit * self.sell_fraction * own_trading
+        }
     }
 }
 
@@ -251,7 +347,63 @@ mod tests {
         assert!(model.slot_cost(15, 100.0, 50.0).value() > 0.0);
     }
 
+    #[test]
+    fn hoisted_table_matches_slot_cost_bitwise() {
+        let mut series = TimeSeries::filled(day(), 0.07);
+        series[16] = 0.0;
+        series[3] = 0.41;
+        let prices = PriceSignal::new(series).unwrap();
+        let model = model_fixture(&prices);
+        let others = TimeSeries::from_fn(day(), |h| (h as f64) * 0.7 - 5.0);
+        let table = model.hoist(&others);
+        assert_eq!(table.len(), 24);
+        assert!(!table.is_empty());
+        for slot in 0..24 {
+            assert_eq!(table.others(slot), others[slot]);
+            for own in [-7.5, -0.1, 0.0, 0.3, 4.0, 11.0] {
+                let reference = model.slot_cost(slot, others[slot], own).value();
+                let hoisted = table.slot_cost(slot, own);
+                assert_eq!(
+                    reference.to_bits(),
+                    hoisted.to_bits(),
+                    "slot {slot} own {own}: {reference} vs {hoisted}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hoist_into_reuses_buffers() {
+        let prices = PriceSignal::flat(day(), 0.1).unwrap();
+        let model = model_fixture(&prices);
+        let others = TimeSeries::filled(day(), 2.0);
+        let mut table = model.hoist(&others);
+        let others2 = TimeSeries::filled(day(), -3.0);
+        model.hoist_into(&others2, &mut table);
+        assert_eq!(table.others(0), -3.0);
+        assert_eq!(
+            table.slot_cost(5, 1.0).to_bits(),
+            model.slot_cost(5, -3.0, 1.0).value().to_bits()
+        );
+    }
+
     proptest! {
+        #[test]
+        fn prop_hoisted_table_bit_identical_to_model(
+            price in 0.0_f64..1.0,
+            w in 1.0_f64..4.0,
+            others in -20.0_f64..50.0,
+            own in -20.0_f64..20.0,
+        ) {
+            let prices = PriceSignal::flat(day(), price).unwrap();
+            let model = CostModel::new(&prices, NetMeteringTariff::new(w).unwrap());
+            let others_series = TimeSeries::filled(day(), others);
+            let table = model.hoist(&others_series);
+            let reference = model.slot_cost(0, others, own).value();
+            let hoisted = table.slot_cost(0, own);
+            prop_assert_eq!(reference.to_bits(), hoisted.to_bits());
+        }
+
         #[test]
         fn prop_buying_more_never_cheapens(
             price in 0.01_f64..1.0,

@@ -42,6 +42,6 @@ mod signal;
 mod utility;
 
 pub use billing::{BillBreakdown, BillingEngine};
-pub use cost::{CostModel, NetMeteringTariff};
+pub use cost::{CostModel, HoistedCostTable, NetMeteringTariff};
 pub use signal::PriceSignal;
 pub use utility::{Utility, UtilityConfig};

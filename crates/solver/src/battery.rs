@@ -188,6 +188,28 @@ pub fn try_optimize_battery_budgeted(
     })
 }
 
+/// Like [`try_optimize_battery_budgeted`], but the cross-entropy
+/// population/elite buffers live in a caller-provided [`CeWorkspace`] and
+/// are reused across solves — the best-response inner loop runs one battery
+/// step per alternation and reuses one workspace for all of them.
+/// Bit-identical to [`try_optimize_battery_budgeted`] under the same seed.
+///
+/// # Errors
+///
+/// Same as [`try_optimize_battery`].
+pub fn try_optimize_battery_budgeted_in(
+    problem: &BatteryProblem<'_>,
+    optimizer: &CrossEntropyOptimizer,
+    warm_start: Option<&[f64]>,
+    rng: &mut impl Rng,
+    clock: Option<&BudgetClock>,
+    ws: &mut crate::CeWorkspace,
+) -> Result<(Vec<Kwh>, CeSolution), SolverError> {
+    optimize_battery_with(problem, warm_start, |bounds, init| {
+        optimizer.try_minimize_budgeted_in(|x| problem.objective(x), bounds, init, rng, clock, ws)
+    })
+}
+
 /// Like [`try_optimize_battery_budgeted`], but the cross-entropy sample
 /// evaluations fan out over `parallelism` worker threads via
 /// [`CrossEntropyOptimizer::try_minimize_budgeted_par`] — bit-identical to

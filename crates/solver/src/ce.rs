@@ -38,6 +38,33 @@ fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
     }
 }
 
+/// Reusable population/elite buffers for cross-entropy solves.
+///
+/// One CE solve draws `K` sample points per iteration; allocating the
+/// population, its objective values, and the distribution vectors fresh per
+/// solve dominates small problems (the per-customer battery step runs
+/// thousands of times per sweep). Callers hold one workspace and pass it to
+/// the `*_in` methods; steady-state reuse then allocates nothing per
+/// iteration. Every solve fully reinitializes the prefix it reads, so reuse
+/// is bit-identical to fresh allocation.
+#[derive(Debug, Clone, Default)]
+pub struct CeWorkspace {
+    /// Sample points of the current iteration (`K` reusable vectors).
+    points: Vec<Vec<f64>>,
+    /// Objective values, index-aligned with `points`.
+    values: Vec<f64>,
+    /// Sample indices, stably sorted by objective value each iteration.
+    order: Vec<usize>,
+    /// Sampling-distribution mean per dimension.
+    mean: Vec<f64>,
+    /// Sampling-distribution standard deviation per dimension.
+    std: Vec<f64>,
+    /// Box width per dimension (collapse-criterion scale).
+    widths: Vec<f64>,
+    /// Best point ever sampled.
+    best_point: Vec<f64>,
+}
+
 /// Tuning knobs for [`CrossEntropyOptimizer`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CeConfig {
@@ -219,17 +246,44 @@ impl CrossEntropyOptimizer {
     /// not an error.
     pub fn try_minimize_budgeted(
         &self,
-        mut objective: impl FnMut(&[f64]) -> f64,
+        objective: impl FnMut(&[f64]) -> f64,
         bounds: &[(f64, f64)],
         init_mean: &[f64],
         rng: &mut impl Rng,
         clock: Option<&BudgetClock>,
     ) -> Result<CeSolution, SolverError> {
+        self.try_minimize_budgeted_in(
+            objective,
+            bounds,
+            init_mean,
+            rng,
+            clock,
+            &mut CeWorkspace::default(),
+        )
+    }
+
+    /// [`CrossEntropyOptimizer::try_minimize_budgeted`] with caller-provided
+    /// population/elite buffers: the sample points, objective values, and
+    /// distribution vectors live in `ws` and are reused across solves, so a
+    /// warm workspace makes the per-iteration loop allocation-free.
+    /// Bit-identical to the allocating variant under the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CrossEntropyOptimizer::try_minimize_budgeted`].
+    pub fn try_minimize_budgeted_in(
+        &self,
+        mut objective: impl FnMut(&[f64]) -> f64,
+        bounds: &[(f64, f64)],
+        init_mean: &[f64],
+        rng: &mut impl Rng,
+        clock: Option<&BudgetClock>,
+        ws: &mut CeWorkspace,
+    ) -> Result<CeSolution, SolverError> {
         // Evaluate in input order and short-circuit on the first NaN —
         // exactly what the pre-batch interleaved loop did.
         self.minimize_core(
-            &mut |points| {
-                let mut values = Vec::with_capacity(points.len());
+            &mut |points, values| {
                 for point in points {
                     let value = objective(point);
                     if value.is_nan() {
@@ -237,12 +291,13 @@ impl CrossEntropyOptimizer {
                     }
                     values.push(value);
                 }
-                Ok(values)
+                Ok(())
             },
             bounds,
             init_mean,
             rng,
             clock,
+            ws,
         )
     }
 
@@ -273,36 +328,41 @@ impl CrossEntropyOptimizer {
         let threads = parallelism.threads;
         // Individual objective evaluations are cheap relative to thread
         // scheduling; chunking amortizes the pull cost.
-        let chunk = (self.config.samples / (threads.max(1) * 4)).max(1);
+        let chunk = nms_par::auto_chunk(self.config.samples, threads);
         self.minimize_core(
-            &mut |points| {
-                nms_par::par_map_chunked(threads, chunk, points, |_, point: &Vec<f64>| {
+            &mut |points, values| {
+                let batch = nms_par::par_map_chunked(threads, chunk, points, |_, point: &Vec<f64>| {
                     let value = objective(point);
                     if value.is_nan() {
                         Err(nan_sample_error())
                     } else {
                         Ok(value)
                     }
-                })
+                })?;
+                values.extend(batch);
+                Ok(())
             },
             bounds,
             init_mean,
             rng,
             clock,
+            &mut CeWorkspace::default(),
         )
     }
 
     /// The shared CE loop: per iteration, draw all `K` sample points from
-    /// `rng`, hand them to `eval_batch` (which returns their objective
-    /// values in order, or the lowest-index evaluation failure), then refit
-    /// the sampling distribution on the elites.
+    /// `rng`, hand them to `eval_batch` (which appends their objective
+    /// values in order to the output buffer, or returns the lowest-index
+    /// evaluation failure), then refit the sampling distribution on the
+    /// elites. All steady-state buffers live in `ws`.
     fn minimize_core(
         &self,
-        eval_batch: &mut dyn FnMut(&[Vec<f64>]) -> Result<Vec<f64>, SolverError>,
+        eval_batch: &mut dyn FnMut(&[Vec<f64>], &mut Vec<f64>) -> Result<(), SolverError>,
         bounds: &[(f64, f64)],
         init_mean: &[f64],
         rng: &mut impl Rng,
         clock: Option<&BudgetClock>,
+        ws: &mut CeWorkspace,
     ) -> Result<CeSolution, SolverError> {
         if bounds.len() != init_mean.len() {
             return Err(SolverError::Numeric {
@@ -315,10 +375,11 @@ impl CrossEntropyOptimizer {
         }
         let dim = bounds.len();
         if dim == 0 {
-            let values = eval_batch(&[Vec::new()])?;
+            ws.values.clear();
+            eval_batch(&[Vec::new()], &mut ws.values)?;
             return Ok(CeSolution {
                 point: Vec::new(),
-                objective: values[0],
+                objective: ws.values[0],
                 iterations: 0,
                 converged: true,
                 budget_breached: false,
@@ -333,31 +394,45 @@ impl CrossEntropyOptimizer {
             }
         }
 
-        let widths: Vec<f64> = bounds
-            .iter()
-            .map(|&(lo, hi)| (hi - lo).max(1e-12))
-            .collect();
-        let mut mean: Vec<f64> = init_mean
-            .iter()
-            .zip(bounds)
-            .map(|(&m, &(lo, hi))| m.clamp(lo, hi))
-            .collect();
-        let mut std: Vec<f64> = widths
-            .iter()
-            .map(|w| w * self.config.init_std_fraction)
-            .collect();
+        let CeWorkspace {
+            points,
+            values,
+            order,
+            mean,
+            std,
+            widths,
+            best_point,
+        } = ws;
 
-        let elite_count = ((self.config.samples as f64 * self.config.elite_fraction).ceil()
-            as usize)
-            .clamp(1, self.config.samples);
+        widths.clear();
+        widths.extend(bounds.iter().map(|&(lo, hi)| (hi - lo).max(1e-12)));
+        mean.clear();
+        mean.extend(
+            init_mean
+                .iter()
+                .zip(bounds)
+                .map(|(&m, &(lo, hi))| m.clamp(lo, hi)),
+        );
+        std.clear();
+        std.extend(widths.iter().map(|w| w * self.config.init_std_fraction));
 
-        let mut best_point = mean.clone();
-        let mut best_value = eval_batch(std::slice::from_ref(&best_point))
-            .map_err(|_| SolverError::Numeric {
+        let samples = self.config.samples;
+        let elite_count = ((samples as f64 * self.config.elite_fraction).ceil() as usize)
+            .clamp(1, samples);
+
+        best_point.clear();
+        best_point.extend_from_slice(mean);
+        values.clear();
+        eval_batch(std::slice::from_ref(best_point), values).map_err(|_| {
+            SolverError::Numeric {
                 detail: "objective returned NaN at the initial mean".into(),
-            })?[0];
+            }
+        })?;
+        let mut best_value = values[0];
 
-        let mut samples: Vec<(f64, Vec<f64>)> = Vec::with_capacity(self.config.samples);
+        while points.len() < samples {
+            points.push(Vec::new());
+        }
         let mut iterations = 0;
         let mut converged = false;
         let mut budget_breached = false;
@@ -375,37 +450,43 @@ impl CrossEntropyOptimizer {
             // objective consumes no randomness, so this keeps the RNG
             // stream identical to the old interleaved loop while letting
             // the evaluation batch fan out across workers.
-            let mut points: Vec<Vec<f64>> = Vec::with_capacity(self.config.samples);
-            for _ in 0..self.config.samples {
-                let mut x = Vec::with_capacity(dim);
+            for x in points[..samples].iter_mut() {
+                x.clear();
                 for d in 0..dim {
                     let v = mean[d] + std[d].max(1e-12) * sample_standard_normal(rng);
                     x.push(v.clamp(bounds[d].0, bounds[d].1));
                 }
-                points.push(x);
             }
-            let values = eval_batch(&points)?;
-            samples.clear();
-            samples.extend(values.into_iter().zip(points));
+            values.clear();
+            eval_batch(&points[..samples], values)?;
+            // Stable index sort by value — the same permutation the old
+            // pair sort produced, without moving the points.
+            order.clear();
+            order.extend(0..samples);
             // No NaN can reach this sort: every sample was checked above.
-            samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("objective values not NaN"));
-            if samples[0].0 < best_value {
-                best_value = samples[0].0;
-                best_point.clone_from(&samples[0].1);
+            order.sort_by(|&a, &b| {
+                values[a]
+                    .partial_cmp(&values[b])
+                    .expect("objective values not NaN")
+            });
+            let top = order[0];
+            if values[top] < best_value {
+                best_value = values[top];
+                best_point.clone_from(&points[top]);
             }
 
             // Refit the Gaussian to the elite set (the KL projection of
             // Eqn 5 for the normal family) with smoothing.
             let alpha = self.config.smoothing;
             for d in 0..dim {
-                let elite_mean = samples[..elite_count]
+                let elite_mean = order[..elite_count]
                     .iter()
-                    .map(|(_, x)| x[d])
+                    .map(|&i| points[i][d])
                     .sum::<f64>()
                     / elite_count as f64;
-                let elite_var = samples[..elite_count]
+                let elite_var = order[..elite_count]
                     .iter()
-                    .map(|(_, x)| (x[d] - elite_mean).powi(2))
+                    .map(|&i| (points[i][d] - elite_mean).powi(2))
                     .sum::<f64>()
                     / elite_count as f64;
                 mean[d] = alpha * elite_mean + (1.0 - alpha) * mean[d];
@@ -416,7 +497,7 @@ impl CrossEntropyOptimizer {
 
             let collapsed = std
                 .iter()
-                .zip(&widths)
+                .zip(&*widths)
                 .all(|(s, w)| *s <= self.config.std_tol_fraction * w);
             if collapsed {
                 converged = true;
@@ -425,7 +506,7 @@ impl CrossEntropyOptimizer {
         }
 
         Ok(CeSolution {
-            point: best_point,
+            point: best_point.clone(),
             objective: best_value,
             iterations,
             converged,
@@ -548,6 +629,28 @@ mod tests {
             )
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical_to_fresh() {
+        // One workspace across solves of different dimensions and boxes;
+        // each must match a fresh-allocation solve exactly.
+        let optimizer = CrossEntropyOptimizer::new(CeConfig::fast());
+        let mut ws = CeWorkspace::default();
+        let cases: [(usize, f64); 3] = [(6, 0.7), (2, -0.3), (4, 1.4)];
+        for (round, &(dim, target)) in cases.iter().enumerate() {
+            let seed = 100 + round as u64;
+            let bounds = vec![(-2.0, 2.0); dim];
+            let init = vec![0.0; dim];
+            let objective = |x: &[f64]| x.iter().map(|v| (v - target).powi(2)).sum::<f64>();
+            let reused = optimizer
+                .try_minimize_budgeted_in(objective, &bounds, &init, &mut rng(seed), None, &mut ws)
+                .unwrap();
+            let fresh = optimizer
+                .try_minimize_budgeted(objective, &bounds, &init, &mut rng(seed), None)
+                .unwrap();
+            assert_eq!(reused, fresh, "round {round}");
+        }
     }
 
     #[test]

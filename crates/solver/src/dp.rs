@@ -15,6 +15,31 @@ use nms_types::{Horizon, TimeSeries};
 
 use crate::SolverError;
 
+/// Reusable scratch buffers for [`DpScheduler`] solves.
+///
+/// A DP solve needs the value tables `dp`/`next`, the per-slot level costs,
+/// the window slot list, and the back-pointer table. Allocating them fresh
+/// per solve dominates the cost of small instances, so callers that solve
+/// many appliances (the best-response inner loop) hold one workspace and
+/// pass it to [`DpScheduler::schedule_in`]; steady-state reuse then
+/// allocates nothing. The buffers carry no state between solves — every
+/// solve fully reinitializes the prefix it reads — so reuse is always
+/// bit-identical to fresh allocation (see `tests/solver_workspace.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct DpWorkspace {
+    /// `dp[r]` = best cost allocating `r` quanta among processed slots.
+    dp: Vec<f64>,
+    /// Next row of the value table (swapped with `dp` per window slot).
+    next: Vec<f64>,
+    /// Cost of placing `j` quanta into the current slot.
+    level_costs: Vec<f64>,
+    /// Feasible slots of the `[α_m, β_m]` window.
+    window: Vec<usize>,
+    /// Back-pointers, flattened row-major: `choices[w * (quanta + 1) + r]`
+    /// is the quanta placed in window slot `w` on the best path to `r`.
+    choices: Vec<u32>,
+}
+
 /// Exact DP scheduling of one appliance against an arbitrary per-slot cost.
 ///
 /// `resolution` controls how many quanta fit in one full-power slot: higher
@@ -87,12 +112,61 @@ impl DpScheduler {
         &self,
         appliance: &Appliance,
         horizon: Horizon,
-        mut slot_cost: impl FnMut(usize, f64) -> f64,
+        slot_cost: impl FnMut(usize, f64) -> f64,
     ) -> Result<ApplianceSchedule, SolverError> {
+        self.schedule_in(appliance, horizon, &mut DpWorkspace::default(), slot_cost)
+    }
+
+    /// [`DpScheduler::schedule`] with caller-provided scratch buffers: the
+    /// DP tables live in `ws` and are reused across solves, so a warm
+    /// workspace makes the solve allocation-free up to the returned
+    /// schedule. Bit-identical to [`DpScheduler::schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DpScheduler::schedule`].
+    pub fn schedule_in(
+        &self,
+        appliance: &Appliance,
+        horizon: Horizon,
+        ws: &mut DpWorkspace,
+        slot_cost: impl FnMut(usize, f64) -> f64,
+    ) -> Result<ApplianceSchedule, SolverError> {
+        let mut allocation = TimeSeries::filled(horizon, 0.0);
+        self.schedule_into(appliance, horizon, ws, &mut allocation, slot_cost)?;
+        ApplianceSchedule::new(appliance, horizon, allocation).map_err(Into::into)
+    }
+
+    /// The allocation-free core: writes the optimal per-slot energies into
+    /// `out` (fully overwritten) instead of building an
+    /// [`ApplianceSchedule`]. The allocation is feasible by construction
+    /// (window, per-slot cap, and total energy at quantum granularity);
+    /// validation happens when the caller wraps it in a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Infeasible`] when the window cannot absorb
+    /// the task energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` does not span `horizon`.
+    pub fn schedule_into(
+        &self,
+        appliance: &Appliance,
+        horizon: Horizon,
+        ws: &mut DpWorkspace,
+        out: &mut TimeSeries<f64>,
+        mut slot_cost: impl FnMut(usize, f64) -> f64,
+    ) -> Result<(), SolverError> {
+        let slots = horizon.slots();
+        assert_eq!(out.len(), slots, "output series must span the horizon");
         let energy = appliance.task().energy().value();
         if energy <= 1e-12 {
-            let zeros = TimeSeries::filled(horizon, 0.0);
-            return ApplianceSchedule::new(appliance, horizon, zeros).map_err(Into::into);
+            for value in out.iter_mut() {
+                *value = 0.0;
+            }
+            return Ok(());
         }
 
         let cap = appliance.max_slot_energy(horizon).value();
@@ -106,9 +180,18 @@ impl DpScheduler {
         let q = energy / quanta as f64;
         let per_slot_max = ((cap / q) + 1e-9).floor() as usize;
 
-        let window: Vec<usize> = (appliance.task().start()..=appliance.task().deadline())
-            .filter(|&h| h < horizon.slots())
-            .collect();
+        let DpWorkspace {
+            dp,
+            next,
+            level_costs,
+            window,
+            choices,
+        } = ws;
+
+        window.clear();
+        window.extend(
+            (appliance.task().start()..=appliance.task().deadline()).filter(|&h| h < slots),
+        );
         if window.len() * per_slot_max < quanta {
             return Err(SolverError::Infeasible {
                 detail: format!(
@@ -118,20 +201,28 @@ impl DpScheduler {
                 ),
             });
         }
+        if quanta >= u32::MAX as usize {
+            return Err(SolverError::Infeasible {
+                detail: format!("{} needs {quanta} quanta (back-pointer overflow)", appliance.id()),
+            });
+        }
 
         const INF: f64 = f64::INFINITY;
-        // dp[r] = best cost allocating r quanta among processed slots.
-        let mut dp = vec![INF; quanta + 1];
+        let stride = quanta + 1;
+        dp.clear();
+        dp.resize(stride, INF);
         dp[0] = 0.0;
-        // choices[w][r] = quanta placed in window slot w on the best path.
-        let mut choices = vec![vec![0usize; quanta + 1]; window.len()];
+        choices.clear();
+        choices.resize(window.len() * stride, 0);
 
         for (w, &slot) in window.iter().enumerate() {
             let max_j = per_slot_max.min(quanta);
             // Pre-compute the slot's cost at each quantum level.
-            let level_costs: Vec<f64> =
-                (0..=max_j).map(|j| slot_cost(slot, j as f64 * q)).collect();
-            let mut next = vec![INF; quanta + 1];
+            level_costs.clear();
+            level_costs.extend((0..=max_j).map(|j| slot_cost(slot, j as f64 * q)));
+            next.clear();
+            next.resize(stride, INF);
+            let row = &mut choices[w * stride..(w + 1) * stride];
             for (r, &cost_so_far) in dp.iter().enumerate() {
                 if cost_so_far == INF {
                     continue;
@@ -144,11 +235,11 @@ impl DpScheduler {
                     let candidate = cost_so_far + cost;
                     if candidate < next[r2] {
                         next[r2] = candidate;
-                        choices[w][r2] = j;
+                        row[r2] = j as u32;
                     }
                 }
             }
-            dp = next;
+            std::mem::swap(dp, next);
         }
 
         if dp[quanta] == INF {
@@ -158,16 +249,17 @@ impl DpScheduler {
         }
 
         // Reconstruct.
-        let mut allocation = TimeSeries::filled(horizon, 0.0);
+        for value in out.iter_mut() {
+            *value = 0.0;
+        }
         let mut r = quanta;
         for w in (0..window.len()).rev() {
-            let j = choices[w][r];
-            allocation[window[w]] = j as f64 * q;
+            let j = choices[w * stride + r] as usize;
+            out[window[w]] = j as f64 * q;
             r -= j;
         }
         debug_assert_eq!(r, 0, "reconstruction must consume all quanta");
-
-        ApplianceSchedule::new(appliance, horizon, allocation).map_err(Into::into)
+        Ok(())
     }
 }
 
@@ -293,6 +385,35 @@ mod tests {
     #[should_panic(expected = "resolution must be positive")]
     fn zero_resolution_panics() {
         let _ = DpScheduler::new(0);
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical_to_fresh() {
+        // Solve a mix of shapes (different windows, energies, and therefore
+        // quanta counts) through ONE workspace and compare each result
+        // against a fresh-allocation solve of the same instance.
+        let shapes = [
+            (4.0, 0, 23, 2.0),
+            (1.0, 17, 23, 1.0),
+            (6.0, 2, 9, 3.0),
+            (0.0, 0, 23, 2.0),
+            (2.5, 5, 8, 2.0),
+        ];
+        let mut ws = DpWorkspace::default();
+        let dp = DpScheduler::default();
+        let cost = |slot: usize, e: f64| (0.05 + 0.01 * slot as f64) * e + 0.3 * e * e;
+        for &(energy, start, deadline, max_kw) in &shapes {
+            let a = appliance(energy, start, deadline, max_kw);
+            let reused = dp.schedule_in(&a, day(), &mut ws, cost).unwrap();
+            let fresh = dp.schedule(&a, day(), cost).unwrap();
+            for h in 0..24 {
+                assert_eq!(
+                    reused.at(h).value().to_bits(),
+                    fresh.at(h).value().to_bits(),
+                    "slot {h} of {energy} kWh in {start}..={deadline}"
+                );
+            }
+        }
     }
 
     /// Exhaustive oracle: enumerate every quantized allocation of the task

@@ -18,7 +18,7 @@ use nms_pricing::{CostModel, NetMeteringTariff, PriceSignal};
 use nms_smarthome::{Community, CommunitySchedule, CustomerSchedule};
 use nms_types::{TimeSeries, ValidateError};
 
-use crate::{best_response_recorded, ResponseConfig, SolverError};
+use crate::{best_response_in, ResponseConfig, ResponseWorkspace, SolverError};
 
 /// Configuration for [`GameEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -294,6 +294,9 @@ impl<'a> GameEngine<'a> {
         let mut rounds = 0;
         let mut cache = ResponseCache::new(self.config.cache_quantum);
         let mut stats = CacheStats::default();
+        // One scratch arena reused across every sequential best response;
+        // parallel rounds hold one per worker instead (DESIGN.md §11).
+        let mut ws = ResponseWorkspace::default();
 
         for _round in 0..self.config.max_rounds {
             rounds += 1;
@@ -316,7 +319,7 @@ impl<'a> GameEngine<'a> {
                             let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
                             let cost_model =
                                 CostModel::new(self.prices.for_customer(index), self.tariff);
-                            let response = best_response_recorded(
+                            let response = best_response_in(
                                 customer,
                                 &others,
                                 cost_model,
@@ -324,6 +327,7 @@ impl<'a> GameEngine<'a> {
                                 schedules[index].as_ref(),
                                 &mut child,
                                 rec,
+                                &mut ws,
                             )?;
                             cache.insert(key, &response);
                             response
@@ -437,25 +441,33 @@ impl<'a> GameEngine<'a> {
         rec: &dyn Recorder,
     ) -> Result<Vec<CustomerSchedule>, SolverError> {
         // Workers record only the commutative metric methods (via
-        // best_response_recorded), so totals stay reproducible at any
-        // thread count.
-        nms_par::par_map_recorded(self.config.parallelism.threads, indices, rec, |_, &index| {
-            let customer = &self.community.customers()[index];
-            let others = snapshot_total
-                .sub(&tradings[index])
-                .expect("aligned horizons");
-            let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
-            let cost_model = CostModel::new(self.prices.for_customer(index), self.tariff);
-            best_response_recorded(
-                customer,
-                &others,
-                cost_model,
-                &self.config.response,
-                schedules[index].as_ref(),
-                &mut child,
-                rec,
-            )
-        })
+        // best_response_in), so totals stay reproducible at any thread
+        // count. Each worker owns one scratch arena for its whole run, so
+        // steady-state rounds allocate nothing per response.
+        nms_par::par_map_scratch_recorded(
+            self.config.parallelism.threads,
+            indices,
+            rec,
+            ResponseWorkspace::default,
+            |ws, _, &index| {
+                let customer = &self.community.customers()[index];
+                let others = snapshot_total
+                    .sub(&tradings[index])
+                    .expect("aligned horizons");
+                let mut child = ChaCha8Rng::seed_from_u64(seeds[index]);
+                let cost_model = CostModel::new(self.prices.for_customer(index), self.tariff);
+                best_response_in(
+                    customer,
+                    &others,
+                    cost_model,
+                    &self.config.response,
+                    schedules[index].as_ref(),
+                    &mut child,
+                    rec,
+                    ws,
+                )
+            },
+        )
     }
 }
 

@@ -46,16 +46,22 @@ mod game;
 mod nash;
 mod response;
 mod retry;
+mod workspace;
 
 pub use battery::{
     coordinate_descent_battery, optimize_battery, try_optimize_battery,
-    try_optimize_battery_budgeted, try_optimize_battery_budgeted_par, BatteryProblem,
+    try_optimize_battery_budgeted, try_optimize_battery_budgeted_in,
+    try_optimize_battery_budgeted_par, BatteryProblem,
 };
-pub use ce::{CeConfig, CeSolution, CrossEntropyOptimizer};
-pub use dp::DpScheduler;
+pub use ce::{CeConfig, CeSolution, CeWorkspace, CrossEntropyOptimizer};
+pub use dp::{DpScheduler, DpWorkspace};
 pub use error::SolverError;
 pub use game::{CacheStats, GameConfig, GameEngine, GameOutcome, PriceAssignment};
 pub use nms_par::Parallelism;
 pub use nash::{nash_gap, NashGap};
-pub use response::{best_response, best_response_recorded, ResponseConfig};
+pub use response::{
+    best_response, best_response_in, best_response_recorded, best_response_reference,
+    ResponseConfig,
+};
 pub use retry::{solve_battery_robust, BatterySolveStage, RobustBatteryOutcome};
+pub use workspace::ResponseWorkspace;

@@ -10,11 +10,12 @@ use serde::{Deserialize, Serialize};
 
 use nms_pricing::CostModel;
 use nms_smarthome::{ApplianceSchedule, Customer, CustomerSchedule};
-use nms_types::{Kwh, TimeSeries, ValidateError};
+use nms_types::{TimeSeries, ValidateError};
 
+use crate::workspace::{series_for, ResponseWorkspace};
 use crate::{
-    coordinate_descent_battery, optimize_battery, BatteryProblem, CeConfig, CrossEntropyOptimizer,
-    DpScheduler, SolverError,
+    coordinate_descent_battery, try_optimize_battery_budgeted_in, BatteryProblem, CeConfig,
+    CrossEntropyOptimizer, DpScheduler, SolverError,
 };
 
 /// Configuration for [`best_response`].
@@ -120,30 +121,171 @@ pub fn best_response_recorded(
     rng: &mut impl Rng,
     rec: &dyn Recorder,
 ) -> Result<CustomerSchedule, SolverError> {
+    best_response_core(
+        customer,
+        others_trading,
+        cost_model,
+        config,
+        previous,
+        rng,
+        rec,
+        &mut ResponseWorkspace::default(),
+        true,
+    )
+}
+
+/// [`best_response_recorded`] with a caller-provided scratch arena: all DP
+/// tables, CE population buffers, and response-level series live in `ws`
+/// and are reused across solves, so a warm workspace makes the steady-state
+/// inner loop allocation-free (see DESIGN.md §11). Bit-identical to
+/// [`best_response_recorded`] under the same seed.
+///
+/// # Errors
+///
+/// Same as [`best_response`].
+#[allow(clippy::too_many_arguments)]
+pub fn best_response_in(
+    customer: &Customer,
+    others_trading: &TimeSeries<f64>,
+    cost_model: CostModel<'_>,
+    config: &ResponseConfig,
+    previous: Option<&CustomerSchedule>,
+    rng: &mut impl Rng,
+    rec: &dyn Recorder,
+    ws: &mut ResponseWorkspace,
+) -> Result<CustomerSchedule, SolverError> {
+    best_response_core(
+        customer,
+        others_trading,
+        cost_model,
+        config,
+        previous,
+        rng,
+        rec,
+        ws,
+        true,
+    )
+}
+
+/// The exact-equality reference path: identical to
+/// [`best_response_recorded`] except the DP cost comes from the
+/// [`CostModel::slot_cost`] closure per cell instead of the hoisted
+/// per-slot table. [`HoistedCostTable`](nms_pricing::HoistedCostTable)
+/// replicates that closure operation-for-operation, so the two paths are
+/// byte-identical (pinned by `tests/solver_workspace.rs`); this variant
+/// stays as the fallback shape for arbitrary cost closures and as the
+/// before-side of the `solver_kernels` bench.
+///
+/// # Errors
+///
+/// Same as [`best_response`].
+#[allow(clippy::too_many_arguments)]
+pub fn best_response_reference(
+    customer: &Customer,
+    others_trading: &TimeSeries<f64>,
+    cost_model: CostModel<'_>,
+    config: &ResponseConfig,
+    previous: Option<&CustomerSchedule>,
+    rng: &mut impl Rng,
+    rec: &dyn Recorder,
+) -> Result<CustomerSchedule, SolverError> {
+    best_response_core(
+        customer,
+        others_trading,
+        cost_model,
+        config,
+        previous,
+        rng,
+        rec,
+        &mut ResponseWorkspace::default(),
+        false,
+    )
+}
+
+/// The shared solve: alternate the DP appliance step with the CE battery
+/// step `inner_iters` times inside `ws`. `hoist` selects the dense
+/// per-slot cost table (the default) or the per-cell billing closure (the
+/// reference path — same arithmetic, evaluated per DP cell).
+#[allow(clippy::too_many_arguments)]
+fn best_response_core(
+    customer: &Customer,
+    others_trading: &TimeSeries<f64>,
+    cost_model: CostModel<'_>,
+    config: &ResponseConfig,
+    previous: Option<&CustomerSchedule>,
+    rng: &mut impl Rng,
+    rec: &dyn Recorder,
+    ws: &mut ResponseWorkspace,
+    hoist: bool,
+) -> Result<CustomerSchedule, SolverError> {
     config.validate()?;
     let horizon = customer.horizon();
+    let slots = horizon.slots();
     let dp = DpScheduler::new(config.dp_resolution);
     let ce = CrossEntropyOptimizer::new(config.ce);
 
-    // Working state: per-appliance energies and the battery trajectory.
-    let mut energies: Vec<TimeSeries<f64>> = match previous {
-        Some(prev) if prev.appliance_schedules().len() == customer.appliances().len() => prev
-            .appliance_schedules()
-            .iter()
-            .map(|s| s.energy().clone())
-            .collect(),
-        _ => customer
-            .appliances()
-            .iter()
-            .map(|_| TimeSeries::filled(horizon, 0.0))
-            .collect(),
-    };
-    let mut battery: Vec<Kwh> = match previous {
-        Some(prev) if config.use_battery => prev.battery().to_vec(),
-        _ => vec![customer.battery().initial_charge(); horizon.slots() + 1],
-    };
+    let ResponseWorkspace {
+        dp: dp_ws,
+        ce: ce_ws,
+        table,
+        base,
+        battery_delta,
+        generation,
+        load,
+        energies,
+        battery,
+        warm_prev,
+        swept,
+    } = ws;
 
-    let generation = TimeSeries::from_fn(horizon, |h| customer.generation(h).value());
+    // Working state: per-appliance energies and the battery trajectory,
+    // rebuilt in place from `previous` (warm start) or zeros.
+    let warm = match previous {
+        Some(prev) if prev.appliance_schedules().len() == customer.appliances().len() => {
+            Some(prev)
+        }
+        _ => None,
+    };
+    let appliance_count = customer.appliances().len();
+    energies.truncate(appliance_count);
+    while energies.len() < appliance_count {
+        energies.push(TimeSeries::filled(horizon, 0.0));
+    }
+    for (index, series) in energies.iter_mut().enumerate() {
+        if series.horizon() != horizon {
+            *series = TimeSeries::filled(horizon, 0.0);
+        }
+        match warm {
+            Some(prev) => {
+                let source = prev.appliance_schedules()[index].energy();
+                for (dst, &src) in series.iter_mut().zip(source.iter()) {
+                    *dst = src;
+                }
+            }
+            None => {
+                for dst in series.iter_mut() {
+                    *dst = 0.0;
+                }
+            }
+        }
+    }
+    battery.clear();
+    match previous {
+        Some(prev) if config.use_battery => battery.extend_from_slice(prev.battery()),
+        _ => battery.resize(slots + 1, customer.battery().initial_charge()),
+    }
+
+    let generation = series_for(generation, horizon);
+    for (h, value) in generation.iter_mut().enumerate() {
+        *value = customer.generation(h).value();
+    }
+
+    // The billing terms depend only on the guideline price, the tariff, and
+    // the (fixed) aggregate trading of the others — hoist them once per
+    // response instead of re-deriving them per DP cell.
+    if hoist {
+        cost_model.hoist_into(others_trading, table);
+    }
 
     // Tallied locally (the DP cost closure is not `Sync`-friendly to hand
     // the recorder into) and flushed to `rec` once per response.
@@ -151,13 +293,14 @@ pub fn best_response_recorded(
 
     for _ in 0..config.inner_iters {
         // Battery contribution to own trading, fixed during the DP step.
-        let battery_delta =
-            TimeSeries::from_fn(horizon, |h| battery[h + 1].value() - battery[h].value());
+        battery_delta.clear();
+        battery_delta.extend((0..slots).map(|h| battery[h + 1].value() - battery[h].value()));
 
         // DP step: reschedule each appliance against the others (coordinate
         // descent over appliances).
         for (index, appliance) in customer.appliances().iter().enumerate() {
-            let base = TimeSeries::from_fn(horizon, |h| {
+            base.clear();
+            base.extend((0..slots).map(|h| {
                 let other_appliances: f64 = energies
                     .iter()
                     .enumerate()
@@ -165,39 +308,51 @@ pub fn best_response_recorded(
                     .map(|(_, e)| e[h])
                     .sum();
                 customer.base_load()[h] + other_appliances + battery_delta[h] - generation[h]
-            });
-            let schedule = dp.schedule(appliance, horizon, |slot, energy| {
-                dp_cells.set(dp_cells.get() + 1);
-                cost_model
-                    .slot_cost(slot, others_trading[slot], base[slot] + energy)
-                    .value()
-            })?;
-            energies[index] = schedule.energy().clone();
+            }));
+            let out = &mut energies[index];
+            if hoist {
+                dp.schedule_into(appliance, horizon, dp_ws, out, |slot, energy| {
+                    dp_cells.set(dp_cells.get() + 1);
+                    table.slot_cost(slot, base[slot] + energy)
+                })?;
+            } else {
+                dp.schedule_into(appliance, horizon, dp_ws, out, |slot, energy| {
+                    dp_cells.set(dp_cells.get() + 1);
+                    cost_model
+                        .slot_cost(slot, others_trading[slot], base[slot] + energy)
+                        .value()
+                })?;
+            }
         }
 
         // Battery step (cross-entropy optimization of Algorithm 1, line 5).
         if config.use_battery && customer.battery().is_usable() {
-            let load = TimeSeries::from_fn(horizon, |h| {
-                customer.base_load()[h] + energies.iter().map(|e| e[h]).sum::<f64>()
-            });
+            let load = series_for(load, horizon);
+            for (h, value) in load.iter_mut().enumerate() {
+                *value = customer.base_load()[h] + energies.iter().map(|e| e[h]).sum::<f64>();
+            }
             let problem = BatteryProblem::new(
                 customer.battery(),
-                &load,
-                &generation,
+                load,
+                generation,
                 others_trading,
                 cost_model,
             );
             // Warm start: the better of the previous trajectory and one
             // deterministic coordinate-descent sweep — CE then refines.
-            let previous: Vec<f64> = battery[1..].iter().map(|b| b.value()).collect();
-            let swept = coordinate_descent_battery(&problem, 1);
-            let swept: Vec<f64> = swept[1..].iter().map(|b| b.value()).collect();
-            let warm = if problem.objective(&swept) < problem.objective(&previous) {
+            warm_prev.clear();
+            warm_prev.extend(battery[1..].iter().map(|b| b.value()));
+            let full_sweep = coordinate_descent_battery(&problem, 1);
+            swept.clear();
+            swept.extend(full_sweep[1..].iter().map(|b| b.value()));
+            let warm: &[f64] = if problem.objective(swept) < problem.objective(warm_prev) {
                 swept
             } else {
-                previous
+                warm_prev
             };
-            let (trajectory, solution) = optimize_battery(&problem, &ce, Some(&warm), rng);
+            let (trajectory, solution) =
+                try_optimize_battery_budgeted_in(&problem, &ce, Some(warm), rng, None, ce_ws)
+                    .unwrap_or_else(|err| panic!("{err}"));
             rec.add("solver_ce_solves", 1);
             rec.add("solver_ce_iterations", solution.iterations as u64);
             if solution.converged {
@@ -206,7 +361,8 @@ pub fn best_response_recorded(
             for std in &solution.std_history {
                 rec.observe("solver_ce_std", *std);
             }
-            battery = trajectory;
+            battery.clear();
+            battery.extend_from_slice(&trajectory);
         }
     }
 
@@ -215,10 +371,10 @@ pub fn best_response_recorded(
     let appliance_schedules: Vec<ApplianceSchedule> = customer
         .appliances()
         .iter()
-        .zip(energies)
-        .map(|(appliance, energy)| ApplianceSchedule::new(appliance, horizon, energy))
+        .zip(energies.iter())
+        .map(|(appliance, energy)| ApplianceSchedule::new(appliance, horizon, energy.clone()))
         .collect::<Result<_, _>>()?;
-    CustomerSchedule::new(customer, appliance_schedules, battery).map_err(Into::into)
+    CustomerSchedule::new(customer, appliance_schedules, battery.clone()).map_err(Into::into)
 }
 
 #[cfg(test)]
@@ -228,7 +384,7 @@ mod tests {
     use nms_smarthome::{
         clear_sky_profile, Appliance, ApplianceKind, Battery, PowerLevels, PvPanel, TaskSpec,
     };
-    use nms_types::{ApplianceId, CustomerId, Horizon, Kw};
+    use nms_types::{ApplianceId, CustomerId, Horizon, Kw, Kwh};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

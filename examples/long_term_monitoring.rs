@@ -6,6 +6,10 @@
 //! cargo run --release --example long_term_monitoring -- --customers 60
 //! ```
 //!
+//! `--threads <n>` runs the per-day equilibrium solves with `n` Jacobi
+//! workers (clamped to the host's cores; results are bit-identical to the
+//! sequential default).
+//!
 //! With `--journal <path>` the run goes through the crash-safe supervised
 //! runner: each completed day is checkpointed to the journal, and a rerun
 //! with the same journal resumes instead of recomputing. `--kill-after <k>`
@@ -42,12 +46,13 @@ use netmeter_sentinel::obs::{JsonlTrace, MetricsRegistry, NoopRecorder, Recorder
 use netmeter_sentinel::sim::experiments::paper_timeline;
 use netmeter_sentinel::sim::{
     run_long_term_detection_recorded, LongTermRunConfig, LongTermRunResult, PaperScenario,
-    SupervisedRun,
+    Parallelism, SupervisedRun,
 };
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut customers = 60usize;
     let mut seed = 7u64;
+    let mut threads = 1usize;
     let mut journal: Option<PathBuf> = None;
     let mut kill_after: Option<usize> = None;
     let mut trace_path: Option<PathBuf> = None;
@@ -57,6 +62,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         match arg.as_str() {
             "--customers" | "-n" => customers = args.next().ok_or("need value")?.parse()?,
             "--seed" | "-s" => seed = args.next().ok_or("need value")?.parse()?,
+            "--threads" | "-p" => threads = args.next().ok_or("need value")?.parse()?,
             "--journal" | "-j" => journal = Some(args.next().ok_or("need value")?.into()),
             "--kill-after" | "-k" => kill_after = Some(args.next().ok_or("need value")?.parse()?),
             "--trace" | "-t" => trace_path = Some(args.next().ok_or("need value")?.into()),
@@ -110,7 +116,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             retry: Default::default(),
             budget: Default::default(),
             quarantine: Default::default(),
-            parallelism: Default::default(),
+            parallelism: Parallelism::new(threads),
         };
         let result: LongTermRunResult = match &journal {
             None => {
