@@ -100,15 +100,31 @@ pub fn bench_results_path() -> std::path::PathBuf {
 
 /// Merges `records` into the results file by target name: an existing
 /// record for the same target is replaced, everything else is kept, and
-/// the file is written atomically (`.tmp` then rename). A missing or
+/// the file is written atomically (`.tmp` then rename) with bounded
+/// retries under the default [`nms_vfs::StoragePolicy`]. A missing or
 /// unparsable results file starts fresh rather than failing the bench.
 ///
 /// # Errors
 ///
-/// Returns [`std::io::Error`] when the file cannot be written.
+/// Returns [`std::io::Error`] when the file cannot be written after the
+/// policy's retries are exhausted.
 pub fn record_bench_results(records: &[BenchRecord]) -> std::io::Result<()> {
+    record_bench_results_on(&nms_vfs::StdVfs, records)
+}
+
+/// [`record_bench_results`] with the storage injectable, so storage-fault
+/// tests can drive the merge-writer through a fault-injecting VFS.
+///
+/// # Errors
+///
+/// As [`record_bench_results`].
+pub fn record_bench_results_on(
+    vfs: &dyn nms_vfs::Vfs,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
     let path = bench_results_path();
-    let mut merged: Vec<BenchRecord> = std::fs::read_to_string(&path)
+    let mut merged: Vec<BenchRecord> = vfs
+        .read_to_string(&path)
         .ok()
         .and_then(|content| serde_json::from_str(&content).ok())
         .unwrap_or_default();
@@ -117,10 +133,18 @@ pub fn record_bench_results(records: &[BenchRecord]) -> std::io::Result<()> {
     merged.sort_by(|a, b| a.target.cmp(&b.target));
     let content = serde_json::to_string(&merged)
         .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))?;
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, content + "\n")?;
-    std::fs::rename(&tmp, &path)?;
-    Ok(())
+    nms_vfs::write_atomic(
+        vfs,
+        &path,
+        (content + "\n").as_bytes(),
+        &nms_vfs::StoragePolicy::default(),
+    )
+    .map(|_| ())
+    .map_err(|err| match err {
+        nms_vfs::StorageError::Render(err) => err,
+        nms_vfs::StorageError::Exhausted { last, .. } => last,
+        _ => std::io::Error::other(err.to_string()),
+    })
 }
 
 #[cfg(test)]

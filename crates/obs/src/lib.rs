@@ -46,7 +46,8 @@ use std::time::Instant;
 
 pub use metrics::{Histogram, MetricsRegistry};
 pub use trace::{
-    read_trace, JsonlTrace, TraceError, TraceEvent, TraceField, TraceLabel, TRACE_VERSION,
+    read_trace, read_trace_on, JsonlTrace, TraceError, TraceEvent, TraceField, TraceLabel,
+    TRACE_VERSION,
 };
 
 /// A sink for pipeline telemetry. All methods are provided no-ops, so a

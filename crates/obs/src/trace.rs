@@ -8,17 +8,25 @@
 //! version.
 //!
 //! Traces are telemetry, not recovery state: writes go through an
-//! append-only buffered handle flushed per line (no fsync), and a write
-//! error degrades to a dropped-line counter instead of failing the
-//! simulation that emitted the event.
+//! append-only handle (one write per line, no fsync), and a write error
+//! degrades to a dropped-line counter instead of failing the simulation
+//! that emitted the event — the trace degradation policy is
+//! *drop-and-count*.
+//!
+//! All I/O goes through an injectable `nms-vfs` [`Vfs`]: production
+//! callers use [`JsonlTrace::create`] (real filesystem), storage-fault
+//! tests use [`JsonlTrace::create_on`] with a fault-injecting VFS. The
+//! header is staged through a `.tmp` sibling and renamed into place, so a
+//! failure during creation can never leave a torn or headerless trace
+//! file at the destination path.
 
-use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
+
+use nms_vfs::{write_atomic, StdVfs, StoragePolicy, Vfs, VfsFile};
 
 use crate::Recorder;
 
@@ -153,6 +161,7 @@ struct TraceHeader {
 
 /// Why reading a trace file failed.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum TraceError {
     /// The file could not be read.
     Io(std::io::Error),
@@ -163,6 +172,12 @@ pub enum TraceError {
         /// What was wrong.
         detail: String,
     },
+    /// The file exists but has no intact sealed header line — empty, torn
+    /// at line one, or never a trace file at all.
+    MissingHeader {
+        /// What was wrong with line one.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -170,6 +185,9 @@ impl std::fmt::Display for TraceError {
         match self {
             Self::Io(err) => write!(f, "trace io error: {err}"),
             Self::Corrupt { line, detail } => write!(f, "trace line {line} corrupt: {detail}"),
+            Self::MissingHeader { detail } => {
+                write!(f, "trace has no intact header: {detail}")
+            }
         }
     }
 }
@@ -185,30 +203,50 @@ impl From<std::io::Error> for TraceError {
 /// The JSONL event sink: every [`TraceEvent`] becomes one sealed line.
 pub struct JsonlTrace {
     path: PathBuf,
-    writer: Mutex<BufWriter<File>>,
+    writer: Mutex<Box<dyn VfsFile>>,
     dropped: AtomicU64,
 }
 
 impl JsonlTrace {
-    /// Creates (truncating) a trace file at `path` and writes the sealed
-    /// header line.
+    /// Creates (truncating) a trace file at `path` on the real filesystem
+    /// and writes the sealed header line.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        let mut writer = BufWriter::new(File::create(&path)?);
+        Self::create_on(Arc::new(StdVfs), path.as_ref())
+    }
+
+    /// Creates (truncating) a trace file at `path` on `vfs` and writes the
+    /// sealed header line.
+    ///
+    /// The header is staged in a `.tmp` sibling and renamed over `path`,
+    /// so a failure here leaves either the previous file or a complete
+    /// headered one — never a torn or empty trace at the destination.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error once the staging write's bounded
+    /// retries are exhausted.
+    pub fn create_on(vfs: Arc<dyn Vfs>, path: &Path) -> std::io::Result<Self> {
+        let path = path.to_path_buf();
         let header = TraceHeader {
             version: TRACE_VERSION,
             stream: "nms-trace".to_string(),
         };
         let body = serde_json::to_string(&header)
             .map_err(|err| std::io::Error::other(err.to_string()))?;
-        let line = serde_json::to_string(&TraceLine::seal(body))
+        let mut line = serde_json::to_string(&TraceLine::seal(body))
             .map_err(|err| std::io::Error::other(err.to_string()))?;
-        writeln!(writer, "{line}")?;
-        writer.flush()?;
+        line.push('\n');
+        write_atomic(vfs.as_ref(), &path, line.as_bytes(), &StoragePolicy::default())
+            .map_err(|err| match err {
+                nms_vfs::StorageError::Render(err) => err,
+                nms_vfs::StorageError::Exhausted { last, .. } => last,
+                _ => std::io::Error::other(err.to_string()),
+            })?;
+        let writer = vfs.open_append(&path)?;
         Ok(Self {
             path,
             writer: Mutex::new(writer),
@@ -237,42 +275,63 @@ impl Recorder for JsonlTrace {
         let sealed = serde_json::to_string(event)
             .map(TraceLine::seal)
             .and_then(|line| serde_json::to_string(&line));
-        let Ok(line) = sealed else {
+        let Ok(mut line) = sealed else {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         };
+        line.push('\n');
         let mut writer = self
             .writer
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if writeln!(writer, "{line}").and_then(|()| writer.flush()).is_err() {
+        // Drop-and-count: telemetry loss must never fail the run, and a
+        // torn line is caught by the seal on read-back.
+        if writer.write_all(line.as_bytes()).is_err() {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
-/// Reads a trace file back: verifies the header and every line's seal,
-/// returning the events in file order.
+/// Reads a trace file back from the real filesystem. See
+/// [`read_trace_on`].
 ///
 /// # Errors
 ///
-/// Returns [`TraceError::Corrupt`] for a bad seal, an unparseable line, or
-/// a wrong header, and [`TraceError::Io`] when the file cannot be read.
+/// As [`read_trace_on`].
 pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>, TraceError> {
-    let reader = BufReader::new(File::open(path.as_ref())?);
+    read_trace_on(&StdVfs, path.as_ref())
+}
+
+/// Reads a trace file back from `vfs`: verifies the header and every
+/// line's seal, returning the events in file order.
+///
+/// # Errors
+///
+/// Returns [`TraceError::MissingHeader`] when the file is empty or its
+/// first line is not an intact sealed header, [`TraceError::Corrupt`] for
+/// a bad seal or an unparseable line after that, and [`TraceError::Io`]
+/// when the file cannot be read.
+pub fn read_trace_on(vfs: &dyn Vfs, path: &Path) -> Result<Vec<TraceEvent>, TraceError> {
+    let content = vfs.read_to_string(path)?;
     let mut events = Vec::new();
-    for (index, line) in reader.lines().enumerate() {
+    let mut saw_header = false;
+    for (index, line) in content.lines().enumerate() {
         let number = index + 1;
-        let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let corrupt = |detail: String| TraceError::Corrupt {
-            line: number,
-            detail,
+        let corrupt = |detail: String| {
+            if number == 1 {
+                TraceError::MissingHeader { detail }
+            } else {
+                TraceError::Corrupt {
+                    line: number,
+                    detail,
+                }
+            }
         };
         let sealed: TraceLine =
-            serde_json::from_str(&line).map_err(|err| corrupt(err.to_string()))?;
+            serde_json::from_str(line).map_err(|err| corrupt(err.to_string()))?;
         if !sealed.verify() {
             return Err(corrupt("seal mismatch".to_string()));
         }
@@ -285,9 +344,18 @@ pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>, TraceError>
                     header.version, header.stream
                 )));
             }
+            saw_header = true;
             continue;
         }
-        events.push(serde_json::from_str(&sealed.body).map_err(|err| corrupt(err.to_string()))?);
+        events.push(
+            serde_json::from_str(&sealed.body)
+                .map_err(|err| corrupt(err.to_string()))?,
+        );
+    }
+    if !saw_header {
+        return Err(TraceError::MissingHeader {
+            detail: "file has no lines".to_string(),
+        });
     }
     Ok(events)
 }
@@ -365,9 +433,62 @@ mod tests {
         .unwrap();
         assert!(matches!(
             read_trace(&path),
-            Err(TraceError::Corrupt { line: 1, .. })
+            Err(TraceError::MissingHeader { .. })
         ));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_or_torn_header_is_a_typed_error_not_a_hole() {
+        // An empty file used to read back as "no events"; now the missing
+        // header is a typed error, so a torn creation can't masquerade as
+        // a quiet run.
+        let path = temp_trace("empty");
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            read_trace(&path),
+            Err(TraceError::MissingHeader { .. })
+        ));
+        // A torn header line (prefix of a sealed line) is the same story.
+        std::fs::write(&path, b"{\"hash\":\"0123456789abcdef\",\"bo").unwrap();
+        assert!(matches!(
+            read_trace(&path),
+            Err(TraceError::MissingHeader { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_on_stages_the_header_through_a_tmp_sibling() {
+        use nms_vfs::{FaultVfs, IoFaultPlan};
+
+        // Kill the very first operation: the staging write itself. The
+        // destination path must not exist at all afterwards — no torn,
+        // headerless trace file.
+        let vfs = FaultVfs::new(IoFaultPlan::kill_at(0));
+        let path = PathBuf::from("trace.jsonl");
+        assert!(JsonlTrace::create_on(Arc::new(vfs.clone()), &path).is_err());
+        vfs.revive();
+        assert!(
+            vfs.read_file(&path).is_none(),
+            "killed creation must leave no destination file"
+        );
+
+        // Kill the rename instead: the tmp sibling holds the staged header
+        // but the destination still does not exist.
+        let vfs = FaultVfs::new(IoFaultPlan::kill_at(1));
+        assert!(JsonlTrace::create_on(Arc::new(vfs.clone()), &path).is_err());
+        vfs.revive();
+        assert!(vfs.read_file(&path).is_none());
+
+        // And a clean creation is immediately readable with zero events.
+        let vfs = FaultVfs::new(IoFaultPlan::none());
+        let trace = JsonlTrace::create_on(Arc::new(vfs.clone()), &path).unwrap();
+        trace.event(&TraceEvent::new("ping").day(0));
+        assert_eq!(trace.dropped(), 0);
+        let events = read_trace_on(&vfs, &path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "ping");
     }
 
     #[test]

@@ -45,8 +45,10 @@ use nms_core::{
 use nms_forecast::PriceHistory;
 use nms_par::Parallelism;
 use nms_types::{
-    DayHealth, MeterId, RetryPolicy, RunHealth, SolveBudget, TimeSeries, ValidateError,
+    DayHealth, MeterId, RetryPolicy, RunHealth, SolveBudget, StorageFaultCounts, TimeSeries,
+    ValidateError,
 };
+use nms_vfs::{StdVfs, StoragePolicy, Vfs};
 
 use crate::calibrate::{calibrate_detector, peak_deviation};
 use crate::faults::{corrupt_day_meters, FaultPlan};
@@ -823,6 +825,45 @@ pub struct SupervisedRun {
     journal: RunJournal,
     next_day: usize,
     recorder: Arc<dyn Recorder>,
+    /// Process-local storage-fault ledger. Deliberately NOT part of
+    /// `state.health`: journaled day records and exported CSVs must stay
+    /// bit-identical whether or not this process weathered storage faults,
+    /// so the tally is merged into the *result's* ledger only at
+    /// [`SupervisedRun::finish`].
+    storage: StorageFaultCounts,
+}
+
+/// Injectable plumbing for a [`SupervisedRun`]: which storage the journal
+/// writes through, which recorder sees telemetry, and the journal-append
+/// degradation policy. `Default` is production plumbing — the real
+/// filesystem, no recorder, 3 attempts with 2 ms linear backoff.
+#[derive(Clone)]
+pub struct SupervisedOptions {
+    /// Storage the journal (and any sweep-driven exports) lives on.
+    pub vfs: Arc<dyn Vfs>,
+    /// Telemetry sink for training and every stepped day.
+    pub recorder: Arc<dyn Recorder>,
+    /// Journal append degradation policy (rollback + retry-with-backoff,
+    /// then a hard [`SimError::Journal`]).
+    pub policy: StoragePolicy,
+}
+
+impl Default for SupervisedOptions {
+    fn default() -> Self {
+        Self {
+            vfs: Arc::new(StdVfs),
+            recorder: Arc::new(NoopRecorder),
+            policy: StoragePolicy::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SupervisedOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedOptions")
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SupervisedRun {
@@ -863,6 +904,38 @@ impl SupervisedRun {
         journal_path: impl AsRef<Path>,
         recorder: Arc<dyn Recorder>,
     ) -> Result<Self, SimError> {
+        Self::with_options(
+            scenario,
+            config,
+            seed,
+            journal_path.as_ref(),
+            SupervisedOptions {
+                recorder,
+                ..SupervisedOptions::default()
+            },
+        )
+    }
+
+    /// [`SupervisedRun::new_recorded`] with every piece of plumbing
+    /// injectable — notably the [`Vfs`] the journal lives on, which is how
+    /// the crash-point sweep (`tests/crash_sweep.rs`) kills a run at an
+    /// arbitrary I/O operation and resumes it from the surviving bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SupervisedRun::new`].
+    pub fn with_options(
+        scenario: &PaperScenario,
+        config: &LongTermRunConfig,
+        seed: u64,
+        journal_path: &Path,
+        options: SupervisedOptions,
+    ) -> Result<Self, SimError> {
+        let SupervisedOptions {
+            vfs,
+            recorder,
+            policy,
+        } = options;
         let setup = prepare(scenario, config)?;
         let mut training_rng = ChaCha8Rng::seed_from_u64(seed ^ TRAINING_STREAM);
         let mut state = train(scenario, config, &setup, &mut training_rng, recorder.as_ref())?;
@@ -875,9 +948,12 @@ impl SupervisedRun {
             scenario_fingerprint: fingerprint(scenario),
             config_fingerprint: fingerprint(config),
         };
-        let loaded = RunJournal::load(journal_path.as_ref())?;
+        let loaded = RunJournal::load_on(vfs.as_ref(), journal_path)?;
         let (journal, next_day) = match loaded.header {
-            None => (RunJournal::create(journal_path.as_ref(), &header)?, 0),
+            None => (
+                RunJournal::create_on(Arc::clone(&vfs), journal_path, &header)?,
+                0,
+            ),
             Some(found) => {
                 found.ensure_matches(&header)?;
                 let mut next_day = 0;
@@ -892,9 +968,10 @@ impl SupervisedRun {
                     replay_day(&mut state, record)?;
                     next_day += 1;
                 }
-                (RunJournal::reopen(journal_path.as_ref())?, next_day)
+                (RunJournal::reopen_on(Arc::clone(&vfs), journal_path)?, next_day)
             }
         };
+        let journal = journal.with_policy(policy);
 
         Ok(Self {
             scenario: scenario.clone(),
@@ -905,6 +982,7 @@ impl SupervisedRun {
             journal,
             next_day,
             recorder,
+            storage: StorageFaultCounts::default(),
         })
     }
 
@@ -947,7 +1025,13 @@ impl SupervisedRun {
             rec,
         )?;
         let append_watch = Stopwatch::start();
-        self.journal.append_day(&record)?;
+        match self.journal.append_day(&record) {
+            Ok(report) => self.storage.journal_retries += report.retries(),
+            Err(err) => {
+                self.storage.journal_append_failures += 1;
+                return Err(err.into());
+            }
+        }
         rec.observe("journal_append_seconds", append_watch.secs());
         if rec.enabled() {
             rec.event(
@@ -960,14 +1044,33 @@ impl SupervisedRun {
         Ok(())
     }
 
+    /// Storage faults this process absorbed so far (never part of the
+    /// journaled state — see the field's invariant).
+    pub fn storage_faults(&self) -> StorageFaultCounts {
+        self.storage
+    }
+
+    /// Ticks externally observed storage faults (e.g. a trace sink's
+    /// dropped-event count, or export retries made by the caller) into the
+    /// ledger this run will fold into its result.
+    pub fn note_storage_faults(&mut self, faults: StorageFaultCounts) {
+        self.storage.merge(&faults);
+    }
+
     /// Consumes the run and produces the final result (valid at any point;
     /// covers the completed days).
+    ///
+    /// The process-local storage-fault ledger is merged into the result's
+    /// `health.storage` here — and only here, so journaled state stays
+    /// identical across fault-free and fault-weathering processes.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Config`] when no day produced demand samples.
     pub fn finish(self) -> Result<LongTermRunResult, SimError> {
-        finalize(self.state)
+        let mut result = finalize(self.state)?;
+        result.health.storage.merge(&self.storage);
+        Ok(result)
     }
 
     /// Runs every remaining day, then finishes.

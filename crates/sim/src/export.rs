@@ -3,8 +3,20 @@
 //!
 //! The writers take any `io::Write`, so callers decide whether the data
 //! lands in a file, a buffer, or stdout (C-RW-VALUE: pass `&mut file`).
+//!
+//! For durable files, every writer also has a `*_to_path` twin that
+//! renders the full artifact in memory and lands it through
+//! [`nms_vfs::write_atomic`] — staged in a `.tmp` sibling, renamed into
+//! place, retried under a bounded [`StoragePolicy`] — so a crash or an
+//! injected fault leaves either the old artifact or the new one, never a
+//! torn CSV. Exhausted retries surface as a typed
+//! [`StorageError`] the supervision layer ticks into
+//! `RunHealth::storage`.
 
 use std::io::{self, Write};
+use std::path::Path;
+
+use nms_vfs::{write_atomic, StorageError, StoragePolicy, StorageReport, Vfs};
 
 use crate::experiments::{AccuracyExperiment, AttackExperiment, PredictionExperiment};
 use crate::sweeps::{AttackWindowPoint, FaultTolerancePoint, SweepPoint};
@@ -294,6 +306,75 @@ pub fn export_quarantine_events<W: Write>(
     }
     Ok(())
 }
+
+/// Renders an artifact in memory and lands it at `path` atomically: the
+/// shared file-level wrapper behind every `export_*_to_path` twin.
+///
+/// # Errors
+///
+/// [`StorageError::Render`] if the in-memory render fails (no bytes touch
+/// storage), [`StorageError::Exhausted`] once the policy's bounded retries
+/// run out (the destination is untouched — staged bytes only ever live in
+/// the `.tmp` sibling).
+pub fn export_atomic<F>(
+    vfs: &dyn Vfs,
+    path: &Path,
+    policy: &StoragePolicy,
+    render: F,
+) -> Result<StorageReport, StorageError>
+where
+    F: FnOnce(&mut Vec<u8>) -> io::Result<()>,
+{
+    let mut buffer = Vec::new();
+    render(&mut buffer).map_err(StorageError::Render)?;
+    write_atomic(vfs, path, &buffer, policy)
+}
+
+macro_rules! to_path_twin {
+    ($(#[$doc:meta])* $name:ident, $writer:ident, $data:ty) => {
+        $(#[$doc])*
+        ///
+        /// # Errors
+        ///
+        /// As [`export_atomic`].
+        pub fn $name(
+            vfs: &dyn Vfs,
+            path: &Path,
+            data: $data,
+            policy: &StoragePolicy,
+        ) -> Result<StorageReport, StorageError> {
+            export_atomic(vfs, path, policy, |buffer| $writer(buffer, data))
+        }
+    };
+}
+
+to_path_twin!(
+    /// Atomic file-level [`export_prediction`].
+    export_prediction_to_path, export_prediction, &PredictionExperiment);
+to_path_twin!(
+    /// Atomic file-level [`export_attack`].
+    export_attack_to_path, export_attack, &AttackExperiment);
+to_path_twin!(
+    /// Atomic file-level [`export_accuracy`].
+    export_accuracy_to_path, export_accuracy, &AccuracyExperiment);
+to_path_twin!(
+    /// Atomic file-level [`export_long_term`].
+    export_long_term_to_path, export_long_term, &LongTermRunResult);
+to_path_twin!(
+    /// Atomic file-level [`export_fault_tolerance`].
+    export_fault_tolerance_to_path, export_fault_tolerance, &[FaultTolerancePoint]);
+to_path_twin!(
+    /// Atomic file-level [`export_sweep`].
+    export_sweep_to_path, export_sweep, &[SweepPoint]);
+to_path_twin!(
+    /// Atomic file-level [`export_attack_window`].
+    export_attack_window_to_path, export_attack_window, &[AttackWindowPoint]);
+to_path_twin!(
+    /// Atomic file-level [`export_health_timeline`].
+    export_health_timeline_to_path, export_health_timeline, &LongTermRunResult);
+to_path_twin!(
+    /// Atomic file-level [`export_quarantine_events`].
+    export_quarantine_events_to_path, export_quarantine_events, &LongTermRunResult);
 
 #[cfg(test)]
 mod tests {

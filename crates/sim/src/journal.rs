@@ -30,16 +30,26 @@
 //! Resume replays the deterministic training epoch from its seeded stream
 //! and then re-applies the transcripts, so no RNG state, SVR model, or
 //! POMDP policy ever needs to be serialized.
+//!
+//! All I/O goes through an injectable [`Vfs`] (see `nms-vfs`): production
+//! callers use the [`StdVfs`] convenience constructors, while crash-point
+//! sweeps drive the `*_on` variants with a fault-injecting VFS. Appends
+//! follow the journal degradation policy — roll the partial write back,
+//! retry with linear backoff under a [`StoragePolicy`], then surface a
+//! hard [`JournalError::Io`]; a rollback that itself fails is remembered
+//! (`pending_rollback`) and re-attempted before any future append, so a
+//! torn fragment can never become a corrupt *interior* line.
 
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use nms_core::{MeterQuarantine, QuarantineEvent};
 use nms_types::{DayHealth, RunHealth};
+use nms_vfs::{tmp_sibling, StdVfs, StoragePolicy, StorageReport, Vfs, VfsFile};
 
 /// Journal format version; bump on incompatible record changes.
 pub const JOURNAL_VERSION: u32 = 1;
@@ -265,17 +275,45 @@ pub struct LoadedJournal {
 }
 
 /// The append-only on-disk journal of one supervised run.
-#[derive(Debug)]
 pub struct RunJournal {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
     /// Append-mode handle; every day record is one `write` to it.
-    file: fs::File,
+    file: Box<dyn VfsFile>,
     /// Day records persisted so far (excluding the header).
     days: usize,
+    /// Append degradation policy: rollback + retry-with-backoff, then a
+    /// hard error.
+    policy: StoragePolicy,
+    /// Offset of a partial append whose `set_len` rollback failed; it must
+    /// be rolled back successfully before any future bytes are appended.
+    pending_rollback: Option<u64>,
+}
+
+impl fmt::Debug for RunJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunJournal")
+            .field("path", &self.path)
+            .field("days", &self.days)
+            .field("policy", &self.policy)
+            .field("pending_rollback", &self.pending_rollback)
+            .finish_non_exhaustive()
+    }
 }
 
 impl RunJournal {
-    /// Starts a fresh journal at `path`, truncating whatever was there.
+    /// Starts a fresh journal at `path` on the real filesystem, truncating
+    /// whatever was there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be written.
+    pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> Result<Self, JournalError> {
+        Self::create_on(Arc::new(StdVfs), path.as_ref(), header)
+    }
+
+    /// Starts a fresh journal at `path` on `vfs`, truncating whatever was
+    /// there.
     ///
     /// The header is the one write that must replace the file's prefix, so
     /// it goes through the atomic `.tmp`-and-rename path; the handle then
@@ -284,24 +322,42 @@ impl RunJournal {
     /// # Errors
     ///
     /// Returns [`JournalError::Io`] when the file cannot be written.
-    pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> Result<Self, JournalError> {
-        let path = path.as_ref().to_path_buf();
+    pub fn create_on(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        header: &JournalHeader,
+    ) -> Result<Self, JournalError> {
+        let path = path.to_path_buf();
         let body = serde_json::to_string(header)
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
         let line = serde_json::to_string(&JournalLine::seal(body))
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
-        atomic_rewrite(&path, &[line])?;
-        let file = open_append(&path)?;
+        atomic_rewrite(vfs.as_ref(), &path, &[line])?;
+        let file = vfs.open_append(&path)?;
         Ok(Self {
+            vfs,
             path,
             file,
             days: 0,
+            policy: StoragePolicy::default(),
+            pending_rollback: None,
         })
     }
 
-    /// Opens an existing journal for appending, resuming after `days`
-    /// already-loaded records. Use [`RunJournal::load`] first to read and
-    /// verify the records.
+    /// Opens an existing journal on the real filesystem for appending.
+    /// See [`RunJournal::reopen_on`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be read, or any
+    /// loader error from re-reading it.
+    pub fn reopen(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        Self::reopen_on(Arc::new(StdVfs), path.as_ref())
+    }
+
+    /// Opens an existing journal on `vfs` for appending, resuming after
+    /// `days` already-loaded records. Use [`RunJournal::load`] first to
+    /// read and verify the records.
     ///
     /// A torn final line is dropped exactly as [`RunJournal::load`] drops
     /// it — but here the file is also compacted (atomically) so the torn
@@ -312,9 +368,9 @@ impl RunJournal {
     ///
     /// Returns [`JournalError::Io`] when the file cannot be read, or any
     /// loader error from re-reading it.
-    pub fn reopen(path: impl AsRef<Path>) -> Result<Self, JournalError> {
-        let path = path.as_ref().to_path_buf();
-        let content = fs::read_to_string(&path)?;
+    pub fn reopen_on(vfs: Arc<dyn Vfs>, path: &Path) -> Result<Self, JournalError> {
+        let path = path.to_path_buf();
+        let content = vfs.read_to_string(&path)?;
         let mut lines = Vec::new();
         let raw: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
         for (index, raw_line) in raw.iter().enumerate() {
@@ -331,14 +387,25 @@ impl RunJournal {
             }
         }
         if lines.len() != raw.len() {
-            atomic_rewrite(&path, &lines)?;
+            atomic_rewrite(vfs.as_ref(), &path, &lines)?;
         }
-        let file = open_append(&path)?;
+        let file = vfs.open_append(&path)?;
         Ok(Self {
             days: lines.len().saturating_sub(1),
+            vfs,
             path,
             file,
+            policy: StoragePolicy::default(),
+            pending_rollback: None,
         })
+    }
+
+    /// Replaces the append degradation policy (defaults to
+    /// [`StoragePolicy::default`]: 3 attempts, 2 ms linear backoff).
+    #[must_use]
+    pub fn with_policy(mut self, policy: StoragePolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     fn verify_line(raw: &str, index: usize) -> Result<String, String> {
@@ -356,7 +423,19 @@ impl RunJournal {
         Ok(body.to_string())
     }
 
-    /// Reads and verifies a journal file.
+    /// Reads and verifies a journal file on the real filesystem. See
+    /// [`RunJournal::load_on`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Corrupt`] for a bad interior line and
+    /// [`JournalError::Io`] for filesystem failures other than the file
+    /// not existing.
+    pub fn load(path: impl AsRef<Path>) -> Result<LoadedJournal, JournalError> {
+        Self::load_on(&StdVfs, path.as_ref())
+    }
+
+    /// Reads and verifies a journal file on `vfs`.
     ///
     /// A torn or hash-corrupt **final** line is dropped (`dropped_tail`);
     /// a missing file loads as an empty journal with no header.
@@ -366,8 +445,8 @@ impl RunJournal {
     /// Returns [`JournalError::Corrupt`] for a bad interior line and
     /// [`JournalError::Io`] for filesystem failures other than the file
     /// not existing.
-    pub fn load(path: impl AsRef<Path>) -> Result<LoadedJournal, JournalError> {
-        let content = match fs::read_to_string(path.as_ref()) {
+    pub fn load_on(vfs: &dyn Vfs, path: &Path) -> Result<LoadedJournal, JournalError> {
+        let content = match vfs.read_to_string(path) {
             Ok(content) => content,
             Err(err) if err.kind() == io::ErrorKind::NotFound => {
                 return Ok(LoadedJournal {
@@ -434,56 +513,97 @@ impl RunJournal {
     /// append-mode handle, synced before returning — O(1) in the number of
     /// days already journaled.
     ///
+    /// Degradation policy: a failed attempt is rolled back with `set_len`
+    /// and retried with linear backoff up to the journal's
+    /// [`StoragePolicy`]; the returned [`StorageReport`] says how many
+    /// attempts the append consumed so supervision can tick the retries
+    /// into its storage-fault ledger. If a rollback itself fails, the
+    /// append stops retrying (appending over a torn fragment would corrupt
+    /// an interior line) and the offset is remembered; the next
+    /// `append_day` re-attempts that rollback before writing anything new.
+    ///
     /// # Errors
     ///
-    /// Returns [`JournalError::Io`] when the write fails. A partial write
-    /// is truncated away when possible; if even that fails, the leftover
-    /// bytes are a torn *final* line, which the loader already drops.
-    pub fn append_day(&mut self, record: &DayRecord) -> Result<(), JournalError> {
-        use io::Write;
-
+    /// Returns [`JournalError::Io`] with the last attempt's error once the
+    /// policy is exhausted. Any leftover partial bytes are a torn *final*
+    /// line, which the loader already drops.
+    pub fn append_day(&mut self, record: &DayRecord) -> Result<StorageReport, JournalError> {
         let body = serde_json::to_string(record)
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
         let mut line = serde_json::to_string(&JournalLine::seal(body))
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
         line.push('\n');
-        let offset = self.file.metadata()?.len();
-        let written = self
-            .file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.sync_data());
-        if let Err(err) = written {
-            // Roll a partial write back so it cannot linger; best-effort —
-            // a leftover is a torn tail, which recovery tolerates.
-            let _ = self.file.set_len(offset);
-            return Err(err.into());
-        }
-        self.days += 1;
-        Ok(())
-    }
-}
 
-/// Opens `path` for appending.
-fn open_append(path: &Path) -> Result<fs::File, JournalError> {
-    Ok(fs::OpenOptions::new().append(true).open(path)?)
+        // A previous append left a torn fragment it could not roll back:
+        // clear it first, or refuse to stack bytes on top of it.
+        if let Some(offset) = self.pending_rollback {
+            self.file.set_len(offset)?;
+            self.pending_rollback = None;
+        }
+
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let pause = self.policy.backoff.saturating_mul(attempt as u32);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            let offset = self.file.len()?;
+            let written = self
+                .file
+                .write_all(line.as_bytes())
+                .and_then(|()| self.file.sync_data());
+            match written {
+                Ok(()) => {
+                    self.days += 1;
+                    return Ok(StorageReport {
+                        attempts: attempt + 1,
+                    });
+                }
+                Err(err) => {
+                    // Roll the partial write back so the retry appends to a
+                    // clean offset; if the rollback fails too, remember the
+                    // offset and bail — the leftover is a torn tail, which
+                    // recovery tolerates, but only while it stays *final*.
+                    if self.file.set_len(offset).is_err() {
+                        self.pending_rollback = Some(offset);
+                        return Err(err.into());
+                    }
+                    last = Some(err);
+                }
+            }
+        }
+        Err(last
+            .unwrap_or_else(|| io::Error::other("journal append made no attempts"))
+            .into())
+    }
+
+    /// The VFS this journal writes through (for reloading from the same
+    /// storage the appends landed on).
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
+    }
 }
 
 /// Atomic whole-file write: a `.tmp` sibling renamed over the journal, so
 /// a kill leaves either the old file or the new one. Used only where the
 /// file's prefix changes — header creation and torn-tail compaction —
 /// never on the per-day append path.
-fn atomic_rewrite(path: &Path, lines: &[String]) -> Result<(), JournalError> {
-    let tmp = path.with_extension("jsonl.tmp");
+fn atomic_rewrite(vfs: &dyn Vfs, path: &Path, lines: &[String]) -> Result<(), JournalError> {
+    let tmp = tmp_sibling(path);
     let mut content = lines.join("\n");
     content.push('\n');
-    fs::write(&tmp, content)?;
-    fs::rename(&tmp, path)?;
+    vfs.write(&tmp, content.as_bytes())?;
+    vfs.rename(&tmp, path)?;
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn header() -> JournalHeader {
         JournalHeader {

@@ -343,6 +343,53 @@ impl DayHealth {
     }
 }
 
+/// Storage-layer fault tallies: what the durable sinks (journal, trace,
+/// CSV exports, bench records) absorbed without failing the run.
+///
+/// These are *process-local* observability, like the trace sink's dropped
+/// counter: supervision folds them into the run **result's** ledger at
+/// finish time, never into journaled per-day state — so a run that
+/// weathered storage faults still journals, exports, and resumes
+/// bit-identically to one that did not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageFaultCounts {
+    /// Journal append attempts beyond the first (rollback + retry).
+    #[serde(default)]
+    pub journal_retries: usize,
+    /// Journal appends that exhausted their retry policy (hard errors).
+    #[serde(default)]
+    pub journal_append_failures: usize,
+    /// Export/bench staging attempts beyond the first.
+    #[serde(default)]
+    pub export_retries: usize,
+    /// Exports/bench writes that exhausted their retry policy.
+    #[serde(default)]
+    pub export_failures: usize,
+    /// Trace events dropped by the sink (drop-and-count policy).
+    #[serde(default)]
+    pub trace_dropped: usize,
+}
+
+impl StorageFaultCounts {
+    /// Total storage-fault incidents of every kind.
+    pub fn total(&self) -> usize {
+        self.journal_retries
+            + self.journal_append_failures
+            + self.export_retries
+            + self.export_failures
+            + self.trace_dropped
+    }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &StorageFaultCounts) {
+        self.journal_retries += other.journal_retries;
+        self.journal_append_failures += other.journal_append_failures;
+        self.export_retries += other.export_retries;
+        self.export_failures += other.export_failures;
+        self.trace_dropped += other.trace_dropped;
+    }
+}
+
 /// Health ledger of one pipeline run: what was corrupted, what was
 /// reconstructed, and which components had to degrade.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -372,6 +419,11 @@ pub struct RunHealth {
     /// in pre-quarantine serialized ledgers.
     #[serde(default)]
     pub quarantine_recoveries: usize,
+    /// Storage-layer faults absorbed by the durable sinks. Absent in
+    /// pre-vfs serialized ledgers; journaled per-day snapshots always
+    /// carry the zero tally (see [`StorageFaultCounts`]).
+    #[serde(default)]
+    pub storage: StorageFaultCounts,
 }
 
 impl RunHealth {
@@ -390,6 +442,7 @@ impl RunHealth {
             || self.budget_breaches > 0
             || self.quarantine_trips > 0
             || self.quarantine_recoveries > 0
+            || self.storage.total() > 0
     }
 
     /// Records a component fallback.
@@ -417,6 +470,7 @@ impl RunHealth {
         self.budget_breaches += other.budget_breaches;
         self.quarantine_trips += other.quarantine_trips;
         self.quarantine_recoveries += other.quarantine_recoveries;
+        self.storage.merge(&other.storage);
     }
 }
 

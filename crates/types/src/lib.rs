@@ -30,7 +30,7 @@ mod series;
 pub use error::{HorizonMismatchError, ValidateError};
 pub use health::{
     BudgetClock, DayHealth, FallbackRecord, FaultCounts, FaultKind, RetryPolicy, RunHealth,
-    SolveBudget,
+    SolveBudget, StorageFaultCounts,
 };
 pub use horizon::{Horizon, SlotClock};
 pub use id::{ApplianceId, CustomerId, MeterId};

@@ -41,6 +41,7 @@
 //! | [`core`] | the paper's detection framework |
 //! | [`sim`] | scenario generation and the paper's experiments |
 //! | [`obs`] | recorder trait, metrics registry, JSONL trace sink |
+//! | [`vfs`] | injectable storage layer with deterministic fault injection |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +56,7 @@ pub use nms_sim as sim;
 pub use nms_smarthome as smarthome;
 pub use nms_solver as solver;
 pub use nms_types as types;
+pub use nms_vfs as vfs;
 
 /// The canonical daily horizon used throughout the paper (24 hourly slots).
 pub fn paper_horizon() -> nms_types::Horizon {
