@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod names;
 pub mod trace;
 
 use std::sync::Arc;

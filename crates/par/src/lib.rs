@@ -20,8 +20,14 @@
 //!   original payload's message, instead of crossbeam's opaque
 //!   `Err(Box<dyn Any>)`;
 //! - **sequential degradation** — `threads <= 1` runs the plain loop on
-//!   the calling thread: no spawns, no `catch_unwind`, errors short-circuit
-//!   immediately.
+//!   the calling thread: no spawns, errors short-circuit immediately, and
+//!   a panic surfaces with the same item-index context as the parallel
+//!   path (every entry point shares one panic-capture code path);
+//! - **failure containment** — [`par_map_outcomes`] is the supervision
+//!   surface: instead of propagating the lowest-index failure it runs
+//!   *every* item to completion and returns a per-item [`Outcome`]
+//!   (`Ok`/`Err`/`Panicked`), so one item's panic cannot take down its
+//!   siblings — the isolation primitive the shard fleet is built on.
 //!
 //! Scheduling is dynamic (workers pull the next item off a shared atomic
 //! counter), so heterogeneous item costs balance without tuning; the
@@ -118,11 +124,38 @@ fn resolve_workers(threads: usize, n: usize) -> usize {
     threads.min(n).min(host_threads())
 }
 
-/// What one item produced on a worker.
-enum ItemOutcome<R, E> {
+/// What one item of an isolating map produced — the per-item verdict
+/// [`par_map_outcomes`] returns instead of rethrowing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<R, E> {
+    /// The item's closure returned `Ok`.
     Ok(R),
+    /// The item's closure returned `Err`.
     Err(E),
+    /// The item's closure panicked; the message names the item index and
+    /// carries the captured payload's message (or the
+    /// `"non-string panic payload"` fallback for exotic payload types).
     Panicked(String),
+}
+
+impl<R, E> Outcome<R, E> {
+    /// `true` for [`Outcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Self::Ok(_))
+    }
+
+    /// `true` for [`Outcome::Panicked`].
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, Self::Panicked(_))
+    }
+
+    /// The success value, if any.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            Self::Ok(value) => Some(value),
+            _ => None,
+        }
+    }
 }
 
 /// Maps `f` over `items` on up to `threads` worker threads, returning the
@@ -286,9 +319,64 @@ where
     )
 }
 
-/// The shared map engine. `workers` is already resolved (≤ items, ≤ host
-/// cores); `scratch` builds one per-worker state reused across that
-/// worker's items.
+/// Maps `f` over every item and returns one [`Outcome`] per item, in input
+/// order: failures are *contained*, not propagated. An item whose closure
+/// returns `Err` or panics yields `Outcome::Err` / `Outcome::Panicked` for
+/// that slot while every other item still runs to completion — no early
+/// abort, no rethrow. This is the isolation surface supervisors build on:
+/// one shard's panic must not take down its siblings.
+///
+/// The `threads <= 1` path still degrades to a loop on the calling thread,
+/// but (unlike [`par_map`]) it catches panics per item, so the containment
+/// contract is thread-count independent.
+pub fn par_map_outcomes<T, R, E, F>(threads: usize, items: &[T], f: F) -> Vec<Outcome<R, E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_map_outcomes_recorded(threads, items, &NoopRecorder, f)
+}
+
+/// [`par_map_outcomes`] with the worker telemetry of [`par_map_recorded`].
+pub fn par_map_outcomes_recorded<T, R, E, F>(
+    threads: usize,
+    items: &[T],
+    rec: &dyn Recorder,
+    f: F,
+) -> Vec<Outcome<R, E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let slots = outcomes_core(
+        resolve_workers(threads, items.len()),
+        1,
+        items,
+        rec,
+        || (),
+        |(), index, item| f(index, item),
+        false,
+    );
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| match slot {
+            Some(Outcome::Panicked(message)) => {
+                Outcome::Panicked(format!("item {index}: {message}"))
+            }
+            Some(outcome) => outcome,
+            None => unreachable!("nms-par: non-aborting map skipped item {index}"),
+        })
+        .collect()
+}
+
+/// The shared rethrowing consumer: runs the engine in abort-on-first-failure
+/// mode, then replays the lowest-index failure exactly as the sequential
+/// loop would have surfaced it.
 fn par_map_core<T, R, E, W, S, F>(
     workers: usize,
     chunk: usize,
@@ -305,22 +393,71 @@ where
     S: Fn() -> W + Sync,
     F: Fn(&mut W, usize, &T) -> Result<R, E> + Sync,
 {
+    let slots = outcomes_core(workers, chunk, items, rec, scratch, f, true);
+    // The counter hands indices out in increasing order and a pulled chunk
+    // runs to its first failure, so every index below the lowest failure is
+    // guaranteed Some(Ok) — the ascending scan below therefore reports
+    // exactly the failure the sequential loop would have hit first.
+    let mut results = Vec::with_capacity(items.len());
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Outcome::Ok(value)) => results.push(value),
+            Some(Outcome::Err(err)) => return Err(err),
+            Some(Outcome::Panicked(message)) => {
+                panic!("nms-par: worker panicked on item {index}: {message}")
+            }
+            None => unreachable!("nms-par: item {index} skipped before the first failure"),
+        }
+    }
+    Ok(results)
+}
+
+/// The one map engine behind every entry point. `workers` is already
+/// resolved (≤ items, ≤ host cores); `scratch` builds one per-worker state
+/// reused across that worker's items; `abort` selects fail-fast (the
+/// rethrowing surfaces) versus run-everything (the outcome surface). Every
+/// panic, on any path, is captured by exactly this function's
+/// `catch_unwind`, so payload handling cannot drift between surfaces.
+fn outcomes_core<T, R, E, W, S, F>(
+    workers: usize,
+    chunk: usize,
+    items: &[T],
+    rec: &dyn Recorder,
+    scratch: S,
+    f: F,
+    abort_on_failure: bool,
+) -> Vec<Option<Outcome<R, E>>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    W: Send,
+    S: Fn() -> W + Sync,
+    F: Fn(&mut W, usize, &T) -> Result<R, E> + Sync,
+{
     let n = items.len();
     let chunk = chunk.max(1);
     rec.add("par_maps", 1);
     rec.add("par_items", n as u64);
     if workers <= 1 {
-        // Sequential path: the reference behavior. No spawns, no
-        // catch_unwind, immediate short-circuit on the first error.
+        // Sequential path: the reference behavior. No spawns; in abort
+        // mode the first failure short-circuits immediately.
         let busy = Instant::now();
         let mut ws = scratch();
-        let mut results = Vec::with_capacity(n);
+        let mut slots: Vec<Option<Outcome<R, E>>> = (0..n).map(|_| None).collect();
+        let mut done = 0usize;
         for (index, item) in items.iter().enumerate() {
-            results.push(f(&mut ws, index, item)?);
+            let outcome = run_item(&mut ws, index, item, &f);
+            let failed = !outcome.is_ok();
+            slots[index] = Some(outcome);
+            done += 1;
+            if failed && abort_on_failure {
+                break;
+            }
         }
-        rec.observe("par_worker_items", n as f64);
+        rec.observe("par_worker_items", done as f64);
         rec.observe("par_worker_busy_seconds", busy.elapsed().as_secs_f64());
-        return Ok(results);
+        return slots;
     }
 
     let next = AtomicUsize::new(0);
@@ -334,35 +471,26 @@ where
     // merging the pairs into index order afterwards is what makes the
     // output independent of scheduling, and recording the tallies only
     // after the join keeps the recorder off the worker hot path.
-    type WorkerYield<R, E> = (Vec<(usize, ItemOutcome<R, E>)>, f64);
+    type WorkerYield<R, E> = (Vec<(usize, Outcome<R, E>)>, f64);
     let gathered: Vec<WorkerYield<R, E>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move |_| {
                     let busy = Instant::now();
                     let mut ws = scratch();
-                    let mut local: Vec<(usize, ItemOutcome<R, E>)> = Vec::new();
+                    let mut local: Vec<(usize, Outcome<R, E>)> = Vec::new();
                     'pull: while !abort.load(Ordering::SeqCst) {
                         let start = next.fetch_add(chunk, Ordering::SeqCst);
                         if start >= n {
                             break;
                         }
                         for index in start..(start + chunk).min(n) {
-                            match catch_unwind(AssertUnwindSafe(|| f(&mut ws, index, &items[index]))) {
-                                Ok(Ok(value)) => local.push((index, ItemOutcome::Ok(value))),
-                                Ok(Err(err)) => {
-                                    local.push((index, ItemOutcome::Err(err)));
-                                    abort.store(true, Ordering::SeqCst);
-                                    break 'pull;
-                                }
-                                Err(payload) => {
-                                    local.push((
-                                        index,
-                                        ItemOutcome::Panicked(payload_message(payload.as_ref())),
-                                    ));
-                                    abort.store(true, Ordering::SeqCst);
-                                    break 'pull;
-                                }
+                            let outcome = run_item(&mut ws, index, &items[index], f);
+                            let failed = !outcome.is_ok();
+                            local.push((index, outcome));
+                            if failed && abort_on_failure {
+                                abort.store(true, Ordering::SeqCst);
+                                break 'pull;
                             }
                         }
                     }
@@ -377,7 +505,7 @@ where
     })
     .expect("nms-par: scope itself panicked");
 
-    let mut slots: Vec<Option<ItemOutcome<R, E>>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<Outcome<R, E>>> = (0..n).map(|_| None).collect();
     for (local, busy_secs) in gathered {
         rec.observe("par_worker_items", local.len() as f64);
         rec.observe("par_worker_busy_seconds", busy_secs);
@@ -385,32 +513,39 @@ where
             slots[index] = Some(outcome);
         }
     }
-
-    // The counter hands indices out in increasing order and a pulled chunk
-    // runs to its first failure, so every index below the lowest failure is
-    // guaranteed Some(Ok) — the ascending scan below therefore reports
-    // exactly the failure the sequential loop would have hit first.
-    let mut results = Vec::with_capacity(n);
-    for (index, slot) in slots.into_iter().enumerate() {
-        match slot {
-            Some(ItemOutcome::Ok(value)) => results.push(value),
-            Some(ItemOutcome::Err(err)) => return Err(err),
-            Some(ItemOutcome::Panicked(message)) => {
-                panic!("nms-par: worker panicked on item {index}: {message}")
-            }
-            None => unreachable!("nms-par: item {index} skipped before the first failure"),
-        }
-    }
-    Ok(results)
+    slots
 }
 
-/// Renders a panic payload's message for the rethrow; panics almost always
-/// carry `&str` or `String`.
+/// Runs one item under the engine's single `catch_unwind`.
+fn run_item<T, R, E, W, F>(ws: &mut W, index: usize, item: &T, f: &F) -> Outcome<R, E>
+where
+    F: Fn(&mut W, usize, &T) -> Result<R, E>,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(ws, index, item))) {
+        Ok(Ok(value)) => Outcome::Ok(value),
+        Ok(Err(err)) => Outcome::Err(err),
+        Err(payload) => Outcome::Panicked(payload_message(payload.as_ref())),
+    }
+}
+
+/// Renders a panic payload's message for the rethrow. Panics almost always
+/// carry `&str` or `String`; a few primitive `panic_any` payloads are
+/// probed too, and anything else falls back to a stable
+/// `"non-string panic payload"` marker (the surrounding context always
+/// names the item index, so even an opaque payload stays attributable).
 fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(v) = payload.downcast_ref::<u64>() {
+        format!("non-string panic payload (u64: {v})")
+    } else if let Some(v) = payload.downcast_ref::<i64>() {
+        format!("non-string panic payload (i64: {v})")
+    } else if let Some(v) = payload.downcast_ref::<u32>() {
+        format!("non-string panic payload (u32: {v})")
+    } else if let Some(v) = payload.downcast_ref::<i32>() {
+        format!("non-string panic payload (i32: {v})")
     } else {
         "non-string panic payload".to_string()
     }
@@ -608,6 +743,136 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let items: Vec<u64> = (0..3).collect();
         assert_eq!(par_map(16, &items, square).unwrap(), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn outcomes_contain_failures_and_run_every_item() {
+        let items: Vec<u64> = (0..24).collect();
+        let f = |_i: usize, item: &u64| -> Result<u64, String> {
+            match *item % 5 {
+                3 => Err(format!("soft failure on {item}")),
+                4 => panic!("hard failure on {item}"),
+                _ => Ok(item * 10),
+            }
+        };
+        for threads in [1, 2, 4, 8] {
+            let outcomes = par_map_outcomes(threads, &items, f);
+            assert_eq!(outcomes.len(), items.len(), "no item may be skipped");
+            for (index, (outcome, item)) in outcomes.iter().zip(&items).enumerate() {
+                match *item % 5 {
+                    3 => assert_eq!(
+                        outcome,
+                        &Outcome::Err(format!("soft failure on {item}"))
+                    ),
+                    4 => match outcome {
+                        Outcome::Panicked(message) => {
+                            assert!(message.contains(&format!("item {index}")), "{message}");
+                            assert!(
+                                message.contains(&format!("hard failure on {item}")),
+                                "{message}"
+                            );
+                        }
+                        other => panic!("expected Panicked, got {other:?}"),
+                    },
+                    _ => assert_eq!(outcome, &Outcome::Ok(item * 10)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_sequential_path_contains_panics_too() {
+        // threads=1 must not rethrow: the containment contract is
+        // thread-count independent.
+        let items: Vec<u64> = (0..4).collect();
+        let outcomes = par_map_outcomes(1, &items, |_i, item: &u64| -> Result<u64, String> {
+            if *item == 0 {
+                panic!("first item dies");
+            }
+            Ok(*item)
+        });
+        assert!(outcomes[0].is_panicked());
+        assert_eq!(outcomes[1..], [Outcome::Ok(1), Outcome::Ok(2), Outcome::Ok(3)]);
+    }
+
+    #[test]
+    fn outcomes_accessors_and_order() {
+        let items: Vec<u64> = (0..12).collect();
+        let outcomes = par_map_outcomes(4, &items, square);
+        assert!(outcomes.iter().all(Outcome::is_ok));
+        let values: Vec<u64> = outcomes.into_iter().filter_map(Outcome::ok).collect();
+        let expected: Vec<u64> = items.iter().map(|v| v * v).collect();
+        assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn non_string_panic_payloads_fall_back_with_item_index() {
+        let items: Vec<u64> = (0..3).collect();
+        let outcomes = par_map_outcomes(2, &items, |_i, item: &u64| -> Result<u64, String> {
+            if *item == 1 {
+                std::panic::panic_any(1234u64);
+            }
+            Ok(*item)
+        });
+        match &outcomes[1] {
+            Outcome::Panicked(message) => {
+                assert!(message.contains("item 1"), "{message}");
+                assert!(message.contains("non-string panic payload"), "{message}");
+                assert!(message.contains("1234"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // A payload type the probe does not know still lands on the
+        // stable fallback marker.
+        #[derive(Debug)]
+        struct Opaque;
+        let outcomes = par_map_outcomes(1, &[0u64], |_i, _item| -> Result<u64, String> {
+            std::panic::panic_any(Opaque);
+        });
+        match &outcomes[0] {
+            Outcome::Panicked(message) => {
+                assert_eq!(message, "item 0: non-string panic payload");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rethrow_path_is_built_on_the_outcome_engine() {
+        // The rethrown message must match the Outcome::Panicked rendering
+        // exactly (modulo the "nms-par: worker panicked on" prefix), since
+        // both come from the same capture point.
+        let items: Vec<u64> = (0..8).collect();
+        let boom = |_i: usize, item: &u64| -> Result<u64, String> {
+            if *item == 5 {
+                panic!("shared capture path");
+            }
+            Ok(*item)
+        };
+        let rethrown = catch_unwind(AssertUnwindSafe(|| par_map(1, &items, boom))).unwrap_err();
+        let rethrown = payload_message(rethrown.as_ref());
+        let contained = match &par_map_outcomes(1, &items, boom)[5] {
+            Outcome::Panicked(message) => message.clone(),
+            other => panic!("expected Panicked, got {other:?}"),
+        };
+        assert_eq!(rethrown, format!("nms-par: worker panicked on {contained}"));
+    }
+
+    #[test]
+    fn outcomes_recorded_tallies_every_item() {
+        let items: Vec<u64> = (0..16).collect();
+        let metrics = nms_obs::MetricsRegistry::new();
+        let outcomes =
+            par_map_outcomes_recorded(2, &items, &metrics, |_i, item: &u64| -> Result<u64, String> {
+                if *item == 9 {
+                    panic!("one bad shard");
+                }
+                Ok(*item)
+            });
+        assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 15);
+        assert_eq!(metrics.counter("par_items"), 16);
+        let per_worker = metrics.histogram("par_worker_items").unwrap();
+        assert_eq!(per_worker.sum(), 16.0, "panicked items still count as work");
     }
 
     proptest! {

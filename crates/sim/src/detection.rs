@@ -45,7 +45,8 @@ use nms_core::{
 use nms_forecast::PriceHistory;
 use nms_par::Parallelism;
 use nms_types::{
-    DayHealth, MeterId, RetryPolicy, RunHealth, SolveBudget, StorageFaultCounts, TimeSeries,
+    DayHealth, MeterId, RetryPolicy, RunHealth, SolveBudget, StorageFaultCounts,
+    StorageFaultLedger, TimeSeries,
     ValidateError,
 };
 use nms_vfs::{StdVfs, StoragePolicy, Vfs};
@@ -825,12 +826,17 @@ pub struct SupervisedRun {
     journal: RunJournal,
     next_day: usize,
     recorder: Arc<dyn Recorder>,
-    /// Process-local storage-fault ledger. Deliberately NOT part of
+    /// Per-run storage-fault ledger, shared with (cloned from) the
+    /// [`SupervisedOptions`] that built this run. Deliberately NOT part of
     /// `state.health`: journaled day records and exported CSVs must stay
     /// bit-identical whether or not this process weathered storage faults,
     /// so the tally is merged into the *result's* ledger only at
-    /// [`SupervisedRun::finish`].
-    storage: StorageFaultCounts,
+    /// [`SupervisedRun::finish`]. Owning the ledger in the options (rather
+    /// than a plain field) means a supervisor that tears a run down and
+    /// rebuilds it from its journal keeps the same tally across rebuilds,
+    /// while two runs built from independent options can never see each
+    /// other's faults.
+    storage: StorageFaultLedger,
 }
 
 /// Injectable plumbing for a [`SupervisedRun`]: which storage the journal
@@ -846,6 +852,11 @@ pub struct SupervisedOptions {
     /// Journal append degradation policy (rollback + retry-with-backoff,
     /// then a hard [`SimError::Journal`]).
     pub policy: StoragePolicy,
+    /// The run's storage-fault tally. Cloning the options shares the
+    /// underlying ledger (every rebuild of one shard keeps accumulating
+    /// into the same tally); `Default` starts a fresh, independent one, so
+    /// concurrent runs built from separate options cannot cross-contaminate.
+    pub storage: StorageFaultLedger,
 }
 
 impl Default for SupervisedOptions {
@@ -854,6 +865,7 @@ impl Default for SupervisedOptions {
             vfs: Arc::new(StdVfs),
             recorder: Arc::new(NoopRecorder),
             policy: StoragePolicy::default(),
+            storage: StorageFaultLedger::new(),
         }
     }
 }
@@ -935,6 +947,7 @@ impl SupervisedRun {
             vfs,
             recorder,
             policy,
+            storage,
         } = options;
         let setup = prepare(scenario, config)?;
         let mut training_rng = ChaCha8Rng::seed_from_u64(seed ^ TRAINING_STREAM);
@@ -982,7 +995,7 @@ impl SupervisedRun {
             journal,
             next_day,
             recorder,
-            storage: StorageFaultCounts::default(),
+            storage,
         })
     }
 
@@ -1026,9 +1039,12 @@ impl SupervisedRun {
         )?;
         let append_watch = Stopwatch::start();
         match self.journal.append_day(&record) {
-            Ok(report) => self.storage.journal_retries += report.retries(),
+            Ok(report) => {
+                let retries = report.retries();
+                self.storage.record(|tally| tally.journal_retries += retries);
+            }
             Err(err) => {
-                self.storage.journal_append_failures += 1;
+                self.storage.record(|tally| tally.journal_append_failures += 1);
                 return Err(err.into());
             }
         }
@@ -1044,17 +1060,19 @@ impl SupervisedRun {
         Ok(())
     }
 
-    /// Storage faults this process absorbed so far (never part of the
-    /// journaled state — see the field's invariant).
+    /// Storage faults this run's ledger absorbed so far (never part of the
+    /// journaled state — see the field's invariant). When the run was built
+    /// from cloned options, this covers every earlier incarnation of the
+    /// run that shared the ledger, not just this value.
     pub fn storage_faults(&self) -> StorageFaultCounts {
-        self.storage
+        self.storage.snapshot()
     }
 
     /// Ticks externally observed storage faults (e.g. a trace sink's
     /// dropped-event count, or export retries made by the caller) into the
     /// ledger this run will fold into its result.
     pub fn note_storage_faults(&mut self, faults: StorageFaultCounts) {
-        self.storage.merge(&faults);
+        self.storage.absorb(&faults);
     }
 
     /// Consumes the run and produces the final result (valid at any point;
@@ -1069,7 +1087,7 @@ impl SupervisedRun {
     /// Returns [`SimError::Config`] when no day produced demand samples.
     pub fn finish(self) -> Result<LongTermRunResult, SimError> {
         let mut result = finalize(self.state)?;
-        result.health.storage.merge(&self.storage);
+        result.health.storage.merge(&self.storage.snapshot());
         Ok(result)
     }
 
@@ -1296,5 +1314,119 @@ mod tests {
             Ok(_) => panic!("expected HeaderMismatch, got a resumed run"),
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_under_changed_config_fails_typed() {
+        // Header-drift negative path: a shard restarted under a changed
+        // `LongTermRunConfig` must refuse its journal with a typed error,
+        // not silently diverge from the journaled run.
+        use nms_vfs::FaultVfs;
+        let mut scenario = PaperScenario::small(8, 41);
+        scenario.training_days = 3;
+        let config = run_config(None);
+        let vfs = FaultVfs::new(nms_vfs::IoFaultPlan::none());
+        let path = Path::new("/drift/journal.jsonl");
+        let options = |vfs: &FaultVfs| SupervisedOptions {
+            vfs: Arc::new(vfs.clone()),
+            ..SupervisedOptions::default()
+        };
+
+        let mut run =
+            SupervisedRun::with_options(&scenario, &config, 5, path, options(&vfs)).unwrap();
+        run.step_day().unwrap();
+        drop(run);
+
+        // Any config knob that changes behavior changes the fingerprint.
+        let mut tweaked = config.clone();
+        tweaked.labor_per_fix += 1.0;
+        match SupervisedRun::with_options(&scenario, &tweaked, 5, path, options(&vfs)) {
+            Err(SimError::Journal(JournalError::HeaderMismatch { detail })) => {
+                assert!(detail.contains("configuration fingerprint"), "{detail}");
+            }
+            Err(other) => panic!("expected HeaderMismatch, got {other:?}"),
+            Ok(_) => panic!("expected HeaderMismatch, got a resumed run"),
+        }
+
+        // The horizon is checked field-for-field, not just by fingerprint.
+        let mut longer = config.clone();
+        longer.detection_days += 1;
+        match SupervisedRun::with_options(&scenario, &longer, 5, path, options(&vfs)) {
+            Err(SimError::Journal(JournalError::HeaderMismatch { detail })) => {
+                assert!(detail.contains("detection_days"), "{detail}");
+            }
+            Err(other) => panic!("expected HeaderMismatch, got {other:?}"),
+            Ok(_) => panic!("expected HeaderMismatch, got a resumed run"),
+        }
+
+        // The unchanged config still resumes.
+        let resumed =
+            SupervisedRun::with_options(&scenario, &config, 5, path, options(&vfs)).unwrap();
+        assert_eq!(resumed.completed_days(), 1);
+    }
+
+    #[test]
+    fn storage_ledger_is_per_run_and_survives_rebuild() {
+        // Regression for concurrent-shard fault aggregation: each run's
+        // absorbed-fault tally lives in a ledger owned by its options, so
+        // (a) a supervisor that rebuilds a failed run from its journal with
+        // cloned options keeps the earlier incarnation's tally, and (b) a
+        // second run built from independent options never sees it.
+        use nms_vfs::{FaultVfs, IoFaultPlan};
+        let mut scenario = PaperScenario::small(8, 41);
+        scenario.training_days = 3;
+        let config = run_config(None);
+        let path = Path::new("/ledger/journal.jsonl");
+
+        // Probe the op index of the first journal append on a clean VFS so
+        // the kill point can be aimed at it deterministically.
+        let probe = FaultVfs::new(IoFaultPlan::none());
+        let probe_options = SupervisedOptions {
+            vfs: Arc::new(probe.clone()),
+            ..SupervisedOptions::default()
+        };
+        let run =
+            SupervisedRun::with_options(&scenario, &config, 5, path, probe_options).unwrap();
+        let first_append_op = probe.ops();
+        drop(run);
+
+        // Shard A: storage dies mid-append. The step fails and the failure
+        // lands on A's ledger.
+        let vfs_a = FaultVfs::new(IoFaultPlan::kill_at(first_append_op));
+        let options_a = SupervisedOptions {
+            vfs: Arc::new(vfs_a.clone()),
+            ..SupervisedOptions::default()
+        };
+        let mut run_a =
+            SupervisedRun::with_options(&scenario, &config, 5, path, options_a.clone()).unwrap();
+        assert!(run_a.step_day().is_err(), "append through a dead disk must fail");
+        assert_eq!(run_a.storage_faults().journal_append_failures, 1);
+        drop(run_a);
+
+        // Shard B runs concurrently from independent options: its ledger
+        // must stay clean no matter what A absorbed.
+        let vfs_b = FaultVfs::new(IoFaultPlan::none());
+        let options_b = SupervisedOptions {
+            vfs: Arc::new(vfs_b.clone()),
+            ..SupervisedOptions::default()
+        };
+        let result_b = SupervisedRun::with_options(&scenario, &config, 6, path, options_b.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(options_b.storage.snapshot().total(), 0, "shard A leaked into B");
+        assert_eq!(result_b.health.storage.total(), 0);
+
+        // Storage comes back; the supervisor rebuilds A from its journal
+        // with the SAME options. The rebuilt run completes, and its result
+        // still reports the failure the earlier incarnation absorbed.
+        vfs_a.revive();
+        let result_a = SupervisedRun::with_options(&scenario, &config, 5, path, options_a.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(result_a.health.storage.journal_append_failures, 1);
+        assert!(options_a.storage.shares_with(&options_a.clone().storage));
+        assert!(!options_a.storage.shares_with(&options_b.storage));
     }
 }

@@ -1,0 +1,246 @@
+//! Fleet-level health: per-shard supervision ledgers and their aggregate.
+//!
+//! A fleet drives K communities as isolated shards; each shard climbs a
+//! typed failure ladder when it misbehaves (retry the day → resume from its
+//! journal → quarantine the community). [`ShardHealth`] records how far one
+//! shard climbed and what it cost; [`FleetHealth`] aggregates the shards so
+//! an operator can answer "how degraded is the fleet?" from one value. Both
+//! serialize, so a fleet report can be exported next to run results.
+
+use serde::{Deserialize, Serialize};
+
+use crate::health::RunHealth;
+
+/// The highest rung of the failure ladder a shard reached.
+///
+/// Ordered by severity: `Healthy < Retried < Resumed < Quarantined`. A shard
+/// only ever climbs (a successful retry still leaves it marked `Retried` —
+/// the ledger records history, not current mood), so `Ord::max` is the
+/// escalation operator.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ShardStage {
+    /// No ladder rung was needed: every day closed on the first attempt.
+    #[default]
+    Healthy,
+    /// At least one day needed an in-place retry (rebuild from journal,
+    /// bounded linear backoff) that then succeeded.
+    Retried,
+    /// At least one failure escalated past retries to a full resume from
+    /// the shard's journal (the kill-and-resume machinery).
+    Resumed,
+    /// The circuit breaker tripped: the shard is out of the rotation and
+    /// its remaining days are degraded suspect-floor verdicts.
+    Quarantined,
+}
+
+impl ShardStage {
+    /// Stable lowercase label for metrics and exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardStage::Healthy => "healthy",
+            ShardStage::Retried => "retried",
+            ShardStage::Resumed => "resumed",
+            ShardStage::Quarantined => "quarantined",
+        }
+    }
+}
+
+impl std::fmt::Display for ShardStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One shard's supervision ledger: where it ended on the ladder and every
+/// intervention it took to get there.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard index within the fleet (position in the spec list).
+    pub shard: usize,
+    /// Human-readable community label the shard is responsible for.
+    pub community: String,
+    /// Highest ladder rung reached over the whole run.
+    pub stage: ShardStage,
+    /// Detection days the shard actually closed (journal-confirmed).
+    pub days_completed: usize,
+    /// Day-level retry attempts consumed (first rung).
+    pub day_retries: usize,
+    /// Full journal resumes consumed (second rung); these are the shard's
+    /// restarts.
+    pub resumes: usize,
+    /// Day closes that breached the fleet's day-close deadline.
+    pub deadline_breaches: usize,
+    /// Days the quarantined shard covered with degraded suspect-floor
+    /// verdicts instead of real detection.
+    pub suspect_floor_days: usize,
+    /// The last failure message observed on the way up the ladder, if any.
+    #[serde(default)]
+    pub last_error: Option<String>,
+    /// The shard's own run-health ledger (faults, imputation, fallbacks,
+    /// storage) from the underlying supervised run.
+    #[serde(default)]
+    pub run: RunHealth,
+}
+
+impl ShardHealth {
+    /// A clean ledger for shard `shard` over `community`.
+    pub fn new(shard: usize, community: impl Into<String>) -> Self {
+        Self {
+            shard,
+            community: community.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Raises the recorded stage to `stage` if it is more severe; never
+    /// lowers it.
+    pub fn escalate(&mut self, stage: ShardStage) {
+        self.stage = self.stage.max(stage);
+    }
+
+    /// `true` when supervision had to intervene at all (any ladder rung,
+    /// deadline breach, or degradation in the underlying run).
+    pub fn degraded(&self) -> bool {
+        self.stage != ShardStage::Healthy
+            || self.day_retries > 0
+            || self.resumes > 0
+            || self.deadline_breaches > 0
+            || self.suspect_floor_days > 0
+            || self.run.degraded()
+    }
+}
+
+/// The fleet-wide aggregate of every shard's [`ShardHealth`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// One ledger per shard, in shard-index order.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl FleetHealth {
+    /// Wraps per-shard ledgers (callers should pass them in shard order).
+    pub fn new(shards: Vec<ShardHealth>) -> Self {
+        Self { shards }
+    }
+
+    /// Shards whose breaker tripped.
+    pub fn quarantined(&self) -> usize {
+        self.count_at(ShardStage::Quarantined)
+    }
+
+    /// Shards that finished without any supervision rung.
+    pub fn healthy(&self) -> usize {
+        self.count_at(ShardStage::Healthy)
+    }
+
+    /// Shards whose highest rung is exactly `stage`.
+    pub fn count_at(&self, stage: ShardStage) -> usize {
+        self.shards.iter().filter(|s| s.stage == stage).count()
+    }
+
+    /// Total shard restarts (journal resumes) across the fleet.
+    pub fn restarts(&self) -> usize {
+        self.shards.iter().map(|s| s.resumes).sum()
+    }
+
+    /// Total day-level retries across the fleet.
+    pub fn day_retries(&self) -> usize {
+        self.shards.iter().map(|s| s.day_retries).sum()
+    }
+
+    /// Total day-close deadline breaches across the fleet.
+    pub fn deadline_breaches(&self) -> usize {
+        self.shards.iter().map(|s| s.deadline_breaches).sum()
+    }
+
+    /// Total suspect-floor (quarantine-degraded) days across the fleet.
+    pub fn suspect_floor_days(&self) -> usize {
+        self.shards.iter().map(|s| s.suspect_floor_days).sum()
+    }
+
+    /// The most severe stage any shard reached (`Healthy` for an empty
+    /// fleet).
+    pub fn worst_stage(&self) -> ShardStage {
+        self.shards
+            .iter()
+            .map(|s| s.stage)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// `true` when any shard is degraded.
+    pub fn degraded(&self) -> bool {
+        self.shards.iter().any(ShardHealth::degraded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order_is_the_ladder() {
+        assert!(ShardStage::Healthy < ShardStage::Retried);
+        assert!(ShardStage::Retried < ShardStage::Resumed);
+        assert!(ShardStage::Resumed < ShardStage::Quarantined);
+        assert_eq!(ShardStage::default(), ShardStage::Healthy);
+        assert_eq!(ShardStage::Quarantined.as_str(), "quarantined");
+        assert_eq!(ShardStage::Retried.to_string(), "retried");
+    }
+
+    #[test]
+    fn escalation_never_demotes() {
+        let mut shard = ShardHealth::new(3, "community-3");
+        assert_eq!(shard.shard, 3);
+        assert!(!shard.degraded());
+        shard.escalate(ShardStage::Resumed);
+        assert_eq!(shard.stage, ShardStage::Resumed);
+        shard.escalate(ShardStage::Retried);
+        assert_eq!(shard.stage, ShardStage::Resumed, "a retry after a resume must not demote");
+        shard.escalate(ShardStage::Quarantined);
+        assert_eq!(shard.stage, ShardStage::Quarantined);
+        assert!(shard.degraded());
+    }
+
+    #[test]
+    fn fleet_aggregates_and_worst_stage() {
+        let mut healthy = ShardHealth::new(0, "c0");
+        healthy.days_completed = 5;
+        let mut retried = ShardHealth::new(1, "c1");
+        retried.escalate(ShardStage::Retried);
+        retried.day_retries = 2;
+        let mut quarantined = ShardHealth::new(2, "c2");
+        quarantined.escalate(ShardStage::Quarantined);
+        quarantined.resumes = 1;
+        quarantined.deadline_breaches = 1;
+        quarantined.suspect_floor_days = 3;
+        quarantined.last_error = Some("boom".into());
+
+        let fleet = FleetHealth::new(vec![healthy, retried, quarantined]);
+        assert_eq!(fleet.healthy(), 1);
+        assert_eq!(fleet.quarantined(), 1);
+        assert_eq!(fleet.count_at(ShardStage::Retried), 1);
+        assert_eq!(fleet.restarts(), 1);
+        assert_eq!(fleet.day_retries(), 2);
+        assert_eq!(fleet.deadline_breaches(), 1);
+        assert_eq!(fleet.suspect_floor_days(), 3);
+        assert_eq!(fleet.worst_stage(), ShardStage::Quarantined);
+        assert!(fleet.degraded());
+        assert_eq!(FleetHealth::default().worst_stage(), ShardStage::Healthy);
+        assert!(!FleetHealth::default().degraded());
+    }
+
+    #[test]
+    fn fleet_health_serde_roundtrip() {
+        let mut shard = ShardHealth::new(1, "c1");
+        shard.escalate(ShardStage::Resumed);
+        shard.resumes = 2;
+        shard.last_error = Some("io: enospc".into());
+        let fleet = FleetHealth::new(vec![shard]);
+        let json = serde_json::to_string(&fleet).expect("serialize");
+        let back: FleetHealth = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, fleet);
+    }
+}

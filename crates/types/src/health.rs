@@ -390,6 +390,69 @@ impl StorageFaultCounts {
     }
 }
 
+/// A thread-safe, shareable [`StorageFaultCounts`] tally scoped to one run.
+///
+/// PR 6 tallied absorbed storage faults in a field private to each
+/// `SupervisedRun`, which was correct for one run per process but wrong the
+/// moment a fleet rebuilds a shard mid-run (the old tally died with the old
+/// run value) or two shards share options (their faults would
+/// cross-contaminate via any process-global alternative). The ledger fixes
+/// both: `Clone` shares the same underlying tally (so a shard's supervisor
+/// options can hand the *same* ledger to every rebuild of that shard), while
+/// `Default`/[`StorageFaultLedger::new`] starts a fresh, fully independent
+/// one (so distinct shards never see each other's faults).
+///
+/// Like [`StorageFaultCounts`] itself, the ledger is process-local
+/// observability: it is merged into the run **result's** [`RunHealth`] at
+/// finish time and never journaled, so fault-weathering runs still resume
+/// bit-identically.
+#[derive(Debug, Clone, Default)]
+pub struct StorageFaultLedger {
+    inner: std::sync::Arc<std::sync::Mutex<StorageFaultCounts>>,
+}
+
+impl StorageFaultLedger {
+    /// A fresh ledger with zero tallies, shared by nobody.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when `other` is a clone of this ledger (same underlying
+    /// tally), `false` for an independent ledger — the isolation predicate
+    /// regression tests assert on.
+    pub fn shares_with(&self, other: &StorageFaultLedger) -> bool {
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Applies `tick` to the shared tally under the lock.
+    ///
+    /// A poisoned lock is recovered rather than propagated: the tally is
+    /// plain counters, so the worst a panicking peer can leave behind is a
+    /// half-updated count — still strictly more informative than losing the
+    /// ledger.
+    pub fn record(&self, tick: impl FnOnce(&mut StorageFaultCounts)) {
+        let mut guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        tick(&mut guard);
+    }
+
+    /// Copies the current tally out.
+    pub fn snapshot(&self) -> StorageFaultCounts {
+        *self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Folds an already-aggregated tally into the ledger (e.g. faults a
+    /// helper counted privately before handing them over).
+    pub fn absorb(&self, counts: &StorageFaultCounts) {
+        self.record(|tally| tally.merge(counts));
+    }
+}
+
 /// Health ledger of one pipeline run: what was corrupted, what was
 /// reconstructed, and which components had to degrade.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -630,6 +693,31 @@ mod tests {
         assert_eq!(health.slots_imputed, 2);
         assert_eq!(health.budget_breaches, 0);
         assert_eq!(health.quarantine_trips, 0);
+    }
+
+    #[test]
+    fn storage_ledger_clones_share_and_new_ledgers_do_not() {
+        let ledger = StorageFaultLedger::new();
+        let shared = ledger.clone();
+        let independent = StorageFaultLedger::new();
+        assert!(ledger.shares_with(&shared));
+        assert!(!ledger.shares_with(&independent));
+
+        shared.record(|c| c.journal_retries += 2);
+        ledger.record(|c| c.trace_dropped += 1);
+        independent.record(|c| c.journal_append_failures += 5);
+
+        let seen = ledger.snapshot();
+        assert_eq!(seen.journal_retries, 2);
+        assert_eq!(seen.trace_dropped, 1);
+        assert_eq!(seen.journal_append_failures, 0, "independent ledger leaked in");
+        assert_eq!(independent.snapshot().journal_append_failures, 5);
+
+        let mut carried = StorageFaultCounts::default();
+        carried.export_retries = 3;
+        ledger.absorb(&carried);
+        assert_eq!(ledger.snapshot().export_retries, 3);
+        assert_eq!(ledger.snapshot().total(), 6);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fleet;
 mod health;
 mod horizon;
 mod id;
@@ -28,9 +29,10 @@ mod quantity;
 mod series;
 
 pub use error::{HorizonMismatchError, ValidateError};
+pub use fleet::{FleetHealth, ShardHealth, ShardStage};
 pub use health::{
     BudgetClock, DayHealth, FallbackRecord, FaultCounts, FaultKind, RetryPolicy, RunHealth,
-    SolveBudget, StorageFaultCounts,
+    SolveBudget, StorageFaultCounts, StorageFaultLedger,
 };
 pub use horizon::{Horizon, SlotClock};
 pub use id::{ApplianceId, CustomerId, MeterId};

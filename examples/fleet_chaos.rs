@@ -1,0 +1,297 @@
+//! Fleet chaos demo: a supervised multi-community fleet with failures
+//! injected into chosen shards.
+//!
+//! Drives K communities as isolated shards on in-memory fault-injecting
+//! disks, makes one shard panic, kills another shard's storage mid-append
+//! (reviving it at resume), and wedges a third past its day-close
+//! deadline — then prints the resulting `FleetHealth` ledger and asserts
+//! the supervision contract: the fleet never panics, every injected
+//! failure lands on its documented ladder rung, and the untouched shards
+//! finish healthy with full results.
+//!
+//! ```sh
+//! cargo run --release --example fleet_chaos -- --shards 4 --days 3 \
+//!     --panic-shard 1 --storage-shard 2 --deadline-shard 3
+//! ```
+//!
+//! Pass a negative shard index (or one `>= --shards`) to disable that
+//! chaos kind; `--threads 0` uses one worker per shard.
+
+use std::error::Error;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use netmeter_sentinel::attack::{AttackTimeline, PriceAttack};
+use netmeter_sentinel::fleet::{
+    run_fleet, FleetConfig, FleetLadder, FleetOptions, ShardSpec,
+};
+use netmeter_sentinel::obs::names::fleet as fleet_names;
+use netmeter_sentinel::obs::MetricsRegistry;
+use netmeter_sentinel::sim::{
+    LongTermRunConfig, PaperScenario, Parallelism, SupervisedOptions, SupervisedRun,
+};
+use netmeter_sentinel::types::{BudgetClock, ShardStage, SolveBudget};
+use netmeter_sentinel::vfs::{FaultVfs, IoFaultPlan};
+
+const JOURNAL: &str = "fleet/shard.jsonl";
+
+struct Cli {
+    shards: usize,
+    days: usize,
+    customers: usize,
+    seed: u64,
+    threads: usize,
+    panic_shard: Option<usize>,
+    storage_shard: Option<usize>,
+    deadline_shard: Option<usize>,
+}
+
+fn parse_cli() -> Result<Cli, Box<dyn Error>> {
+    let mut cli = Cli {
+        shards: 4,
+        days: 3,
+        customers: 8,
+        seed: 23,
+        threads: 0,
+        panic_shard: Some(1),
+        storage_shard: Some(2),
+        deadline_shard: Some(3),
+    };
+    let mut args = std::env::args().skip(1);
+    let shard_flag = |value: String| -> Result<Option<usize>, Box<dyn Error>> {
+        let index: i64 = value.parse()?;
+        Ok(usize::try_from(index).ok())
+    };
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().ok_or("need value");
+        match arg.as_str() {
+            "--shards" | "-k" => cli.shards = value()?.parse()?,
+            "--days" | "-d" => cli.days = value()?.parse()?,
+            "--customers" | "-n" => cli.customers = value()?.parse()?,
+            "--seed" | "-s" => cli.seed = value()?.parse()?,
+            "--threads" | "-t" => cli.threads = value()?.parse()?,
+            "--panic-shard" => cli.panic_shard = shard_flag(value()?)?,
+            "--storage-shard" => cli.storage_shard = shard_flag(value()?)?,
+            "--deadline-shard" => cli.deadline_shard = shard_flag(value()?)?,
+            other => return Err(format!("unknown flag {other:?}").into()),
+        }
+    }
+    if cli.shards == 0 || cli.days == 0 {
+        return Err("need at least one shard and one day".into());
+    }
+    let clamp = |shard: Option<usize>| shard.filter(|&index| index < cli.shards);
+    cli.panic_shard = clamp(cli.panic_shard);
+    cli.storage_shard = clamp(cli.storage_shard);
+    cli.deadline_shard = clamp(cli.deadline_shard);
+    Ok(cli)
+}
+
+fn community_scenario(cli: &Cli, index: usize) -> PaperScenario {
+    let mut scenario = PaperScenario::small(cli.customers, cli.seed.wrapping_add(17 + index as u64));
+    scenario.training_days = 3;
+    scenario
+}
+
+fn run_config(cli: &Cli) -> LongTermRunConfig {
+    LongTermRunConfig {
+        detection_days: cli.days,
+        detector: None,
+        timeline: AttackTimeline::new(
+            vec![(4, 2), (20, 2)],
+            PriceAttack::zero_window(16.0, 18.0).expect("window"),
+        )
+        .expect("timeline"),
+        buckets: 4,
+        bucket_fraction_step: 0.15,
+        labor_per_fix: 10.0,
+        labor_per_meter: 1.0,
+        faults: None,
+        sanitize: Default::default(),
+        retry: Default::default(),
+        budget: SolveBudget::unlimited(),
+        quarantine: Default::default(),
+        parallelism: Default::default(),
+    }
+}
+
+/// The first mutating I/O op of the last day's journal append for shard
+/// `index` — the deterministic point where the storage-chaos shard's disk
+/// dies.
+fn kill_point(cli: &Cli, index: usize) -> Result<u64, Box<dyn Error>> {
+    let vfs = FaultVfs::new(IoFaultPlan::none());
+    let options = SupervisedOptions {
+        vfs: Arc::new(vfs.clone()),
+        ..SupervisedOptions::default()
+    };
+    let mut run = SupervisedRun::with_options(
+        &community_scenario(cli, index),
+        &run_config(cli),
+        netmeter_sentinel::fleet::shard_seed(cli.seed, index),
+        JOURNAL.as_ref(),
+        options,
+    )?;
+    for _ in 1..cli.days {
+        run.step_day()?;
+    }
+    Ok(vfs.ops())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cli = parse_cli()?;
+
+    let storage_kill = match cli.storage_shard {
+        Some(index) => Some((index, kill_point(&cli, index)?)),
+        None => None,
+    };
+    let shard_vfs: Vec<FaultVfs> = (0..cli.shards)
+        .map(|index| {
+            FaultVfs::new(match storage_kill {
+                Some((shard, at)) if shard == index => IoFaultPlan::kill_at(at),
+                _ => IoFaultPlan::none(),
+            })
+        })
+        .collect();
+
+    let specs: Vec<ShardSpec> = (0..cli.shards)
+        .map(|index| {
+            ShardSpec::derived(
+                format!("community-{index}"),
+                community_scenario(&cli, index),
+                run_config(&cli),
+                cli.seed,
+                index,
+                JOURNAL,
+            )
+        })
+        .collect();
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let panic_fired = Arc::new(AtomicBool::new(false));
+    let hook_fired = Arc::clone(&panic_fired);
+    let panic_shard = cli.panic_shard;
+    let deadline_shard = cli.deadline_shard;
+    let revive = cli
+        .storage_shard
+        .map(|index| (index, shard_vfs[index].clone()));
+
+    let config = FleetConfig {
+        ladder: FleetLadder {
+            max_day_retries: 2,
+            retry_backoff_ms: 1,
+            max_resumes: 2,
+            // A single-day run must already trip the breaker on its one
+            // (and only) breach for the demo to show a quarantine.
+            max_deadline_breaches: if cli.days >= 2 { 1 } else { 0 },
+        },
+        day_deadline: SolveBudget {
+            max_iterations: None,
+            max_wall_secs: Some(3600.0),
+        },
+        parallelism: if cli.threads == 0 {
+            Parallelism::new(cli.shards)
+        } else {
+            Parallelism::new(cli.threads)
+        },
+    };
+    let options = FleetOptions {
+        shard_options: shard_vfs
+            .iter()
+            .map(|vfs| SupervisedOptions {
+                vfs: Arc::new(vfs.clone()),
+                ..SupervisedOptions::default()
+            })
+            .collect(),
+        recorder: metrics.clone(),
+        day_hook: Some(Arc::new(move |shard, day| {
+            if Some(shard) == panic_shard && day == 0 && !hook_fired.swap(true, Ordering::SeqCst)
+            {
+                panic!("chaos: injected panic in shard {shard} day {day}");
+            }
+        })),
+        clock_for: Some(Arc::new(move |shard, _day, budget: SolveBudget| {
+            if Some(shard) == deadline_shard {
+                BudgetClock::with_elapsed(budget, 7200.0)
+            } else {
+                budget.start()
+            }
+        })),
+        before_resume: Some(Arc::new(move |shard| {
+            if let Some((index, vfs)) = &revive {
+                if shard == *index {
+                    vfs.revive();
+                }
+            }
+        })),
+    };
+
+    let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_fleet(specs, &config, options)
+    }))
+    .map_err(|_| "contract violated: the fleet panicked")??;
+
+    println!("== fleet of {} shards, {} detection days ==", cli.shards, cli.days);
+    println!(
+        "{:<6} {:<14} {:<12} {:>4} {:>7} {:>7} {:>8} {:>6}  last error",
+        "shard", "community", "stage", "days", "retries", "resumes", "breaches", "floor"
+    );
+    for shard in &report.health.shards {
+        println!(
+            "{:<6} {:<14} {:<12} {:>4} {:>7} {:>7} {:>8} {:>6}  {}",
+            shard.shard,
+            shard.community,
+            shard.stage,
+            shard.days_completed,
+            shard.day_retries,
+            shard.resumes,
+            shard.deadline_breaches,
+            shard.suspect_floor_days,
+            shard.last_error.as_deref().unwrap_or("-"),
+        );
+    }
+    println!(
+        "aggregate: healthy {} / quarantined {} / restarts {} / day retries {} / worst {}",
+        report.health.healthy(),
+        report.health.quarantined(),
+        report.health.restarts(),
+        report.health.day_retries(),
+        report.health.worst_stage(),
+    );
+    println!(
+        "metrics: days_closed {} panics_contained {} shard_restarts {} quarantines {}",
+        metrics.counter(fleet_names::DAYS_CLOSED),
+        metrics.counter(fleet_names::PANICS_CONTAINED),
+        metrics.counter(fleet_names::SHARD_RESTARTS),
+        metrics.counter(fleet_names::QUARANTINES),
+    );
+
+    // The supervision contract, enforced: chaos lands exactly on its rung.
+    for shard in &report.health.shards {
+        let index = shard.shard;
+        let expected = if Some(index) == cli.deadline_shard {
+            ShardStage::Quarantined
+        } else if Some(index) == cli.panic_shard || Some(index) == cli.storage_shard {
+            ShardStage::Resumed
+        } else {
+            ShardStage::Healthy
+        };
+        if shard.stage != expected {
+            return Err(format!(
+                "shard {index} ended {} but chaos demanded {expected}",
+                shard.stage
+            )
+            .into());
+        }
+        let untouched = expected == ShardStage::Healthy;
+        if untouched && report.shards[index].result.is_none() {
+            return Err(format!("healthy shard {index} produced no result").into());
+        }
+        if untouched && shard.days_completed != cli.days {
+            return Err(format!("healthy shard {index} closed {} days", shard.days_completed).into());
+        }
+    }
+    if metrics.counter(fleet_names::PANICS_CONTAINED) == 0 && cli.panic_shard.is_some() {
+        return Err("panic chaos requested but none was contained".into());
+    }
+    println!("contract holds: every failure contained on its documented rung");
+    Ok(())
+}

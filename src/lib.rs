@@ -40,6 +40,7 @@
 //! | [`pomdp`] | beliefs, QMDP/PBVI solvers, model estimation |
 //! | [`core`] | the paper's detection framework |
 //! | [`sim`] | scenario generation and the paper's experiments |
+//! | [`fleet`] | supervised multi-community shard runner with a failure ladder |
 //! | [`obs`] | recorder trait, metrics registry, JSONL trace sink |
 //! | [`vfs`] | injectable storage layer with deterministic fault injection |
 
@@ -48,6 +49,7 @@
 
 pub use nms_attack as attack;
 pub use nms_core as core;
+pub use nms_fleet as fleet;
 pub use nms_forecast as forecast;
 pub use nms_obs as obs;
 pub use nms_pomdp as pomdp;

@@ -1,0 +1,371 @@
+//! Fleet chaos harness: inject panics, storage faults, and deadline
+//! blowouts into chosen shards and prove the supervision contract:
+//!
+//! - the fleet process never panics;
+//! - each failed shard lands on its documented ladder stage
+//!   (`Retried` → `Resumed` → `Quarantined`) in `FleetHealth`;
+//! - a journal-resumed shard is bit-identical — results, disk bytes,
+//!   quarantine events — to the same shard run without interference;
+//! - every healthy shard is bit-identical to the same community run solo,
+//!   at any thread count, no matter what happens to its siblings.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use netmeter_sentinel::attack::{AttackTimeline, PriceAttack};
+use netmeter_sentinel::fleet::{
+    run_fleet, shard_seed, FleetConfig, FleetError, FleetLadder, FleetOptions, FleetReport,
+    ShardSpec,
+};
+use netmeter_sentinel::obs::names::fleet as fleet_names;
+use netmeter_sentinel::obs::MetricsRegistry;
+use netmeter_sentinel::sim::{
+    LongTermRunConfig, LongTermRunResult, PaperScenario, SupervisedOptions, SupervisedRun,
+};
+use netmeter_sentinel::types::{BudgetClock, ShardStage, SolveBudget};
+use netmeter_sentinel::vfs::{FaultVfs, IoFaultPlan};
+
+const JOURNAL: &str = "fleet/shard.jsonl";
+const FLEET_SEED: u64 = 23;
+const DAYS: usize = 3;
+const SHARDS: usize = 5;
+const PANIC_SHARD: usize = 1;
+const KILLED_SHARD: usize = 2;
+const DEADLINE_SHARD: usize = 3;
+const DEAD_DISK_SHARD: usize = 4;
+
+fn community_scenario(index: usize) -> PaperScenario {
+    let mut scenario = PaperScenario::small(8, 40 + index as u64);
+    scenario.training_days = 3;
+    scenario
+}
+
+fn run_config() -> LongTermRunConfig {
+    LongTermRunConfig {
+        detection_days: DAYS,
+        detector: None,
+        timeline: AttackTimeline::new(
+            vec![(4, 2), (20, 2)],
+            PriceAttack::zero_window(16.0, 18.0).unwrap(),
+        )
+        .unwrap(),
+        buckets: 4,
+        bucket_fraction_step: 0.15,
+        labor_per_fix: 10.0,
+        labor_per_meter: 1.0,
+        faults: None,
+        sanitize: Default::default(),
+        retry: Default::default(),
+        budget: SolveBudget::unlimited(),
+        quarantine: Default::default(),
+        parallelism: Default::default(),
+    }
+}
+
+fn specs() -> Vec<ShardSpec> {
+    (0..SHARDS)
+        .map(|index| {
+            ShardSpec::derived(
+                format!("community-{index}"),
+                community_scenario(index),
+                run_config(),
+                FLEET_SEED,
+                index,
+                JOURNAL,
+            )
+        })
+        .collect()
+}
+
+fn options_on(vfs: &FaultVfs) -> SupervisedOptions {
+    SupervisedOptions {
+        vfs: Arc::new(vfs.clone()),
+        ..SupervisedOptions::default()
+    }
+}
+
+/// Canonical comparison form: the full `Debug` rendering with the
+/// process-local storage tally zeroed (absorbed storage faults are
+/// observability, excluded from the bit-identity contract by design —
+/// see DESIGN.md §12).
+fn normalized(mut result: LongTermRunResult) -> String {
+    result.health.storage = Default::default();
+    format!("{result:?}")
+}
+
+/// Runs community `index` solo — no fleet, no chaos — on a clean in-memory
+/// disk, returning its normalized result and the disk bytes.
+fn solo_run(index: usize) -> (String, std::collections::BTreeMap<std::path::PathBuf, Vec<u8>>) {
+    let vfs = FaultVfs::new(IoFaultPlan::none());
+    let result = SupervisedRun::with_options(
+        &community_scenario(index),
+        &run_config(),
+        shard_seed(FLEET_SEED, index),
+        JOURNAL.as_ref(),
+        options_on(&vfs),
+    )
+    .expect("solo build")
+    .run()
+    .expect("solo run");
+    (normalized(result), vfs.dump())
+}
+
+/// The first mutating I/O op of day 1's journal append for community
+/// `index` — the deterministic kill point for the storage-loss shard.
+fn first_append_op_of_day1(index: usize) -> u64 {
+    let vfs = FaultVfs::new(IoFaultPlan::none());
+    let mut run = SupervisedRun::with_options(
+        &community_scenario(index),
+        &run_config(),
+        shard_seed(FLEET_SEED, index),
+        JOURNAL.as_ref(),
+        options_on(&vfs),
+    )
+    .expect("probe build");
+    run.step_day().expect("probe day 0");
+    vfs.ops()
+}
+
+struct ChaosFleet {
+    report: FleetReport,
+    shard_vfs: Vec<FaultVfs>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// Builds and runs the chaos fleet at `threads`: one healthy shard, one
+/// panicking shard, one shard whose disk dies mid-append and is revived at
+/// resume, one shard stuck past the day-close deadline, and one shard
+/// whose disk rejects every write from the start.
+fn run_chaos_fleet(threads: usize) -> ChaosFleet {
+    let kill_at = first_append_op_of_day1(KILLED_SHARD);
+    let shard_vfs: Vec<FaultVfs> = (0..SHARDS)
+        .map(|index| {
+            FaultVfs::new(match index {
+                KILLED_SHARD => IoFaultPlan::kill_at(kill_at),
+                DEAD_DISK_SHARD => IoFaultPlan {
+                    seed: 7,
+                    enospc_rate: 1.0,
+                    ..IoFaultPlan::none()
+                },
+                _ => IoFaultPlan::none(),
+            })
+        })
+        .collect();
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let panic_fired = Arc::new(AtomicBool::new(false));
+    let hook_fired = Arc::clone(&panic_fired);
+    let revive_vfs = shard_vfs[KILLED_SHARD].clone();
+
+    let config = FleetConfig {
+        ladder: FleetLadder {
+            max_day_retries: 2,
+            retry_backoff_ms: 0,
+            max_resumes: 2,
+            max_deadline_breaches: 1,
+        },
+        day_deadline: SolveBudget {
+            max_iterations: None,
+            max_wall_secs: Some(3600.0),
+        },
+        parallelism: netmeter_sentinel::sim::Parallelism::new(threads),
+    };
+    let options = FleetOptions {
+        shard_options: shard_vfs.iter().map(options_on).collect(),
+        recorder: metrics.clone(),
+        day_hook: Some(Arc::new(move |shard, day| {
+            if shard == PANIC_SHARD && day == 1 && !hook_fired.swap(true, Ordering::SeqCst) {
+                panic!("chaos: injected panic in shard {shard} day {day}");
+            }
+        })),
+        clock_for: Some(Arc::new(|shard, _day, budget: SolveBudget| {
+            if shard == DEADLINE_SHARD {
+                // A day that "took" two hours against a one-hour deadline,
+                // with no sleeping and no scheduler dependence.
+                BudgetClock::with_elapsed(budget, 7200.0)
+            } else {
+                budget.start()
+            }
+        })),
+        before_resume: Some(Arc::new(move |shard| {
+            if shard == KILLED_SHARD {
+                revive_vfs.revive();
+            }
+        })),
+    };
+
+    let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_fleet(specs(), &config, options)
+    }))
+    .expect("the fleet process must never panic")
+    .expect("chaos is contained, not a fleet error");
+    ChaosFleet {
+        report,
+        shard_vfs,
+        metrics,
+    }
+}
+
+#[test]
+fn chaos_fleet_contains_every_failure_on_its_documented_rung() {
+    let fleet = run_chaos_fleet(4);
+    let health = &fleet.report.health;
+    assert_eq!(health.shards.len(), SHARDS);
+
+    // Shard 0 — untouched: no ladder rung, full run.
+    let healthy = &health.shards[0];
+    assert_eq!(healthy.stage, ShardStage::Healthy);
+    assert_eq!(healthy.days_completed, DAYS);
+    assert_eq!(healthy.day_retries + healthy.resumes + healthy.deadline_breaches, 0);
+
+    // Shard 1 — panicked once: the panic skips the retry rung and lands on
+    // Resumed, and the captured payload message survives into the ledger.
+    let panicked = &health.shards[PANIC_SHARD];
+    assert_eq!(panicked.stage, ShardStage::Resumed);
+    assert_eq!(panicked.days_completed, DAYS);
+    assert_eq!(panicked.resumes, 1);
+    assert_eq!(panicked.day_retries, 0, "panics must not burn retry attempts");
+    let error = panicked.last_error.as_deref().unwrap_or("");
+    assert!(error.contains("injected panic"), "{error}");
+
+    // Shard 2 — disk died mid-append: retries fail against the dead disk,
+    // the resume hook revives it, and the shard completes.
+    let killed = &health.shards[KILLED_SHARD];
+    assert_eq!(killed.stage, ShardStage::Resumed);
+    assert_eq!(killed.days_completed, DAYS);
+    assert_eq!(killed.day_retries, 2, "both retry attempts hit the dead disk");
+    assert_eq!(killed.resumes, 1);
+    assert!(fleet.shard_vfs[KILLED_SHARD].injected().kills > 0);
+    assert_eq!(
+        killed.run.storage.journal_append_failures, 1,
+        "the torn append must surface in the shard's own health"
+    );
+
+    // Shard 3 — chronically past the deadline: breached days still close,
+    // then the breaker trips; the remaining day is a suspect-floor verdict.
+    let late = &health.shards[DEADLINE_SHARD];
+    assert_eq!(late.stage, ShardStage::Quarantined);
+    assert_eq!(late.days_completed, 2);
+    assert_eq!(late.deadline_breaches, 2);
+    assert_eq!(late.suspect_floor_days, 1);
+    assert!(late.last_error.as_deref().unwrap_or("").contains("wall-clock"));
+
+    // Shard 4 — disk rejects every write from the start: the whole ladder
+    // burns (build never succeeds) and the breaker trips with no result.
+    let dead = &health.shards[DEAD_DISK_SHARD];
+    assert_eq!(dead.stage, ShardStage::Quarantined);
+    assert_eq!(dead.days_completed, 0);
+    assert_eq!(dead.suspect_floor_days, DAYS);
+    assert!(dead.resumes >= 1, "the ladder must be climbed before tripping");
+    assert!(fleet.report.shards[DEAD_DISK_SHARD].result.is_none());
+
+    // Fleet-level aggregates.
+    assert_eq!(health.quarantined(), 2);
+    assert_eq!(health.healthy(), 1);
+    assert_eq!(health.worst_stage(), ShardStage::Quarantined);
+    assert!(health.degraded());
+
+    // The quarantined-but-partially-run shard still yields its journaled
+    // prefix as a (degraded) result.
+    let late_result = fleet.report.shards[DEADLINE_SHARD]
+        .result
+        .as_ref()
+        .expect("quarantine recovery over the journaled prefix");
+    assert_eq!(late_result.day_health.len(), 2);
+}
+
+#[test]
+fn healthy_and_resumed_shards_are_bit_identical_to_solo_runs_at_any_thread_count() {
+    let seq = run_chaos_fleet(1);
+    let par = run_chaos_fleet(4);
+
+    // Shards that completed must match the same community run solo —
+    // including the panicked and storage-killed shards, whose recoveries
+    // must be invisible in the results.
+    for index in [0, PANIC_SHARD, KILLED_SHARD] {
+        let (solo_form, solo_dump) = solo_run(index);
+        for fleet in [&seq, &par] {
+            let result = fleet.report.shards[index]
+                .result
+                .as_ref()
+                .unwrap_or_else(|| panic!("shard {index} must produce a result"));
+            assert_eq!(
+                normalized(result.clone()),
+                solo_form,
+                "shard {index} diverged from its solo run"
+            );
+            assert_eq!(
+                fleet.shard_vfs[index].dump(),
+                solo_dump,
+                "shard {index}: disk bytes diverged from the solo run"
+            );
+        }
+    }
+
+    // And the two fleets agree with each other shard-by-shard, quarantined
+    // partial results included.
+    for (index, (a, b)) in seq
+        .report
+        .shards
+        .iter()
+        .zip(&par.report.shards)
+        .enumerate()
+    {
+        match (&a.result, &b.result) {
+            (Some(a), Some(b)) => assert_eq!(
+                normalized(a.clone()),
+                normalized(b.clone()),
+                "shard {index}: seq/par divergence"
+            ),
+            (None, None) => {}
+            (a, b) => panic!(
+                "shard {index}: seq/par result presence diverged ({} vs {})",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+    // Ledgers agree too, modulo the free-text error messages (a deadline
+    // breach message embeds the real measured elapsed time).
+    assert_eq!(redacted(&seq.report.health), redacted(&par.report.health));
+}
+
+/// The fleet health with every `last_error` reduced to its presence: the
+/// ledgers' counters and stages are part of the determinism contract, the
+/// free-text messages (which may embed wall-clock readings) are not.
+fn redacted(health: &netmeter_sentinel::types::FleetHealth) -> netmeter_sentinel::types::FleetHealth {
+    let mut health = health.clone();
+    for shard in &mut health.shards {
+        shard.last_error = shard.last_error.as_ref().map(|_| "<present>".to_string());
+    }
+    health
+}
+
+#[test]
+fn fleet_metrics_mirror_the_ladder() {
+    let fleet = run_chaos_fleet(2);
+    let metrics = &fleet.metrics;
+
+    assert_eq!(metrics.counter(fleet_names::QUARANTINES), 2);
+    assert!(metrics.counter(fleet_names::PANICS_CONTAINED) >= 1);
+    assert!(metrics.counter(fleet_names::SHARD_RESTARTS) >= 2);
+    // The dead-disk shard and the killed shard each burn both retries.
+    assert_eq!(metrics.counter(fleet_names::DAY_RETRIES), 4);
+    assert_eq!(metrics.counter(fleet_names::DEADLINE_BREACHES), 2);
+    assert_eq!(metrics.counter(fleet_names::SUSPECT_FLOOR_DAYS) as usize, 1 + DAYS);
+    // 0: 3 days, 1: 3, 2: 3, 3: 2, 4: 0.
+    assert_eq!(metrics.counter(fleet_names::DAYS_CLOSED), 11);
+    assert_eq!(metrics.gauge_value(fleet_names::SHARDS_QUARANTINED), Some(2.0));
+    let closes = metrics
+        .histogram(fleet_names::DAY_CLOSE_SECONDS)
+        .expect("day-close latency histogram");
+    assert_eq!(closes.count(), 11);
+}
+
+#[test]
+fn empty_fleet_is_a_typed_error() {
+    match run_fleet(Vec::new(), &FleetConfig::default(), FleetOptions::default()) {
+        Err(FleetError::NoShards) => {}
+        other => panic!("expected NoShards, got {other:?}"),
+    }
+}
