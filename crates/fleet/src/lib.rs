@@ -48,7 +48,7 @@ use std::sync::Arc;
 use nms_obs::{NoopRecorder, Recorder};
 use nms_par::Parallelism;
 use nms_sim::{LongTermRunConfig, PaperScenario, SupervisedOptions};
-use nms_types::{BudgetClock, SolveBudget, ValidateError};
+use nms_types::{BudgetClock, FleetHealth, SolveBudget, ValidateError};
 use serde::{Deserialize, Serialize};
 
 pub use supervisor::{run_fleet, FleetReport, ShardReport};
@@ -210,6 +210,13 @@ pub type ClockFor = Arc<dyn Fn(usize, usize, SolveBudget) -> BudgetClock + Send 
 /// A hook run before a shard resume (rung 2), e.g. to revive a killed
 /// `FaultVfs` the way a reboot revives a disk.
 pub type BeforeResume = Arc<dyn Fn(usize) + Send + Sync>;
+/// An observer called from the **sequential** supervisor section after
+/// each day's ladder settles, with `(day, fleet_health_snapshot)`. This is
+/// the publication point for live telemetry (`nms-serve` snapshots): it
+/// runs at a quiescence point — no shard worker is in flight — so a
+/// publisher may render registries and health without racing the run, and
+/// nothing it does can feed back into shard randomness.
+pub type DayCloseObserver = Arc<dyn Fn(usize, &FleetHealth) + Send + Sync>;
 
 /// Injectable fleet plumbing: per-shard supervised-run options, the fleet
 /// recorder, and the chaos hooks. `Default` is production plumbing — real
@@ -233,6 +240,9 @@ pub struct FleetOptions {
     pub clock_for: Option<ClockFor>,
     /// Chaos/recovery: run before a rung-2 resume of a shard.
     pub before_resume: Option<BeforeResume>,
+    /// Telemetry: observe each day close from the sequential supervisor
+    /// section (see [`DayCloseObserver`]).
+    pub on_day_close: Option<DayCloseObserver>,
 }
 
 impl Default for FleetOptions {
@@ -243,6 +253,7 @@ impl Default for FleetOptions {
             day_hook: None,
             clock_for: None,
             before_resume: None,
+            on_day_close: None,
         }
     }
 }
@@ -254,6 +265,7 @@ impl std::fmt::Debug for FleetOptions {
             .field("day_hook", &self.day_hook.is_some())
             .field("clock_for", &self.clock_for.is_some())
             .field("before_resume", &self.before_resume.is_some())
+            .field("on_day_close", &self.on_day_close.is_some())
             .finish_non_exhaustive()
     }
 }

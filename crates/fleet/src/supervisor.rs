@@ -6,6 +6,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use nms_obs::names::fleet as names;
+use nms_obs::span;
 use nms_par::{par_map_outcomes_recorded, Outcome};
 use nms_sim::{LongTermRunResult, SupervisedRun};
 use nms_types::{FleetHealth, ShardHealth, ShardStage};
@@ -171,6 +172,7 @@ pub fn run_fleet(
     let rec = options.recorder.clone();
 
     for day in 0..total_days {
+        let _day_span = span(rec.as_ref(), "fleet_day");
         let active: Vec<usize> = slots
             .iter()
             .map(|slot| lock(slot))
@@ -216,10 +218,19 @@ pub fn run_fleet(
         }
         let quarantined = slots.iter().filter(|slot| lock(slot).quarantined).count();
         rec.gauge(names::SHARDS_QUARANTINED, quarantined as f64);
+
+        // The day's quiescence point: workers joined, ladders settled,
+        // gauges booked. Telemetry publishers snapshot here.
+        if let Some(observer) = &options.on_day_close {
+            let ledgers: Vec<ShardHealth> =
+                slots.iter().map(|slot| lock(slot).health.clone()).collect();
+            observer(day, &FleetHealth::new(ledgers));
+        }
     }
 
     // Harvest: finish live runs; recover quarantined shards best-effort
     // from whatever prefix their journals hold.
+    let _harvest_span = span(rec.as_ref(), "harvest");
     let mut reports = Vec::with_capacity(slots.len());
     let mut ledgers = Vec::with_capacity(slots.len());
     for slot in &slots {
@@ -294,6 +305,7 @@ fn climb_ladder(
     let mut resume_next = !start_with_retries;
     if start_with_retries {
         for attempt in 1..=config.ladder.max_day_retries {
+            let _retry_span = span(rec, "ladder_retry");
             std::thread::sleep(std::time::Duration::from_millis(
                 config.ladder.retry_backoff_ms.saturating_mul(attempt as u64),
             ));
@@ -323,6 +335,7 @@ fn climb_ladder(
             if resumes_used >= config.ladder.max_resumes {
                 break;
             }
+            let _resume_span = span(rec, "ladder_resume");
             {
                 let mut slot = lock(slot);
                 slot.health.resumes += 1;

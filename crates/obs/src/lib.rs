@@ -40,15 +40,17 @@
 
 pub mod metrics;
 pub mod names;
+pub mod span;
 pub mod trace;
 
 use std::sync::Arc;
 use std::time::Instant;
 
 pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{parse_collapsed, SpanProfile, SpanRecorder};
 pub use trace::{
-    read_trace, read_trace_on, JsonlTrace, TraceError, TraceEvent, TraceField, TraceLabel,
-    TRACE_VERSION,
+    read_trace, read_trace_on, seal_event, JsonlTrace, TraceError, TraceEvent, TraceField,
+    TraceLabel, TRACE_VERSION,
 };
 
 /// A sink for pipeline telemetry. All methods are provided no-ops, so a
@@ -82,6 +84,45 @@ pub trait Recorder: Send + Sync {
     fn observe(&self, name: &str, value: f64) {
         let _ = (name, value);
     }
+
+    /// Enters a named profiling span. Spans nest: a recorder that builds a
+    /// span tree (see [`SpanRecorder`]) pushes `name` onto its stack. Like
+    /// every other method this is a provided no-op, so pre-existing
+    /// recorders are unaffected. Prefer the RAII [`span`] helper over
+    /// calling enter/exit by hand — it exits on every early-return path.
+    fn span_enter(&self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Exits the named span entered by the matching
+    /// [`Recorder::span_enter`].
+    fn span_exit(&self, name: &'static str) {
+        let _ = name;
+    }
+}
+
+/// RAII guard returned by [`span`]: exits its span on drop, so `?` and
+/// early returns cannot leave the profiler's stack unbalanced.
+pub struct SpanGuard<'a> {
+    rec: &'a dyn Recorder,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.span_exit(self.name);
+    }
+}
+
+/// Enters a profiling span on `rec`, exiting it when the guard drops.
+///
+/// Span names are `&'static str` by design: spans label *code regions*
+/// (phases, rungs, solver stages), not data, so the set of names is finite
+/// and known at compile time — and the no-op path stays free of any
+/// allocation or formatting.
+pub fn span<'a>(rec: &'a dyn Recorder, name: &'static str) -> SpanGuard<'a> {
+    rec.span_enter(name);
+    SpanGuard { rec, name }
 }
 
 /// The do-nothing recorder every pre-observability entry point threads
@@ -130,6 +171,18 @@ impl Recorder for Tee {
     fn observe(&self, name: &str, value: f64) {
         for sink in &self.sinks {
             sink.observe(name, value);
+        }
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        for sink in &self.sinks {
+            sink.span_enter(name);
+        }
+    }
+
+    fn span_exit(&self, name: &'static str) {
+        for sink in &self.sinks {
+            sink.span_exit(name);
         }
     }
 }

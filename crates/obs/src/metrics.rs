@@ -83,6 +83,53 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         self.sum
     }
+
+    /// Estimates quantile `q` (in `[0, 1]`) from the fixed buckets by
+    /// linear interpolation inside the containing bucket — the same
+    /// estimator as PromQL's `histogram_quantile`: the first bucket
+    /// interpolates from zero, and a target rank landing in the overflow
+    /// bucket reports the highest finite bound (the estimator cannot see
+    /// past it). `None` for an empty histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.total as f64;
+        let mut cumulative = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            let below = cumulative;
+            cumulative += count;
+            if (cumulative as f64) < rank || count == 0 {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(index) else {
+                // Overflow bucket: the data is beyond the last finite
+                // bound, which is the best estimate available.
+                return self.bounds.last().copied();
+            };
+            let lower = if index == 0 { 0.0 } else { self.bounds[index - 1] };
+            let fraction = (rank - below as f64) / count as f64;
+            return Some(lower + (upper - lower) * fraction);
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Adds `other`'s observations into this histogram. Bucket layouts
+    /// must match (both sides should come from the same registration);
+    /// mismatched layouts merge only the scalar totals and collapse the
+    /// per-bucket detail into the overflow bucket, keeping `_count`/`_sum`
+    /// honest rather than silently mis-binning.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.total += other.total;
+        self.sum += other.sum;
+        if self.bounds == other.bounds {
+            for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+                *mine += theirs;
+            }
+        } else if let Some(overflow) = self.counts.last_mut() {
+            *overflow += other.total;
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -183,8 +230,50 @@ impl MetricsRegistry {
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", histogram.total);
             let _ = writeln!(out, "{name}_sum {}", histogram.sum);
             let _ = writeln!(out, "{name}_count {}", histogram.total);
+            // Bucket-interpolated quantiles, rendered in the summary style
+            // so dashboards get p50/p95/p99 without a PromQL layer.
+            for q in [0.5, 0.95, 0.99] {
+                if let Some(value) = histogram.quantile(q) {
+                    let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {value}");
+                }
+            }
         }
         out
+    }
+
+    /// Folds every metric of `other` into this registry: counters add,
+    /// gauges take `other`'s value (last write wins, as for a direct
+    /// `set_gauge`), histograms merge bucket-wise. This is the reduction
+    /// step for striped registries (`nms-serve`'s `SharedRegistry`), where
+    /// each metric name lives in exactly one stripe so the folds are
+    /// disjoint.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        // Snapshot `other` first: self and other may share storage (or be
+        // locked in opposite order elsewhere), and cloning under one lock
+        // at a time cannot deadlock.
+        let theirs = {
+            let other = other.lock();
+            (
+                other.counters.clone(),
+                other.gauges.clone(),
+                other.histograms.clone(),
+            )
+        };
+        let mut inner = self.lock();
+        for (name, value) in theirs.0 {
+            *inner.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, value) in theirs.1 {
+            inner.gauges.insert(name, value);
+        }
+        for (name, histogram) in theirs.2 {
+            match inner.histograms.get_mut(&name) {
+                Some(mine) => mine.merge(&histogram),
+                None => {
+                    inner.histograms.insert(name, histogram);
+                }
+            }
+        }
     }
 
     /// Writes the exposition atomically (tmp + rename, the journal's
@@ -309,6 +398,100 @@ mod tests {
         assert!(exposition.contains("nms_solve_secs_bucket{le=\"+Inf\"} 3"));
         assert!(exposition.contains("nms_solve_secs_sum 102.5"));
         assert!(exposition.contains("nms_solve_secs_count 3"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_to_hand_computed_values() {
+        // bounds [1, 2, 4]; one sample <=1, two in (1,2], one in (2,4].
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for value in [0.5, 1.5, 2.0, 3.0] {
+            h.observe(value);
+        }
+        // p50: rank 2 lands in (1,2] with 1 below → 1 + (2-1)·(2-1)/2 = 1.5
+        assert_eq!(h.quantile(0.5), Some(1.5));
+        // p95: rank 3.8 lands in (2,4] with 3 below → 2 + 2·0.8 = 3.6
+        assert!((h.quantile(0.95).unwrap() - 3.6).abs() < 1e-9);
+        // p99: rank 3.96 → 2 + 2·0.96 = 3.92
+        assert!((h.quantile(0.99).unwrap() - 3.92).abs() < 1e-9);
+        // The first bucket interpolates from zero.
+        let mut low = Histogram::new(&[8.0]);
+        low.observe(1.0);
+        low.observe(2.0);
+        assert_eq!(low.quantile(0.5), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_edges_overflow_and_empty() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        h.observe(1e9);
+        assert_eq!(
+            h.quantile(0.99),
+            Some(10.0),
+            "overflow-bucket ranks clamp to the highest finite bound"
+        );
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn histograms_merge_bucketwise_and_registries_fold() {
+        let mut a = Histogram::new(&[1.0, 10.0]);
+        a.observe(0.5);
+        a.observe(5.0);
+        let mut b = Histogram::new(&[1.0, 10.0]);
+        b.observe(100.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 105.5);
+        // Mismatched layouts keep totals honest in the overflow bucket.
+        let mut odd = Histogram::new(&[7.0]);
+        odd.observe(1.0);
+        a.merge(&odd);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.counts(), &[1, 1, 2]);
+
+        let left = MetricsRegistry::new();
+        let right = MetricsRegistry::new();
+        left.add_counter("hits", 2);
+        right.add_counter("hits", 3);
+        right.add_counter("misses", 1);
+        left.set_gauge("level", 1.0);
+        right.set_gauge("level", 2.0);
+        left.observe_value("secs", 0.5);
+        right.observe_value("secs", 2.0);
+        left.merge_from(&right);
+        assert_eq!(left.counter("hits"), 5);
+        assert_eq!(left.counter("misses"), 1);
+        assert_eq!(left.gauge_value("level"), Some(2.0));
+        let merged = left.histogram("secs").unwrap();
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.sum(), 2.5);
+    }
+
+    #[test]
+    fn exposition_includes_quantile_lines() {
+        let registry = MetricsRegistry::new();
+        registry.register_histogram("lat", &[1.0, 2.0, 4.0]);
+        for value in [0.5, 1.5, 2.0, 3.0] {
+            registry.observe_value("lat", value);
+        }
+        let exposition = registry.render_prometheus();
+        assert!(exposition.contains("nms_lat{quantile=\"0.5\"} 1.5"), "{exposition}");
+        for (label, expected) in [("0.95", 3.6), ("0.99", 3.92)] {
+            let needle = format!("nms_lat{{quantile=\"{label}\"}} ");
+            let line = exposition
+                .lines()
+                .find(|line| line.starts_with(&needle))
+                .unwrap_or_else(|| panic!("no {label} quantile line in {exposition}"));
+            let value: f64 = line[needle.len()..].parse().unwrap();
+            assert!((value - expected).abs() < 1e-9, "{line}");
+        }
+        // Empty histograms render no quantile lines at all.
+        let empty = MetricsRegistry::new();
+        empty.register_histogram("idle", &[1.0]);
+        assert!(!empty.render_prometheus().contains("quantile"));
     }
 
     #[test]

@@ -1,0 +1,506 @@
+//! Hierarchical span profiler: a [`Recorder`] that turns
+//! `span_enter`/`span_exit` pairs into a call tree with wall-clock
+//! attribution.
+//!
+//! [`SpanRecorder`] is the profiling sink for the instrumentation points
+//! the pipeline already has: day phases, solver stages, journal appends,
+//! fleet ladder rungs. Each node of the tree tracks how many times the
+//! span ran, its **total** wall time (including children) and its **self**
+//! time (total minus children), plus any counters recorded while the span
+//! was open — so "where did the day go?" is answerable from one artifact.
+//!
+//! ## Threading model
+//!
+//! Spans describe the *sequential* skeleton of a run. The first
+//! `span_enter` pins the recorder to its home thread; span and counter
+//! calls arriving from any other thread are ignored rather than garbling
+//! the tree. That is exactly the PR 4 contract's shape: parallel regions
+//! record only commutative metrics (which a [`MetricsRegistry`] teed next
+//! to this recorder still receives), while the span tree profiles the
+//! supervisor/driver thread that owns control flow.
+//!
+//! Wall times here are telemetry only — nothing reads them back — so
+//! `Instant::now()` stays off the determinism contract, and an active
+//! `SpanRecorder` leaves results bit-identical (asserted alongside the
+//! other recorders in `tests/obs_determinism.rs`).
+//!
+//! ## Exports
+//!
+//! [`SpanRecorder::profile`] snapshots the tree (open spans are credited
+//! their elapsed-so-far, so mid-run snapshots are well-formed).
+//! [`SpanProfile::report`] renders a human-readable indented table;
+//! [`SpanProfile::collapsed`] renders the flamegraph-compatible
+//! collapsed-stack format (`root;child;leaf <self-microseconds>` per
+//! line), and [`parse_collapsed`] reads that format back.
+//!
+//! [`MetricsRegistry`]: crate::MetricsRegistry
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::Recorder;
+
+/// One node of the recorded span tree.
+struct Node {
+    name: &'static str,
+    parent: usize,
+    children: Vec<usize>,
+    calls: u64,
+    total_secs: f64,
+    child_secs: f64,
+    counters: BTreeMap<String, u64>,
+}
+
+impl Node {
+    fn new(name: &'static str, parent: usize) -> Self {
+        Self {
+            name,
+            parent,
+            children: Vec::new(),
+            calls: 0,
+            total_secs: 0.0,
+            child_secs: 0.0,
+            counters: BTreeMap::new(),
+        }
+    }
+}
+
+/// A span currently open on the stack.
+struct Frame {
+    node: usize,
+    started: Instant,
+}
+
+struct State {
+    /// Node 0 is the synthetic root: never timed, it anchors top-level
+    /// spans and absorbs counters recorded outside any span.
+    nodes: Vec<Node>,
+    stack: Vec<Frame>,
+    home: Option<ThreadId>,
+}
+
+impl State {
+    fn current(&self) -> usize {
+        self.stack.last().map(|frame| frame.node).unwrap_or(0)
+    }
+
+    fn child_named(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&index) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&child| self.nodes[child].name == name)
+        {
+            return index;
+        }
+        let index = self.nodes.len();
+        self.nodes.push(Node::new(name, parent));
+        self.nodes[parent].children.push(index);
+        index
+    }
+
+    /// Closes the top frame, crediting its elapsed time to its node and
+    /// to the parent's child tally.
+    fn pop_frame(&mut self) {
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        let elapsed = frame.started.elapsed().as_secs_f64();
+        let parent = self.nodes[frame.node].parent;
+        self.nodes[frame.node].total_secs += elapsed;
+        if parent != frame.node {
+            self.nodes[parent].child_secs += elapsed;
+        }
+    }
+}
+
+/// The span-tree profiling recorder. Share it (via `Arc` in a
+/// [`Tee`](crate::Tee)) alongside a metrics registry: the registry keeps
+/// the commutative totals from every thread, this keeps the sequential
+/// call tree.
+pub struct SpanRecorder {
+    inner: Mutex<State>,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanRecorder {
+    /// Creates an empty profiler. The first `span_enter` pins its home
+    /// thread.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(State {
+                nodes: vec![Node::new("", 0)],
+                stack: Vec::new(),
+                home: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // Same poison policy as the metrics registry: telemetry keeps
+        // best-effort working after a panicking caller.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// `true` when the calling thread owns the tree (or no thread does
+    /// yet). Must be called with the lock held via the passed state.
+    fn is_home(state: &mut State) -> bool {
+        let me = std::thread::current().id();
+        match state.home {
+            Some(home) => home == me,
+            None => {
+                state.home = Some(me);
+                true
+            }
+        }
+    }
+
+    /// Snapshots the recorded tree. Spans still open are credited their
+    /// elapsed-so-far (in the snapshot only), so a mid-run profile is
+    /// well-formed: every node's self time stays non-negative.
+    pub fn profile(&self) -> SpanProfile {
+        let state = self.lock();
+        let mut totals: Vec<f64> = state.nodes.iter().map(|node| node.total_secs).collect();
+        let mut child: Vec<f64> = state.nodes.iter().map(|node| node.child_secs).collect();
+        for frame in &state.stack {
+            let elapsed = frame.started.elapsed().as_secs_f64();
+            totals[frame.node] += elapsed;
+            let parent = state.nodes[frame.node].parent;
+            if parent != frame.node {
+                child[parent] += elapsed;
+            }
+        }
+        fn build(
+            state: &State,
+            totals: &[f64],
+            child: &[f64],
+            index: usize,
+        ) -> SpanNode {
+            SpanNode {
+                name: state.nodes[index].name.to_string(),
+                calls: state.nodes[index].calls,
+                total_secs: totals[index],
+                self_secs: (totals[index] - child[index]).max(0.0),
+                counters: state.nodes[index].counters.clone(),
+                children: state.nodes[index]
+                    .children
+                    .iter()
+                    .map(|&c| build(state, totals, child, c))
+                    .collect(),
+            }
+        }
+        SpanProfile {
+            roots: state.nodes[0]
+                .children
+                .iter()
+                .map(|&c| build(&state, &totals, &child, c))
+                .collect(),
+            orphan_counters: state.nodes[0].counters.clone(),
+        }
+    }
+}
+
+impl Recorder for SpanRecorder {
+    // `enabled` stays false: this recorder ignores events, and call sites
+    // consult `enabled` only to decide whether to build event payloads.
+
+    fn add(&self, name: &str, by: u64) {
+        let mut state = self.lock();
+        if !Self::is_home(&mut state) {
+            return;
+        }
+        let node = state.current();
+        *state.nodes[node].counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        let mut state = self.lock();
+        if !Self::is_home(&mut state) {
+            return;
+        }
+        let parent = state.current();
+        let node = state.child_named(parent, name);
+        state.nodes[node].calls += 1;
+        state.stack.push(Frame {
+            node,
+            started: Instant::now(),
+        });
+    }
+
+    fn span_exit(&self, name: &'static str) {
+        let mut state = self.lock();
+        if !Self::is_home(&mut state) {
+            return;
+        }
+        // Exit the named span if it is open, closing any unexited inner
+        // spans on the way; a name that is not on the stack is ignored
+        // (a stray exit must not close someone else's span).
+        let Some(position) = state
+            .stack
+            .iter()
+            .rposition(|frame| state.nodes[frame.node].name == name)
+        else {
+            return;
+        };
+        while state.stack.len() > position {
+            state.pop_frame();
+        }
+    }
+}
+
+/// One node of a snapshot taken by [`SpanRecorder::profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The span's name as given to `span_enter`.
+    pub name: String,
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Wall seconds inside the span, children included.
+    pub total_secs: f64,
+    /// Wall seconds inside the span excluding child spans.
+    pub self_secs: f64,
+    /// Counters recorded (via [`Recorder::add`]) while this span was the
+    /// innermost open span on the home thread.
+    pub counters: BTreeMap<String, u64>,
+    /// Child spans in first-entered order.
+    pub children: Vec<SpanNode>,
+}
+
+/// An immutable snapshot of the span tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanProfile {
+    /// Top-level spans in first-entered order.
+    pub roots: Vec<SpanNode>,
+    /// Counters recorded while no span was open.
+    pub orphan_counters: BTreeMap<String, u64>,
+}
+
+impl SpanProfile {
+    /// Renders a human-readable indented profile: per span its call
+    /// count, total and self wall time, and any attributed counters.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>12} {:>12}",
+            "span", "calls", "total_s", "self_s"
+        );
+        fn walk(out: &mut String, node: &SpanNode, depth: usize) {
+            let indent = "  ".repeat(depth);
+            let _ = writeln!(
+                out,
+                "{:<40} {:>8} {:>12.6} {:>12.6}",
+                format!("{indent}{}", node.name),
+                node.calls,
+                node.total_secs,
+                node.self_secs,
+            );
+            for (name, value) in &node.counters {
+                let _ = writeln!(out, "{indent}  · {name} = {value}");
+            }
+            for child in &node.children {
+                walk(out, child, depth + 1);
+            }
+        }
+        for root in &self.roots {
+            walk(&mut out, root, 0);
+        }
+        for (name, value) in &self.orphan_counters {
+            let _ = writeln!(out, "(no span) · {name} = {value}");
+        }
+        out
+    }
+
+    /// Renders the collapsed-stack (flamegraph-compatible) format: one
+    /// line per node, `path;from;root <self-time-in-microseconds>`.
+    /// Every node is emitted (zero self time included) so the export is a
+    /// lossless skeleton of the tree; [`parse_collapsed`] reads it back.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        fn walk(out: &mut String, node: &SpanNode, path: &mut Vec<String>) {
+            path.push(node.name.clone());
+            let micros = (node.self_secs * 1e6).round() as u64;
+            let _ = writeln!(out, "{} {micros}", path.join(";"));
+            for child in &node.children {
+                walk(out, child, path);
+            }
+            path.pop();
+        }
+        let mut path = Vec::new();
+        for root in &self.roots {
+            walk(&mut out, root, &mut path);
+        }
+        out
+    }
+}
+
+/// Parses the collapsed-stack format emitted by [`SpanProfile::collapsed`]
+/// back into `(path, self_microseconds)` rows, in file order.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line: a missing value
+/// column, a non-numeric value, or an empty stack path.
+pub fn parse_collapsed(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+    let mut rows = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let number = index + 1;
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {number}: no value column in {line:?}"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|err| format!("line {number}: bad value {value:?}: {err}"))?;
+        if stack.is_empty() || stack.split(';').any(str::is_empty) {
+            return Err(format!("line {number}: empty frame in stack {stack:?}"));
+        }
+        rows.push((stack.split(';').map(str::to_string).collect(), value));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span;
+
+    #[test]
+    fn spans_nest_and_attribute_self_time_and_counters() {
+        let rec = SpanRecorder::new();
+        {
+            let _day = span(&rec, "day");
+            rec.add("slots", 24);
+            {
+                let _solve = span(&rec, "solve");
+                rec.add("rounds", 3);
+            }
+            {
+                let _solve = span(&rec, "solve");
+                rec.add("rounds", 2);
+            }
+        }
+        let profile = rec.profile();
+        assert_eq!(profile.roots.len(), 1);
+        let day = &profile.roots[0];
+        assert_eq!(day.name, "day");
+        assert_eq!(day.calls, 1);
+        assert_eq!(day.counters.get("slots"), Some(&24));
+        assert_eq!(day.children.len(), 1, "same-name spans share a node");
+        let solve = &day.children[0];
+        assert_eq!(solve.calls, 2);
+        assert_eq!(solve.counters.get("rounds"), Some(&5));
+        assert!(day.total_secs >= solve.total_secs);
+        assert!(day.self_secs >= 0.0 && solve.self_secs >= 0.0);
+        assert!((day.self_secs + solve.total_secs - day.total_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_exits_are_contained() {
+        let rec = SpanRecorder::new();
+        rec.span_exit("never_entered");
+        rec.span_enter("outer");
+        rec.span_enter("inner");
+        // Exiting the outer span closes the unexited inner one too.
+        rec.span_exit("outer");
+        rec.span_exit("outer");
+        let profile = rec.profile();
+        assert_eq!(profile.roots.len(), 1);
+        assert_eq!(profile.roots[0].name, "outer");
+        assert_eq!(profile.roots[0].children[0].name, "inner");
+    }
+
+    #[test]
+    fn foreign_thread_spans_are_ignored() {
+        let rec = std::sync::Arc::new(SpanRecorder::new());
+        rec.span_enter("home");
+        let foreign = std::sync::Arc::clone(&rec);
+        std::thread::spawn(move || {
+            foreign.span_enter("intruder");
+            foreign.add("intruder_counter", 1);
+        })
+        .join()
+        .unwrap();
+        rec.span_exit("home");
+        let profile = rec.profile();
+        assert_eq!(profile.roots.len(), 1);
+        assert_eq!(profile.roots[0].name, "home");
+        assert!(profile.roots[0].counters.is_empty());
+        assert!(profile.orphan_counters.is_empty());
+    }
+
+    #[test]
+    fn mid_run_profile_credits_open_spans() {
+        let rec = SpanRecorder::new();
+        rec.span_enter("open");
+        let profile = rec.profile();
+        assert_eq!(profile.roots[0].calls, 1);
+        assert!(profile.roots[0].total_secs >= 0.0);
+        rec.span_exit("open");
+    }
+
+    #[test]
+    fn collapsed_export_round_trips() {
+        let rec = SpanRecorder::new();
+        {
+            let _a = span(&rec, "fleet_day");
+            let _b = span(&rec, "ladder");
+            let _c = span(&rec, "resume");
+        }
+        {
+            let _a = span(&rec, "fleet_day");
+            let _d = span(&rec, "harvest");
+        }
+        let profile = rec.profile();
+        let collapsed = profile.collapsed();
+        let rows = parse_collapsed(&collapsed).expect("round trip");
+        let paths: Vec<String> = rows.iter().map(|(path, _)| path.join(";")).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "fleet_day",
+                "fleet_day;ladder",
+                "fleet_day;ladder;resume",
+                "fleet_day;harvest",
+            ]
+        );
+        // Values match the profile's self times at microsecond rounding.
+        let day_micros = (profile.roots[0].self_secs * 1e6).round() as u64;
+        assert_eq!(rows[0].1, day_micros);
+    }
+
+    #[test]
+    fn parse_collapsed_rejects_malformed_lines() {
+        assert!(parse_collapsed("a;b 12\n\n c;d 9").is_ok());
+        assert!(parse_collapsed("no_value_column").is_err());
+        assert!(parse_collapsed("a;b twelve").is_err());
+        assert!(parse_collapsed("a;;b 3").is_err());
+        assert!(parse_collapsed(" 3").is_err());
+    }
+
+    #[test]
+    fn report_renders_counters_and_indentation() {
+        let rec = SpanRecorder::new();
+        rec.add("orphan", 7);
+        {
+            let _day = span(&rec, "day");
+            rec.add("slots", 24);
+        }
+        let text = rec.profile().report();
+        assert!(text.contains("day"), "{text}");
+        assert!(text.contains("slots = 24"), "{text}");
+        assert!(text.contains("(no span) · orphan = 7"), "{text}");
+    }
+}

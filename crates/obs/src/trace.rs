@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
+use nms_types::StorageFaultLedger;
 use nms_vfs::{write_atomic, StdVfs, StoragePolicy, Vfs, VfsFile};
 
 use crate::Recorder;
@@ -200,11 +201,24 @@ impl From<std::io::Error> for TraceError {
     }
 }
 
+/// Seals `event` into the exact line the trace file stores (no trailing
+/// newline): the envelope JSON around the event's body JSON. `None` when
+/// the event cannot be serialized — the same condition the sink counts as
+/// a drop. Shared with live trace-tail sinks so a tailed line is
+/// byte-identical to the file's line.
+pub fn seal_event(event: &TraceEvent) -> Option<String> {
+    serde_json::to_string(event)
+        .map(TraceLine::seal)
+        .and_then(|line| serde_json::to_string(&line))
+        .ok()
+}
+
 /// The JSONL event sink: every [`TraceEvent`] becomes one sealed line.
 pub struct JsonlTrace {
     path: PathBuf,
     writer: Mutex<Box<dyn VfsFile>>,
     dropped: AtomicU64,
+    ledger: Option<StorageFaultLedger>,
 }
 
 impl JsonlTrace {
@@ -251,7 +265,21 @@ impl JsonlTrace {
             path,
             writer: Mutex::new(writer),
             dropped: AtomicU64::new(0),
+            ledger: None,
         })
+    }
+
+    /// Mirrors every dropped event into `ledger` (as
+    /// `StorageFaultCounts::trace_dropped`), so drops that happen *after*
+    /// the header was written successfully still surface in
+    /// `RunHealth.storage` and any `/health` endpoint fed from the same
+    /// ledger — not just in this writer's local [`JsonlTrace::dropped`]
+    /// counter. Pass a clone of the run's `SupervisedOptions::storage`
+    /// ledger to get the merge for free at `finish()`.
+    #[must_use]
+    pub fn with_ledger(mut self, ledger: StorageFaultLedger) -> Self {
+        self.ledger = Some(ledger);
+        self
     }
 
     /// Where the trace lives.
@@ -264,6 +292,13 @@ impl JsonlTrace {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    fn count_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(ledger) = &self.ledger {
+            ledger.record(|counts| counts.trace_dropped += 1);
+        }
+    }
 }
 
 impl Recorder for JsonlTrace {
@@ -272,11 +307,8 @@ impl Recorder for JsonlTrace {
     }
 
     fn event(&self, event: &TraceEvent) {
-        let sealed = serde_json::to_string(event)
-            .map(TraceLine::seal)
-            .and_then(|line| serde_json::to_string(&line));
-        let Ok(mut line) = sealed else {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+        let Some(mut line) = seal_event(event) else {
+            self.count_drop();
             return;
         };
         line.push('\n');
@@ -287,7 +319,7 @@ impl Recorder for JsonlTrace {
         // Drop-and-count: telemetry loss must never fail the run, and a
         // torn line is caught by the seal on read-back.
         if writer.write_all(line.as_bytes()).is_err() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.count_drop();
         }
     }
 }
@@ -489,6 +521,56 @@ mod tests {
         let events = read_trace_on(&vfs, &path).unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, "ping");
+    }
+
+    #[test]
+    fn post_header_drops_surface_in_the_shared_ledger() {
+        use nms_vfs::{FaultVfs, IoFaultPlan};
+
+        // Probe how many VFS ops a clean creation consumes, then kill the
+        // disk exactly there: the header lands, every append after it
+        // fails.
+        let path = PathBuf::from("trace.jsonl");
+        let probe = FaultVfs::new(IoFaultPlan::none());
+        drop(JsonlTrace::create_on(Arc::new(probe.clone()), &path).unwrap());
+        let creation_ops = probe.ops();
+
+        let vfs = FaultVfs::new(IoFaultPlan::kill_at(creation_ops));
+        let ledger = StorageFaultLedger::new();
+        let trace = JsonlTrace::create_on(Arc::new(vfs.clone()), &path)
+            .unwrap()
+            .with_ledger(ledger.clone());
+        trace.event(&TraceEvent::new("lost").day(0));
+        trace.event(&TraceEvent::new("lost").day(1));
+        assert_eq!(trace.dropped(), 2, "local counter still works");
+        assert_eq!(
+            ledger.snapshot().trace_dropped,
+            2,
+            "drops after a successful header must reach the shared ledger"
+        );
+        // The header itself survived; the killed append may have left a
+        // torn tail, which the seal must surface as a typed corruption —
+        // never as silently parsed events.
+        vfs.revive();
+        match read_trace_on(&vfs, &path) {
+            Ok(events) => assert!(events.is_empty(), "dropped events must not appear"),
+            Err(TraceError::Corrupt { line, .. }) => assert!(line >= 2, "header is intact"),
+            Err(other) => panic!("unexpected read-back error: {other}"),
+        }
+    }
+
+    #[test]
+    fn seal_event_matches_the_file_line() {
+        let path = temp_trace("sealhelper");
+        let event = TraceEvent::new("game_round").day(2).field("round", 3.0);
+        {
+            let trace = JsonlTrace::create(&path).unwrap();
+            trace.event(&event);
+        }
+        let file = std::fs::read_to_string(&path).unwrap();
+        let line = file.lines().nth(1).unwrap();
+        assert_eq!(seal_event(&event).as_deref(), Some(line));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

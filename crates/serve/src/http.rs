@@ -1,0 +1,106 @@
+//! Minimal HTTP/1.0 request parsing and response rendering — just enough
+//! protocol for a scrape endpoint, with no dependency beyond `std`.
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: Option<String>,
+}
+
+/// Parses `"GET /metrics?x=1 HTTP/1.0"` into a [`Request`]. `None` for
+/// anything that is not a three-part HTTP request line.
+pub(crate) fn parse_request_line(line: &str) -> Option<Request> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if parts.next().is_some() || !version.starts_with("HTTP/") {
+        return None;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, Some(query.to_string())),
+        None => (target, None),
+    };
+    Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+    })
+}
+
+/// Extracts `n` from a `/trace/tail` query string, defaulting to
+/// `default` when the query (or the `n` key) is absent.
+///
+/// # Errors
+///
+/// Returns a message when `n` is present but not a positive integer.
+pub(crate) fn parse_tail_count(query: Option<&str>, default: usize) -> Result<usize, String> {
+    let Some(query) = query else {
+        return Ok(default);
+    };
+    for pair in query.split('&') {
+        let Some((key, value)) = pair.split_once('=') else {
+            continue;
+        };
+        if key != "n" {
+            continue;
+        }
+        return match value.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("n must be a positive integer, got {value:?}")),
+        };
+    }
+    Ok(default)
+}
+
+/// Renders a complete HTTP/1.0 response with `Connection: close`.
+pub(crate) fn render_response(status: u16, reason: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse_with_and_without_query() {
+        let request = parse_request_line("GET /metrics HTTP/1.0").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/metrics");
+        assert_eq!(request.query, None);
+
+        let request = parse_request_line("GET /trace/tail?n=12 HTTP/1.1").unwrap();
+        assert_eq!(request.path, "/trace/tail");
+        assert_eq!(request.query.as_deref(), Some("n=12"));
+
+        assert!(parse_request_line("").is_none());
+        assert!(parse_request_line("GET /metrics").is_none());
+        assert!(parse_request_line("GET /a b HTTP/1.0").is_none(), "four parts");
+        assert!(parse_request_line("GET /metrics SPDY/3").is_none());
+    }
+
+    #[test]
+    fn tail_counts_default_and_validate() {
+        assert_eq!(parse_tail_count(None, 32), Ok(32));
+        assert_eq!(parse_tail_count(Some("n=5"), 32), Ok(5));
+        assert_eq!(parse_tail_count(Some("other=1"), 32), Ok(32));
+        assert_eq!(parse_tail_count(Some("other=1&n=7"), 32), Ok(7));
+        assert!(parse_tail_count(Some("n=0"), 32).is_err());
+        assert!(parse_tail_count(Some("n=-3"), 32).is_err());
+        assert!(parse_tail_count(Some("n=many"), 32).is_err());
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let response = render_response(200, "OK", "text/plain", "hello\n");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Length: 6\r\n"));
+        assert!(response.contains("Connection: close\r\n"));
+        assert!(response.ends_with("\r\n\r\nhello\n"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The lock-striped metrics registry for concurrently recording fleets.
+//!
+//! A single [`MetricsRegistry`] is one mutex; K shard workers all landing
+//! their solver tallies on it serialize on that lock. [`SharedRegistry`]
+//! splits the namespace across a fixed set of stripes by FNV-1a hash of
+//! the metric *name*: the same name always lands on the same stripe, so
+//! workers recording different metrics proceed in parallel, and the
+//! stripes hold **disjoint** name sets — merging them back into one
+//! registry is a plain fold with no double counting, and the merged
+//! exposition is deterministic (names render in `BTreeMap` order
+//! regardless of which stripe held them).
+
+use std::sync::Arc;
+
+use nms_obs::trace::fnv1a64;
+use nms_obs::{MetricsRegistry, Recorder, TraceEvent};
+
+/// Default stripe count: enough to keep an 8–16 shard fleet's workers off
+/// each other's locks without materializing dozens of registries.
+const DEFAULT_STRIPES: usize = 8;
+
+/// A lock-striped [`MetricsRegistry`] wrapper. Cloning shares the stripes
+/// (like cloning a `MetricsRegistry` shares its storage), so one handle
+/// can be teed to every shard worker and another kept for rendering.
+#[derive(Debug, Clone)]
+pub struct SharedRegistry {
+    stripes: Arc<Vec<MetricsRegistry>>,
+}
+
+impl Default for SharedRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedRegistry {
+    /// A registry with the default stripe count.
+    pub fn new() -> Self {
+        Self::with_stripes(DEFAULT_STRIPES)
+    }
+
+    /// A registry striped `stripes` ways (clamped to at least one).
+    pub fn with_stripes(stripes: usize) -> Self {
+        let stripes = stripes.max(1);
+        Self {
+            stripes: Arc::new((0..stripes).map(|_| MetricsRegistry::new()).collect()),
+        }
+    }
+
+    /// The stripe owning `name`. Same name, same stripe — always.
+    fn stripe(&self, name: &str) -> &MetricsRegistry {
+        let index = (fnv1a64(name.as_bytes()) % self.stripes.len() as u64) as usize;
+        &self.stripes[index]
+    }
+
+    /// Current value of counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.stripe(name).counter(name)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.stripe(name).gauge_value(name)
+    }
+
+    /// A snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<nms_obs::Histogram> {
+        self.stripe(name).histogram(name)
+    }
+
+    /// Folds every stripe into one standalone [`MetricsRegistry`]
+    /// snapshot. Stripes own disjoint name sets, so the fold never merges
+    /// two partial views of the same metric.
+    pub fn merged(&self) -> MetricsRegistry {
+        let merged = MetricsRegistry::new();
+        for stripe in self.stripes.iter() {
+            merged.merge_from(stripe);
+        }
+        merged
+    }
+
+    /// Renders the merged exposition — byte-identical to calling
+    /// [`MetricsRegistry::render_prometheus`] on [`SharedRegistry::merged`].
+    pub fn render_prometheus(&self) -> String {
+        self.merged().render_prometheus()
+    }
+}
+
+impl Recorder for SharedRegistry {
+    // `enabled` stays false: like the plain registry, stripes ignore
+    // events; an event sink belongs in a `Tee` next to this.
+    fn event(&self, event: &TraceEvent) {
+        let _ = event;
+    }
+
+    fn add(&self, name: &str, by: u64) {
+        self.stripe(name).add_counter(name, by);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.stripe(name).set_gauge(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.stripe(name).observe_value(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_routes_to_the_same_stripe() {
+        let shared = SharedRegistry::with_stripes(4);
+        shared.add(
+            "fleet_days_closed",
+            1,
+        );
+        shared.add("fleet_days_closed", 2);
+        assert_eq!(shared.counter("fleet_days_closed"), 3);
+        assert!(std::ptr::eq(
+            shared.stripe("fleet_days_closed"),
+            shared.stripe("fleet_days_closed"),
+        ));
+    }
+
+    #[test]
+    fn merged_exposition_matches_an_unstriped_registry() {
+        let shared = SharedRegistry::with_stripes(5);
+        let flat = MetricsRegistry::new();
+        let names = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+        for (index, name) in names.iter().enumerate() {
+            shared.add(name, index as u64 + 1);
+            flat.add_counter(name, index as u64 + 1);
+            shared.observe(&format!("{name}_secs"), index as f64);
+            flat.observe_value(&format!("{name}_secs"), index as f64);
+        }
+        shared.gauge("level", 0.5);
+        flat.set_gauge("level", 0.5);
+        assert_eq!(shared.render_prometheus(), flat.render_prometheus());
+    }
+
+    #[test]
+    fn clones_share_stripes_and_single_stripe_degenerates_cleanly() {
+        let shared = SharedRegistry::with_stripes(0);
+        let worker = shared.clone();
+        worker.add("hits", 7);
+        assert_eq!(shared.counter("hits"), 7);
+        assert_eq!(shared.merged().counter("hits"), 7);
+        assert_eq!(shared.gauge_value("absent"), None);
+        assert!(shared.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn concurrent_workers_tally_commutatively() {
+        let shared = SharedRegistry::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    for index in 0..100u64 {
+                        shared.add("solver_rounds", 1);
+                        shared.observe("solver_secs", index as f64 % 3.0);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        assert_eq!(shared.counter("solver_rounds"), 400);
+        let histogram = shared.histogram("solver_secs").expect("recorded");
+        assert_eq!(histogram.count(), 400);
+    }
+}

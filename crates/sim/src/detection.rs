@@ -30,7 +30,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use nms_obs::{NoopRecorder, Recorder, Stopwatch, TraceEvent};
+use nms_obs::{span, NoopRecorder, Recorder, Stopwatch, TraceEvent};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -261,6 +261,7 @@ fn train(
     rec: &dyn Recorder,
 ) -> Result<RunState, SimError> {
     let watch = Stopwatch::start();
+    let _span = span(rec, "training");
     let mut health = RunHealth::new();
     let history =
         setup
@@ -428,15 +429,20 @@ fn simulate_day(
     let observed_start = state.observed_buckets.len();
     let demand_start = state.realized_demand.len();
 
+    let _day_span = span(rec, "detect_day");
     let community = setup.generator.community_for_day(day, setup.weather[day]);
     let clearing_watch = Stopwatch::start();
-    let clean = setup.market.clear_day_recorded(&community, 2, rng, rec)?;
+    let clean = {
+        let _span = span(rec, "clearing");
+        setup.market.clear_day_recorded(&community, 2, rng, rec)?
+    };
     let clearing_secs = clearing_watch.secs();
     let manipulated = config.timeline.attack().apply(&clean.price);
     let realization_seed: u64 = rng.gen();
 
     // The detector's day-ahead view.
     let prediction_watch = Stopwatch::start();
+    let prediction_span = span(rec, "prediction");
     let day_prediction = match state.detector.as_mut() {
         None => None,
         Some(det) => {
@@ -461,6 +467,7 @@ fn simulate_day(
             Some(predicted)
         }
     };
+    drop(prediction_span);
     let prediction_secs = prediction_watch.secs();
 
     // Quarantined suspects feed the observation: a breaker the detector has
@@ -505,6 +512,7 @@ fn simulate_day(
     let mut par_secs = 0.0;
     let mut pomdp_secs = 0.0;
 
+    let slots_span = span(rec, "slots");
     for slot in 0..SLOTS_PER_DAY {
         let global_slot = day_offset * SLOTS_PER_DAY + slot;
         let newly = config
@@ -594,6 +602,7 @@ fn simulate_day(
 
         state.realized_demand.push(realization.grid_demand[slot]);
     }
+    drop(slots_span);
 
     // End of day: advance the quarantine breakers on the day's per-meter
     // verdicts. Exclusions take effect from the next day's aggregation.
@@ -1038,14 +1047,17 @@ impl SupervisedRun {
             rec,
         )?;
         let append_watch = Stopwatch::start();
-        match self.journal.append_day(&record) {
-            Ok(report) => {
-                let retries = report.retries();
-                self.storage.record(|tally| tally.journal_retries += retries);
-            }
-            Err(err) => {
-                self.storage.record(|tally| tally.journal_append_failures += 1);
-                return Err(err.into());
+        {
+            let _span = span(rec, "journal_append");
+            match self.journal.append_day(&record) {
+                Ok(report) => {
+                    let retries = report.retries();
+                    self.storage.record(|tally| tally.journal_retries += retries);
+                }
+                Err(err) => {
+                    self.storage.record(|tally| tally.journal_append_failures += 1);
+                    return Err(err.into());
+                }
             }
         }
         rec.observe("journal_append_seconds", append_watch.secs());

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use nms_obs::{NoopRecorder, Recorder, TraceEvent};
+use nms_obs::{span, NoopRecorder, Recorder, TraceEvent};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -283,6 +283,7 @@ impl<'a> GameEngine<'a> {
         rng: &mut impl Rng,
         rec: &dyn Recorder,
     ) -> Result<GameOutcome, SolverError> {
+        let _game_span = span(rec, "game_solve");
         let horizon = self.community.horizon();
         let n = self.community.len();
 

@@ -4,7 +4,7 @@
 
 use std::cell::Cell;
 
-use nms_obs::{NoopRecorder, Recorder};
+use nms_obs::{span, NoopRecorder, Recorder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -298,6 +298,7 @@ fn best_response_core(
 
         // DP step: reschedule each appliance against the others (coordinate
         // descent over appliances).
+        let dp_span = span(rec, "dp_appliances");
         for (index, appliance) in customer.appliances().iter().enumerate() {
             base.clear();
             base.extend((0..slots).map(|h| {
@@ -324,9 +325,11 @@ fn best_response_core(
                 })?;
             }
         }
+        drop(dp_span);
 
         // Battery step (cross-entropy optimization of Algorithm 1, line 5).
         if config.use_battery && customer.battery().is_usable() {
+            let _ce_span = span(rec, "ce_battery");
             let load = series_for(load, horizon);
             for (h, value) in load.iter_mut().enumerate() {
                 *value = customer.base_load()[h] + energies.iter().map(|e| e[h]).sum::<f64>();

@@ -15,22 +15,30 @@
 //! ```
 //!
 //! Pass a negative shard index (or one `>= --shards`) to disable that
-//! chaos kind; `--threads 0` uses one worker per shard.
+//! chaos kind; `--threads 0` uses one worker per shard. `--serve ADDR`
+//! (e.g. `--serve 127.0.0.1:9600`, port 0 picks a free port) additionally
+//! runs the fleet behind a live telemetry plane: `/metrics`, `/health`,
+//! and `/trace/tail` are scrapeable while the chaos unfolds, and the demo
+//! self-scrapes at the end to prove the served snapshots match the run.
 
 use std::error::Error;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use netmeter_sentinel::attack::{AttackTimeline, PriceAttack};
 use netmeter_sentinel::fleet::{
-    run_fleet, FleetConfig, FleetLadder, FleetOptions, ShardSpec,
+    run_fleet, DayCloseObserver, FleetConfig, FleetLadder, FleetOptions, ShardSpec,
 };
 use netmeter_sentinel::obs::names::fleet as fleet_names;
-use netmeter_sentinel::obs::MetricsRegistry;
+use netmeter_sentinel::serve::{SharedRegistry, TelemetryServer};
 use netmeter_sentinel::sim::{
     LongTermRunConfig, PaperScenario, Parallelism, SupervisedOptions, SupervisedRun,
 };
-use netmeter_sentinel::types::{BudgetClock, ShardStage, SolveBudget};
+use netmeter_sentinel::types::{
+    BudgetClock, FleetHealth, ShardStage, SolveBudget, StorageFaultCounts,
+};
 use netmeter_sentinel::vfs::{FaultVfs, IoFaultPlan};
 
 const JOURNAL: &str = "fleet/shard.jsonl";
@@ -44,6 +52,7 @@ struct Cli {
     panic_shard: Option<usize>,
     storage_shard: Option<usize>,
     deadline_shard: Option<usize>,
+    serve: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, Box<dyn Error>> {
@@ -56,6 +65,7 @@ fn parse_cli() -> Result<Cli, Box<dyn Error>> {
         panic_shard: Some(1),
         storage_shard: Some(2),
         deadline_shard: Some(3),
+        serve: None,
     };
     let mut args = std::env::args().skip(1);
     let shard_flag = |value: String| -> Result<Option<usize>, Box<dyn Error>> {
@@ -73,6 +83,7 @@ fn parse_cli() -> Result<Cli, Box<dyn Error>> {
             "--panic-shard" => cli.panic_shard = shard_flag(value()?)?,
             "--storage-shard" => cli.storage_shard = shard_flag(value()?)?,
             "--deadline-shard" => cli.deadline_shard = shard_flag(value()?)?,
+            "--serve" => cli.serve = Some(value()?),
             other => return Err(format!("unknown flag {other:?}").into()),
         }
     }
@@ -165,7 +176,18 @@ fn main() -> Result<(), Box<dyn Error>> {
         })
         .collect();
 
-    let metrics = Arc::new(MetricsRegistry::new());
+    let metrics = SharedRegistry::new();
+    let server = match &cli.serve {
+        Some(addr) => Some(TelemetryServer::bind(addr.as_str())?),
+        None => None,
+    };
+    let publisher = server.as_ref().map(TelemetryServer::publisher);
+    if let Some(server) = &server {
+        println!(
+            "telemetry live at http://{0}/metrics, /health, /trace/tail",
+            server.local_addr()
+        );
+    }
     let panic_fired = Arc::new(AtomicBool::new(false));
     let hook_fired = Arc::clone(&panic_fired);
     let panic_shard = cli.panic_shard;
@@ -193,15 +215,36 @@ fn main() -> Result<(), Box<dyn Error>> {
             Parallelism::new(cli.threads)
         },
     };
-    let options = FleetOptions {
-        shard_options: shard_vfs
+    let shard_options: Vec<SupervisedOptions> = shard_vfs
+        .iter()
+        .map(|vfs| SupervisedOptions {
+            vfs: Arc::new(vfs.clone()),
+            ..SupervisedOptions::default()
+        })
+        .collect();
+    // Snapshot publication: after every day's sequential ladder, render
+    // the striped registry and the fleet/storage health into the server's
+    // snapshot strings. Workers never touch the server, and the server
+    // never touches the registries — scrapes are monotone by design.
+    let on_day_close: Option<DayCloseObserver> = publisher.clone().map(|publisher| {
+        let registry = metrics.clone();
+        let ledgers: Vec<_> = shard_options
             .iter()
-            .map(|vfs| SupervisedOptions {
-                vfs: Arc::new(vfs.clone()),
-                ..SupervisedOptions::default()
-            })
-            .collect(),
-        recorder: metrics.clone(),
+            .map(|options| options.storage.clone())
+            .collect();
+        Arc::new(move |day: usize, health: &FleetHealth| {
+            let mut storage = StorageFaultCounts::default();
+            for ledger in &ledgers {
+                storage.merge(&ledger.snapshot());
+            }
+            publisher.publish_shared(&registry);
+            publisher.publish_health(Some(day), health, storage);
+        }) as DayCloseObserver
+    });
+    let options = FleetOptions {
+        shard_options,
+        recorder: Arc::new(metrics.clone()),
+        on_day_close,
         day_hook: Some(Arc::new(move |shard, day| {
             if Some(shard) == panic_shard && day == 0 && !hook_fired.swap(true, Ordering::SeqCst)
             {
@@ -292,6 +335,49 @@ fn main() -> Result<(), Box<dyn Error>> {
     if metrics.counter(fleet_names::PANICS_CONTAINED) == 0 && cli.panic_shard.is_some() {
         return Err("panic chaos requested but none was contained".into());
     }
+
+    // Serve smoke: scrape our own endpoints and prove the served bytes
+    // are exactly the published snapshots.
+    if let (Some(server), Some(publisher)) = (&server, &publisher) {
+        let addr = server.local_addr();
+        let (status, body) = scrape(addr, "/metrics")?;
+        if status != 200 {
+            return Err(format!("/metrics answered {status}").into());
+        }
+        if body != publisher.metrics_text() {
+            return Err("/metrics body diverged from the published snapshot".into());
+        }
+        if !body.contains("nms_fleet_days_closed") {
+            return Err("/metrics exposition is missing the fleet counters".into());
+        }
+        let (status, health) = scrape(addr, "/health")?;
+        if status != 200 || !health.contains("\"worst_stage\"") {
+            return Err(format!("/health answered {status}: {health}").into());
+        }
+        println!(
+            "serve smoke: /metrics ({} bytes) and /health ({} bytes) match the published snapshots",
+            body.len(),
+            health.len()
+        );
+    }
     println!("contract holds: every failure contained on its documented rung");
     Ok(())
+}
+
+/// A minimal `std::net` scraper: status code plus body.
+fn scrape(addr: SocketAddr, target: &str) -> Result<(u16, String), Box<dyn Error>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(format!("GET {target} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or("no status code in response")?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
 }

@@ -33,6 +33,14 @@
 //! cargo run --release --example long_term_monitoring -- \
 //!     --trace /tmp/run-trace.jsonl --metrics /tmp/run-metrics.prom
 //! ```
+//!
+//! `--profile <path>` turns on the hierarchical span profiler: the run's
+//! phase tree (training, day close, clearing, prediction, game solve, DP,
+//! CE, journal appends) is written as an indented wall-time report to
+//! `<path>` and as collapsed flamegraph stacks to `<path>.folded`.
+//! `--serve <addr>` (port 0 picks a free port) exposes `/metrics`,
+//! `/health`, and `/trace/tail` over HTTP for the duration of the run,
+//! republished after every sequential checkpoint.
 
 use std::error::Error;
 use std::path::PathBuf;
@@ -42,12 +50,16 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use netmeter_sentinel::core::{DetectorMode, FrameworkConfig};
-use netmeter_sentinel::obs::{JsonlTrace, MetricsRegistry, NoopRecorder, Recorder, Tee};
+use netmeter_sentinel::obs::{
+    JsonlTrace, MetricsRegistry, NoopRecorder, Recorder, SpanRecorder, Tee,
+};
+use netmeter_sentinel::serve::{TelemetryServer, TraceTail};
 use netmeter_sentinel::sim::experiments::paper_timeline;
 use netmeter_sentinel::sim::{
     run_long_term_detection_recorded, LongTermRunConfig, LongTermRunResult, PaperScenario,
     Parallelism, SupervisedRun,
 };
+use netmeter_sentinel::types::{FleetHealth, StorageFaultCounts};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut customers = 60usize;
@@ -57,6 +69,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut kill_after: Option<usize> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut metrics_path: Option<PathBuf> = None;
+    let mut profile_path: Option<PathBuf> = None;
+    let mut serve_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,6 +81,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             "--kill-after" | "-k" => kill_after = Some(args.next().ok_or("need value")?.parse()?),
             "--trace" | "-t" => trace_path = Some(args.next().ok_or("need value")?.into()),
             "--metrics" | "-m" => metrics_path = Some(args.next().ok_or("need value")?.into()),
+            "--profile" => profile_path = Some(args.next().ok_or("need value")?.into()),
+            "--serve" => serve_addr = Some(args.next().ok_or("need value")?),
             other => return Err(format!("unknown flag {other:?}").into()),
         }
     }
@@ -75,10 +91,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     let scenario = PaperScenario::small(customers, seed);
 
-    // Assemble the recorder: a no-op unless --trace/--metrics asked for
-    // sinks. Telemetry never feeds back, so every assembly produces the
-    // same results.
-    let metrics = metrics_path.as_ref().map(|_| MetricsRegistry::new());
+    // Assemble the recorder: a no-op unless --trace/--metrics/--profile/
+    // --serve asked for sinks. Telemetry never feeds back, so every
+    // assembly produces the same results.
+    let server = match &serve_addr {
+        Some(addr) => Some(TelemetryServer::bind(addr.as_str())?),
+        None => None,
+    };
+    let publisher = server.as_ref().map(TelemetryServer::publisher);
+    if let Some(server) = &server {
+        println!(
+            "telemetry live at http://{0}/metrics, /health, /trace/tail",
+            server.local_addr()
+        );
+    }
+    // The server needs a registry to expose even when --metrics is absent.
+    let metrics = if metrics_path.is_some() || server.is_some() {
+        Some(MetricsRegistry::new())
+    } else {
+        None
+    };
+    let spans = profile_path.as_ref().map(|_| Arc::new(SpanRecorder::new()));
     let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
     if let Some(path) = &trace_path {
         sinks.push(Arc::new(JsonlTrace::create(path)?));
@@ -86,10 +119,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     if let Some(registry) = &metrics {
         sinks.push(Arc::new(registry.clone()));
     }
+    if let Some(spans) = &spans {
+        sinks.push(Arc::clone(spans) as Arc<dyn Recorder>);
+    }
+    if let Some(publisher) = &publisher {
+        sinks.push(Arc::new(TraceTail::new(publisher.clone())));
+    }
     let recorder: Arc<dyn Recorder> = match sinks.len() {
         0 => Arc::new(NoopRecorder),
         1 => sinks.remove(0),
         _ => Arc::new(Tee::new(sinks)),
+    };
+    // Republishes the served snapshots; called only from this sequential
+    // main thread, at checkpoints.
+    let publish = |day: Option<usize>| {
+        if let (Some(publisher), Some(registry)) = (&publisher, &metrics) {
+            publisher.publish_metrics(registry);
+            publisher.publish_health(day, &FleetHealth::default(), StorageFaultCounts::default());
+        }
     };
 
     println!("48-hour monitoring, {} customers, seed {seed}", customers);
@@ -156,6 +203,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                         return Ok(());
                     }
                     run.step_day()?;
+                    publish(Some(run.completed_days()));
                     println!(
                         "[{}] day {} checkpointed to {}",
                         mode.label(),
@@ -175,6 +223,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             result.labor.total_cost(),
             result.par
         );
+        publish(None);
         results.push((mode, result));
     }
 
@@ -215,6 +264,21 @@ fn main() -> Result<(), Box<dyn Error>> {
     if let (Some(path), Some(registry)) = (&metrics_path, &metrics) {
         registry.write_prometheus(path)?;
         println!("metrics written to {}", path.display());
+    }
+    if let (Some(path), Some(spans)) = (&profile_path, &spans) {
+        let profile = spans.profile();
+        std::fs::write(path, profile.report())?;
+        let folded = {
+            let mut folded = path.as_os_str().to_owned();
+            folded.push(".folded");
+            PathBuf::from(folded)
+        };
+        std::fs::write(&folded, profile.collapsed())?;
+        println!(
+            "span profile written to {} (flamegraph stacks: {})",
+            path.display(),
+            folded.display()
+        );
     }
     Ok(())
 }

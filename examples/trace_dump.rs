@@ -1,0 +1,88 @@
+//! Trace dump: offline analysis of a sealed JSONL trace file.
+//!
+//! Reads a trace written by `JsonlTrace` (e.g. `long_term_monitoring
+//! --trace run.jsonl`), verifies every line's seal, and prints an
+//! event-kind histogram plus a per-day timeline of what the run did.
+//! Corruption is not papered over: a torn or tampered line surfaces as the
+//! typed [`TraceError`] it is, with its 1-based line number, and the
+//! process exits non-zero so scripts can gate on trace integrity.
+//!
+//! ```sh
+//! cargo run --release --example long_term_monitoring -- --trace /tmp/run.jsonl
+//! cargo run --release --example trace_dump -- /tmp/run.jsonl
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use netmeter_sentinel::obs::{read_trace, TraceError, TraceEvent};
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_dump <trace.jsonl>");
+        return ExitCode::from(2);
+    };
+
+    let events = match read_trace(&path) {
+        Ok(events) => events,
+        Err(err) => {
+            // The typed error is the diagnosis: which line, what kind of
+            // damage, and (for I/O) the underlying OS error.
+            match &err {
+                TraceError::Io(io) => eprintln!("cannot read {path}: {io}"),
+                TraceError::Corrupt { line, detail } => {
+                    eprintln!("{path} is corrupt at line {line}: {detail}");
+                }
+                TraceError::MissingHeader { detail } => {
+                    eprintln!("{path} has no intact trace header: {detail}");
+                }
+                other => eprintln!("{path}: {other}"),
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{path}: {} sealed events", events.len());
+
+    // Event-kind histogram, widest first.
+    let mut kinds: BTreeMap<&str, usize> = BTreeMap::new();
+    for event in &events {
+        *kinds.entry(event.kind.as_str()).or_insert(0) += 1;
+    }
+    let mut by_count: Vec<(&str, usize)> = kinds.into_iter().collect();
+    by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let width = by_count.iter().map(|(_, n)| *n).max().unwrap_or(1);
+    println!("\nevent kinds:");
+    for (kind, count) in &by_count {
+        let bar = "#".repeat((count * 40).div_ceil(width.max(1)));
+        println!("{kind:>24} {count:>6}  {bar}");
+    }
+
+    // Per-day timeline: events that carry a day, in day order.
+    let mut days: BTreeMap<usize, Vec<&TraceEvent>> = BTreeMap::new();
+    let mut dayless = 0usize;
+    for event in &events {
+        match event.day {
+            Some(day) => days.entry(day).or_default().push(event),
+            None => dayless += 1,
+        }
+    }
+    if !days.is_empty() {
+        println!("\nper-day timeline:");
+        for (day, day_events) in &days {
+            let mut day_kinds: BTreeMap<&str, usize> = BTreeMap::new();
+            for event in day_events {
+                *day_kinds.entry(event.kind.as_str()).or_insert(0) += 1;
+            }
+            let summary: Vec<String> = day_kinds
+                .iter()
+                .map(|(kind, count)| format!("{kind}×{count}"))
+                .collect();
+            println!("  day {day:>3}: {:>5} events  [{}]", day_events.len(), summary.join(", "));
+        }
+    }
+    if dayless > 0 {
+        println!("  (plus {dayless} events with no day attribution)");
+    }
+    ExitCode::SUCCESS
+}

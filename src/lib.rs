@@ -41,7 +41,8 @@
 //! | [`core`] | the paper's detection framework |
 //! | [`sim`] | scenario generation and the paper's experiments |
 //! | [`fleet`] | supervised multi-community shard runner with a failure ladder |
-//! | [`obs`] | recorder trait, metrics registry, JSONL trace sink |
+//! | [`obs`] | recorder trait, metrics registry, JSONL trace sink, span profiler |
+//! | [`serve`] | live telemetry plane: `/metrics`, `/health`, `/trace/tail` HTTP exposition |
 //! | [`vfs`] | injectable storage layer with deterministic fault injection |
 
 #![forbid(unsafe_code)]
@@ -54,6 +55,7 @@ pub use nms_forecast as forecast;
 pub use nms_obs as obs;
 pub use nms_pomdp as pomdp;
 pub use nms_pricing as pricing;
+pub use nms_serve as serve;
 pub use nms_sim as sim;
 pub use nms_smarthome as smarthome;
 pub use nms_solver as solver;

@@ -192,6 +192,7 @@ fn run_chaos_fleet(threads: usize) -> ChaosFleet {
                 revive_vfs.revive();
             }
         })),
+        on_day_close: None,
     };
 
     let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

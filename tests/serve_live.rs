@@ -1,0 +1,412 @@
+//! Live telemetry plane integration: a supervised fleet runs behind a
+//! resident `TelemetryServer` and is scraped *mid-run* from the day-close
+//! observer. The contract under test:
+//!
+//! - mid-run `/metrics` scrapes are monotone (counters never go backwards
+//!   between scrapes) and converge byte-for-byte to the end-of-run
+//!   exposition;
+//! - `/health` tracks the fleet day and per-shard ledgers while running;
+//! - the whole telemetry plane — striped registry, span profiler, HTTP
+//!   server, mid-run scrapes — leaves the fleet's results bit-identical
+//!   to a run with no telemetry at all;
+//! - `Tee`d registries tally commutatively: totals agree across thread
+//!   counts and across the tee's sinks.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use netmeter_sentinel::attack::{AttackTimeline, PriceAttack};
+use netmeter_sentinel::fleet::{
+    run_fleet, DayCloseObserver, FleetConfig, FleetOptions, ShardSpec,
+};
+use netmeter_sentinel::obs::names::fleet as fleet_names;
+use netmeter_sentinel::obs::{parse_collapsed, MetricsRegistry, Recorder, SpanRecorder, Tee};
+use netmeter_sentinel::serve::{SharedRegistry, TelemetryServer};
+use netmeter_sentinel::sim::{
+    LongTermRunConfig, LongTermRunResult, PaperScenario, Parallelism, SupervisedOptions,
+};
+use netmeter_sentinel::types::SolveBudget;
+use netmeter_sentinel::vfs::{FaultVfs, IoFaultPlan};
+
+const JOURNAL: &str = "fleet/shard.jsonl";
+const FLEET_SEED: u64 = 23;
+const SHARDS: usize = 3;
+const DAYS: usize = 2;
+
+fn community_scenario(index: usize) -> PaperScenario {
+    let mut scenario = PaperScenario::small(6, 60 + index as u64);
+    scenario.training_days = 3;
+    scenario
+}
+
+fn run_config() -> LongTermRunConfig {
+    LongTermRunConfig {
+        detection_days: DAYS,
+        detector: None,
+        timeline: AttackTimeline::new(
+            vec![(4, 1)],
+            PriceAttack::zero_window(16.0, 18.0).unwrap(),
+        )
+        .unwrap(),
+        buckets: 4,
+        bucket_fraction_step: 0.15,
+        labor_per_fix: 10.0,
+        labor_per_meter: 1.0,
+        faults: None,
+        sanitize: Default::default(),
+        retry: Default::default(),
+        budget: SolveBudget::unlimited(),
+        quarantine: Default::default(),
+        parallelism: Default::default(),
+    }
+}
+
+fn specs() -> Vec<ShardSpec> {
+    (0..SHARDS)
+        .map(|index| {
+            ShardSpec::derived(
+                format!("community-{index}"),
+                community_scenario(index),
+                run_config(),
+                FLEET_SEED,
+                index,
+                JOURNAL,
+            )
+        })
+        .collect()
+}
+
+fn shard_options() -> Vec<SupervisedOptions> {
+    (0..SHARDS)
+        .map(|_| SupervisedOptions {
+            vfs: Arc::new(FaultVfs::new(IoFaultPlan::none())),
+            ..SupervisedOptions::default()
+        })
+        .collect()
+}
+
+/// Canonical comparison form with the process-local storage tally zeroed
+/// (observability only — excluded from bit-identity by design).
+fn normalized(mut result: LongTermRunResult) -> String {
+    result.health.storage = Default::default();
+    format!("{result:?}")
+}
+
+fn scrape(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {target} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .expect("status code");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The value of plain counter line `nms_<name> <value>` in an exposition.
+fn counter_in(exposition: &str, name: &str) -> u64 {
+    let prefix = format!("nms_{name} ");
+    exposition
+        .lines()
+        .find_map(|line| line.strip_prefix(&prefix))
+        .map(|value| value.parse().expect("counter value"))
+        .unwrap_or(0)
+}
+
+#[test]
+fn mid_run_scrapes_are_monotone_and_converge_to_the_final_exposition() {
+    let server = TelemetryServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let publisher = server.publisher();
+
+    let shared = SharedRegistry::new();
+    let spans = Arc::new(SpanRecorder::new());
+    let recorder: Arc<dyn Recorder> = Arc::new(Tee::new(vec![
+        Arc::new(shared.clone()) as Arc<dyn Recorder>,
+        Arc::clone(&spans) as Arc<dyn Recorder>,
+    ]));
+
+    // The observer publishes the snapshots, then scrapes its own server —
+    // a live mid-run reader, exercised at every day boundary.
+    let mid_run: Arc<Mutex<Vec<(usize, String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let observer: DayCloseObserver = {
+        let publisher = publisher.clone();
+        let shared = shared.clone();
+        let mid_run = Arc::clone(&mid_run);
+        Arc::new(move |day, health| {
+            publisher.publish_shared(&shared);
+            publisher.publish_health(Some(day), health, Default::default());
+            let (status, metrics_body) = scrape(addr, "/metrics");
+            assert_eq!(status, 200);
+            let (status, health_body) = scrape(addr, "/health");
+            assert_eq!(status, 200);
+            mid_run.lock().unwrap().push((day, metrics_body, health_body));
+        })
+    };
+
+    let options = FleetOptions {
+        shard_options: shard_options(),
+        recorder,
+        on_day_close: Some(observer),
+        ..FleetOptions::default()
+    };
+    let config = FleetConfig {
+        parallelism: Parallelism::new(SHARDS),
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(specs(), &config, options).expect("fleet runs");
+    assert_eq!(report.health.healthy(), SHARDS);
+
+    let mid_run = mid_run.lock().unwrap();
+    assert_eq!(mid_run.len(), DAYS, "one scrape per closed day");
+
+    // Counters are monotone across scrapes and land exactly on the final
+    // tallies.
+    let mut last_closed = 0;
+    for (day, metrics_body, health_body) in mid_run.iter() {
+        let closed = counter_in(metrics_body, fleet_names::DAYS_CLOSED);
+        assert!(
+            closed > last_closed,
+            "day {day}: days_closed went {last_closed} -> {closed}"
+        );
+        last_closed = closed;
+        assert!(
+            health_body.contains(&format!("\"day\":{day}")),
+            "{health_body}"
+        );
+        assert!(health_body.contains("\"worst_stage\":\"healthy\""), "{health_body}");
+    }
+    assert_eq!(last_closed as usize, SHARDS * DAYS);
+
+    // The final scrape is byte-identical to the end-of-run exposition:
+    // nothing records between the last day close and harvest reporting.
+    let (status, final_metrics) = scrape(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(final_metrics, shared.render_prometheus());
+    assert_eq!(
+        &final_metrics,
+        &mid_run.last().expect("scraped").1,
+        "last mid-run scrape already converged"
+    );
+
+    // /trace/tail answers even with no event sink teed in.
+    let (status, tail) = scrape(addr, "/trace/tail?n=5");
+    assert_eq!(status, 200);
+    assert!(tail.is_empty());
+
+    // The span profiler saw the supervisor's sequential sections, and its
+    // collapsed export round-trips.
+    let profile = spans.profile();
+    let collapsed = profile.collapsed();
+    let stacks = parse_collapsed(&collapsed).expect("collapsed round-trip");
+    assert!(
+        stacks
+            .iter()
+            .any(|(path, _)| path.first().map(String::as_str) == Some("fleet_day")),
+        "{collapsed}"
+    );
+    assert!(
+        stacks
+            .iter()
+            .any(|(path, _)| path.first().map(String::as_str) == Some("harvest")),
+        "{collapsed}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_plane_leaves_fleet_results_bit_identical() {
+    // Plain run: no recorder, no server, no observer.
+    let baseline = run_fleet(
+        specs(),
+        &FleetConfig::default(),
+        FleetOptions {
+            shard_options: shard_options(),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("baseline fleet");
+
+    // Fully instrumented run: striped registry + span profiler recording,
+    // server being scraped at every day close.
+    let server = TelemetryServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let publisher = server.publisher();
+    let shared = SharedRegistry::new();
+    let spans = Arc::new(SpanRecorder::new());
+    let recorder: Arc<dyn Recorder> = Arc::new(Tee::new(vec![
+        Arc::new(shared.clone()) as Arc<dyn Recorder>,
+        Arc::clone(&spans) as Arc<dyn Recorder>,
+    ]));
+    let observer: DayCloseObserver = {
+        let shared = shared.clone();
+        Arc::new(move |day, health| {
+            publisher.publish_shared(&shared);
+            publisher.publish_health(Some(day), health, Default::default());
+            let (status, _) = scrape(addr, "/metrics");
+            assert_eq!(status, 200);
+        })
+    };
+    let instrumented = run_fleet(
+        specs(),
+        &FleetConfig {
+            parallelism: Parallelism::new(2),
+            ..FleetConfig::default()
+        },
+        FleetOptions {
+            shard_options: shard_options(),
+            recorder,
+            on_day_close: Some(observer),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("instrumented fleet");
+
+    for (plain, live) in baseline.shards.into_iter().zip(instrumented.shards) {
+        let plain = plain.result.expect("baseline result");
+        let live = live.result.expect("instrumented result");
+        assert_eq!(
+            normalized(plain),
+            normalized(live),
+            "telemetry must not perturb results"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn teed_tallies_commute_across_thread_counts_and_sinks() {
+    let run_at = |threads: usize| {
+        let shared = SharedRegistry::new();
+        let flat = MetricsRegistry::new();
+        let recorder: Arc<dyn Recorder> = Arc::new(Tee::new(vec![
+            Arc::new(shared.clone()) as Arc<dyn Recorder>,
+            Arc::new(flat.clone()) as Arc<dyn Recorder>,
+        ]));
+        let report = run_fleet(
+            specs(),
+            &FleetConfig {
+                parallelism: Parallelism::new(threads),
+                ..FleetConfig::default()
+            },
+            FleetOptions {
+                shard_options: shard_options(),
+                recorder,
+                ..FleetOptions::default()
+            },
+        )
+        .expect("fleet runs");
+        assert_eq!(report.health.healthy(), SHARDS);
+        (shared, flat)
+    };
+
+    let (serial_shared, serial_flat) = run_at(1);
+    let (parallel_shared, parallel_flat) = run_at(4);
+
+    // Wall-time *sums* are not comparable across thread counts, but every
+    // discrete tally must commute: same counters, same histogram counts.
+    for name in [
+        fleet_names::DAYS_CLOSED,
+        fleet_names::DAY_RETRIES,
+        fleet_names::SHARD_RESTARTS,
+        fleet_names::QUARANTINES,
+        fleet_names::DEADLINE_BREACHES,
+        fleet_names::PANICS_CONTAINED,
+    ] {
+        assert_eq!(
+            serial_shared.counter(name),
+            parallel_shared.counter(name),
+            "{name} must not depend on thread count"
+        );
+        // Both tee sinks observed the identical stream.
+        assert_eq!(serial_shared.counter(name), serial_flat.counter(name), "{name}");
+        assert_eq!(parallel_shared.counter(name), parallel_flat.counter(name), "{name}");
+    }
+    assert_eq!(serial_shared.counter(fleet_names::DAYS_CLOSED) as usize, SHARDS * DAYS);
+
+    let count_of = |histogram: Option<netmeter_sentinel::obs::Histogram>| {
+        histogram.map(|h| h.count()).unwrap_or(0)
+    };
+    assert_eq!(
+        count_of(serial_shared.histogram(fleet_names::DAY_CLOSE_SECONDS)),
+        count_of(parallel_shared.histogram(fleet_names::DAY_CLOSE_SECONDS)),
+        "one day-close observation per shard-day at any thread count"
+    );
+    assert_eq!(
+        count_of(serial_flat.histogram(fleet_names::DAY_CLOSE_SECONDS)),
+        count_of(serial_shared.histogram(fleet_names::DAY_CLOSE_SECONDS)),
+    );
+    assert_eq!(
+        count_of(parallel_flat.histogram(fleet_names::DAY_CLOSE_SECONDS)),
+        count_of(parallel_shared.histogram(fleet_names::DAY_CLOSE_SECONDS)),
+    );
+}
+
+#[test]
+fn stopwatch_observations_through_a_shared_tee_commute() {
+    use netmeter_sentinel::obs::Stopwatch;
+
+    // The shard-worker shape: N threads share one Tee and each books
+    // stopwatch-timed work into it. Wall times are nondeterministic;
+    // the discrete tallies must not be.
+    let tally_with = |threads: usize| {
+        let shared = SharedRegistry::new();
+        let flat = MetricsRegistry::new();
+        let tee = Arc::new(Tee::new(vec![
+            Arc::new(shared.clone()) as Arc<dyn Recorder>,
+            Arc::new(flat.clone()) as Arc<dyn Recorder>,
+        ]));
+        let per_thread = 50usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let tee = Arc::clone(&tee);
+                std::thread::spawn(move || {
+                    for item in 0..per_thread {
+                        let watch = Stopwatch::start();
+                        tee.add("work_items", 1);
+                        tee.observe("work_value", item as f64 % 5.0);
+                        tee.observe("work_seconds", watch.secs());
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker");
+        }
+        (shared, flat, (threads * per_thread) as u64)
+    };
+
+    let (serial_shared, serial_flat, serial_total) = tally_with(1);
+    let (parallel_shared, parallel_flat, parallel_total) = tally_with(4);
+
+    assert_eq!(serial_shared.counter("work_items"), serial_total);
+    assert_eq!(parallel_shared.counter("work_items"), parallel_total);
+    // Both tee sinks agree exactly, under contention and without.
+    for (shared, flat) in [
+        (&serial_shared, &serial_flat),
+        (&parallel_shared, &parallel_flat),
+    ] {
+        assert_eq!(shared.counter("work_items"), flat.counter("work_items"));
+        for name in ["work_value", "work_seconds"] {
+            let striped = shared.histogram(name).expect("striped histogram");
+            let teed = flat.histogram(name).expect("flat histogram");
+            assert_eq!(striped.count(), teed.count(), "{name}");
+            assert_eq!(striped.sum(), teed.sum(), "{name}");
+        }
+    }
+    // And the value histogram (deterministic samples) commutes across
+    // thread counts per item.
+    let serial = serial_shared.histogram("work_value").expect("histogram");
+    let parallel = parallel_shared.histogram("work_value").expect("histogram");
+    assert_eq!(serial.count() * 4, parallel.count());
+    assert!((serial.sum() * 4.0 - parallel.sum()).abs() < 1e-9);
+}
