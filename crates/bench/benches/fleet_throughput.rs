@@ -63,6 +63,7 @@ fn run_config(days: usize) -> LongTermRunConfig {
         budget: SolveBudget::unlimited(),
         quarantine: Default::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     }
 }
 
@@ -140,6 +141,7 @@ fn bench(c: &mut Criterion) {
         cache_hits: 0,
         cache_misses: 0,
         note: format!("{shards} shards × {days} days, day-lockstep supervisor"),
+        speedup: 0.0,
     };
     record_bench_results(&[
         record("fleet/day_close/seq", seq_secs, 1),

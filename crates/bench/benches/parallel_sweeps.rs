@@ -158,6 +158,7 @@ fn bench(c: &mut Criterion) {
             cache_hits: hits,
             cache_misses: misses,
             note: sweep_note(threads),
+            speedup: 0.0,
         }
     };
     record_bench_results(&[

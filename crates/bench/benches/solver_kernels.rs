@@ -13,6 +13,18 @@
 //!   whole community, reference path vs one warm workspace carried across
 //!   customers.
 //!
+//! A fourth pair, `game_round/n500`, pins the paper's scale: one
+//! Gauss–Seidel community round over N = 500 customers (regardless of
+//! `NMS_BENCH_CUSTOMERS`), TimeSeries-per-customer reference vs the flat
+//! SoA [`BatchResponseWorkspace`] lanes the game engine runs on
+//! (DESIGN.md §15).
+//!
+//! The community-round pairs (`jacobi_round`, `game_round/n500`) run
+//! battery-free: the CE battery step is the same code on both paths and
+//! two orders of magnitude more expensive than the DP it wraps, so timing
+//! it would only bury the workspace/representation difference under
+//! Monte-Carlo variance.
+//!
 //! Every pair is asserted bit-identical before its wall times are recorded
 //! into `BENCH_results.json` (targets `solver_kernels/<kernel>/before` and
 //! `.../after`), so the perf trajectory tracks two implementations of
@@ -28,15 +40,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use nms_bench::{bench_scenario, host_cores, record_bench_results, BenchRecord};
+use nms_bench::{bench_scenario, bench_seed, host_cores, record_bench_results, BenchRecord};
 use nms_obs::NoopRecorder;
 use nms_pricing::{CostModel, NetMeteringTariff, PriceSignal};
+use nms_sim::PaperScenario;
 use nms_smarthome::{
     Appliance, ApplianceKind, Community, CustomerSchedule, PowerLevels, TaskSpec,
 };
 use nms_solver::{
-    best_response_in, best_response_reference, DpScheduler, DpWorkspace, ResponseConfig,
-    ResponseWorkspace,
+    best_response_in, best_response_reference, best_response_slice_in, BatchResponseWorkspace,
+    DpScheduler, DpWorkspace, ResponseConfig, ResponseWorkspace,
 };
 use nms_types::{ApplianceId, Kw, Kwh, TimeSeries};
 
@@ -44,8 +57,13 @@ fn smoke() -> bool {
     std::env::var_os("NMS_BENCH_SMOKE").is_some()
 }
 
-/// Mean seconds per iteration of `run` over `iters` repetitions.
-fn mean_secs(iters: usize, mut run: impl FnMut()) -> f64 {
+/// Mean seconds per iteration of `run` over `iters` measured repetitions,
+/// after `warmup` unmeasured ones so caches, branch predictors, and the
+/// allocator reach steady state before the clock starts.
+fn mean_secs(warmup: usize, iters: usize, mut run: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        run();
+    }
     let start = Instant::now();
     for _ in 0..iters {
         run();
@@ -95,8 +113,21 @@ fn bench(c: &mut Criterion) {
     let prices = PriceSignal::time_of_use(horizon, 0.05, 0.25).unwrap();
     let tariff = NetMeteringTariff::default();
     let config = ResponseConfig::fast();
+    // Battery-free config for the community-round pairs: isolates the
+    // workspace/representation difference from the CE battery step, which
+    // is identical code on both paths (see the module docs).
+    let game_config = ResponseConfig {
+        use_battery: false,
+        ..config
+    };
     let scenario = bench_scenario();
-    let (dp_iters, response_iters, round_iters) = if smoke() { (20, 2, 1) } else { (200, 8, 3) };
+    // Jacobi means over 3 iterations were statistically meaningless at
+    // community scale; every kernel takes a warmup (a quarter of its
+    // measured count, at least one), and battery-free rounds are cheap
+    // enough to afford real repetition counts.
+    let (dp_iters, response_iters, round_iters) =
+        if smoke() { (20, 2, 1) } else { (200, 8, 100) };
+    let warmup_of = |iters: usize| (iters / 4).max(1);
 
     // --- dp_solve: fresh tables vs warm DpWorkspace, same closure. ---
     let appliance = ev_appliance();
@@ -110,10 +141,10 @@ fn bench(c: &mut Criterion) {
     for (h, (x, y)) in fresh.energy().iter().zip(warm.energy().iter()).enumerate() {
         assert_eq!(x.to_bits(), y.to_bits(), "dp_solve slot {h} diverged");
     }
-    let dp_before = mean_secs(dp_iters, || {
+    let dp_before = mean_secs(warmup_of(dp_iters), dp_iters, || {
         scheduler.schedule(&appliance, horizon, slot_cost).expect("feasible");
     });
-    let dp_after = mean_secs(dp_iters, || {
+    let dp_after = mean_secs(warmup_of(dp_iters), dp_iters, || {
         scheduler
             .schedule_in(&appliance, horizon, &mut dp_ws, slot_cost)
             .expect("feasible");
@@ -145,7 +176,7 @@ fn bench(c: &mut Criterion) {
     )
     .expect("responds");
     assert_bit_identical("best_response", &reference, &hoisted);
-    let response_before = mean_secs(response_iters, || {
+    let response_before = mean_secs(warmup_of(response_iters), response_iters, || {
         best_response_reference(
             customer,
             &others,
@@ -157,7 +188,7 @@ fn bench(c: &mut Criterion) {
         )
         .expect("responds");
     });
-    let response_after = mean_secs(response_iters, || {
+    let response_after = mean_secs(warmup_of(response_iters), response_iters, || {
         best_response_in(
             customer,
             &others,
@@ -188,7 +219,7 @@ fn bench(c: &mut Criterion) {
                         customer,
                         &others,
                         CostModel::new(&prices, tariff),
-                        &config,
+                        &game_config,
                         None,
                         &mut rng,
                         &NoopRecorder,
@@ -200,7 +231,7 @@ fn bench(c: &mut Criterion) {
                         customer,
                         &others,
                         CostModel::new(&prices, tariff),
-                        &config,
+                        &game_config,
                         None,
                         &mut rng,
                         &NoopRecorder,
@@ -215,12 +246,119 @@ fn bench(c: &mut Criterion) {
     for (index, (a, b)) in round_ref.iter().zip(round_ws.iter()).enumerate() {
         assert_bit_identical(&format!("jacobi_round customer {index}"), a, b);
     }
-    let round_before = mean_secs(round_iters, || {
+    let round_before = mean_secs(warmup_of(round_iters), round_iters, || {
         round_once(false);
     });
-    let round_after = mean_secs(round_iters, || {
+    let round_after = mean_secs(warmup_of(round_iters), round_iters, || {
         round_once(true);
     });
+
+    // --- game_round/n500: one Gauss–Seidel community round at the paper's
+    // scale (N = 500), regardless of NMS_BENCH_CUSTOMERS. Before is the
+    // TimeSeries-per-customer representation the engine used to run on
+    // (fresh `total.sub` / `others.add` allocations around every reference
+    // response); after is the flat SoA [`BatchResponseWorkspace`] lanes it
+    // runs on now (DESIGN.md §15). Seeds are pre-drawn so both paths give
+    // every customer the same randomness, and the two rounds are asserted
+    // bit-identical, schedule by schedule, before timing.
+    let paper = PaperScenario::paper(bench_seed());
+    let paper_community = {
+        let generator = paper.generator();
+        let weather = paper.weather_factors(1);
+        generator.community_for_day(0, weather[0])
+    };
+    let n500 = paper_community.len();
+    let paper_horizon = paper_community.horizon();
+    let paper_prices = PriceSignal::time_of_use(paper_horizon, 0.05, 0.25).unwrap();
+    let game_seeds: Vec<u64> = {
+        use rand::Rng;
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(9);
+        (0..n500).map(|_| seed_rng.gen()).collect()
+    };
+    let game_round_series = || -> Vec<CustomerSchedule> {
+        let mut total = TimeSeries::filled(paper_horizon, 0.0);
+        let mut lanes: Vec<TimeSeries<f64>> = vec![TimeSeries::filled(paper_horizon, 0.0); n500];
+        paper_community
+            .iter()
+            .enumerate()
+            .map(|(index, customer)| {
+                let others = total.sub(&lanes[index]).expect("same horizon");
+                let response = best_response_reference(
+                    customer,
+                    &others,
+                    CostModel::new(&paper_prices, tariff),
+                    &game_config,
+                    None,
+                    &mut ChaCha8Rng::seed_from_u64(game_seeds[index]),
+                    &NoopRecorder,
+                )
+                .expect("responds");
+                total = others.add(response.trading()).expect("same horizon");
+                lanes[index] = response.trading().clone();
+                response
+            })
+            .collect()
+    };
+    let game_round_soa = || -> Vec<CustomerSchedule> {
+        let mut batch = BatchResponseWorkspace::new();
+        batch.begin(n500, paper_horizon.slots());
+        let mut ws = ResponseWorkspace::new();
+        paper_community
+            .iter()
+            .enumerate()
+            .map(|(index, customer)| {
+                batch.fill_others(index);
+                let response = best_response_slice_in(
+                    customer,
+                    batch.others(),
+                    CostModel::new(&paper_prices, tariff),
+                    &game_config,
+                    None,
+                    &mut ChaCha8Rng::seed_from_u64(game_seeds[index]),
+                    &NoopRecorder,
+                    &mut ws,
+                )
+                .expect("responds");
+                batch.commit_gauss_seidel(index, response.trading().as_slice());
+                response
+            })
+            .collect()
+    };
+    // The identity round doubles as the warmup for both paths.
+    let game_ref = game_round_series();
+    let game_soa = game_round_soa();
+    assert_eq!(game_ref.len(), n500);
+    for (index, (a, b)) in game_ref.iter().zip(game_soa.iter()).enumerate() {
+        assert_bit_identical(&format!("game_round/n500 customer {index}"), a, b);
+        for (h, (x, y)) in a.trading().iter().zip(b.trading().iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "game_round/n500 customer {index} trading slot {h}"
+            );
+        }
+    }
+    // Battery-free rounds are cheap (~ms), so the mean can afford real
+    // statistics instead of the 3-shot CE-dominated timing this pair
+    // started with.
+    let game_iters = if smoke() { 1 } else { 100 };
+    let game_before = mean_secs(warmup_of(game_iters), game_iters, || {
+        game_round_series();
+    });
+    let game_after = mean_secs(warmup_of(game_iters), game_iters, || {
+        game_round_soa();
+    });
+    if smoke() {
+        // The CI smoke gate times exactly one paper-scale round per path;
+        // the ceiling is deliberately generous (an order of magnitude over
+        // the recording host) and exists to catch pathological regressions,
+        // not noise.
+        assert!(
+            game_before < 120.0 && game_after < 120.0,
+            "paper-scale game round blew the smoke wall ceiling: \
+             before {game_before:.2}s, after {game_after:.2}s"
+        );
+    }
 
     println!("\n=== Solver kernels (before = fresh alloc + closure, after = warm workspace + hoisted table) ===");
     let row = |name: &str, before: f64, after: f64| {
@@ -234,6 +372,7 @@ fn bench(c: &mut Criterion) {
     row("dp_solve", dp_before, dp_after);
     row("best_response", response_before, response_after);
     row("jacobi_round", round_before, round_after);
+    row("game_round/500", game_before, game_after);
 
     let record = |target: &str, wall_secs: f64, iters: usize, note: &str| BenchRecord {
         target: target.to_string(),
@@ -245,7 +384,8 @@ fn bench(c: &mut Criterion) {
         solver_rounds: 0,
         cache_hits: 0,
         cache_misses: 0,
-        note: format!("mean of {iters} iters; {note}"),
+        note: format!("mean of {iters} iters after warmup; {note}"),
+        speedup: 0.0,
     };
     record_bench_results(&[
         record(
@@ -276,14 +416,36 @@ fn bench(c: &mut Criterion) {
             "solver_kernels/jacobi_round/before",
             round_before,
             round_iters,
-            "one community round, reference kernel per customer",
+            "one battery-free community round, reference kernel per customer",
         ),
         record(
             "solver_kernels/jacobi_round/after",
             round_after,
             round_iters,
-            "one community round, single warm workspace across customers",
+            "one battery-free community round, single warm workspace across customers",
         ),
+        BenchRecord {
+            customers: n500,
+            seed: paper.seed,
+            ..record(
+                "game_round/n500/before",
+                game_before,
+                game_iters,
+                "one paper-scale Gauss–Seidel round, TimeSeries per customer \
+                 + best_response_reference",
+            )
+        },
+        BenchRecord {
+            customers: n500,
+            seed: paper.seed,
+            ..record(
+                "game_round/n500/after",
+                game_after,
+                game_iters,
+                "one paper-scale Gauss–Seidel round, SoA BatchResponseWorkspace \
+                 lanes + best_response_slice_in",
+            )
+        },
     ])
     .expect("bench results written");
     println!("recorded to {}", nms_bench::bench_results_path().display());

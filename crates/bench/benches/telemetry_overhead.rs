@@ -67,6 +67,7 @@ fn run_config(days: usize) -> LongTermRunConfig {
         budget: SolveBudget::unlimited(),
         quarantine: Default::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     }
 }
 
@@ -173,6 +174,7 @@ fn bench(c: &mut Criterion) {
             "{shards} shards × {days} days; striped registry + spans + /metrics server; \
              overhead {overhead_pct:+.2}%"
         ),
+        speedup: 0.0,
     };
     record_bench_results(&[
         record("telemetry/overhead/off", off_secs),

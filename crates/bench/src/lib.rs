@@ -80,6 +80,43 @@ pub struct BenchRecord {
     /// counts) so a record explains its own measurement conditions.
     #[serde(default)]
     pub note: String,
+    /// Wall-clock ratio of this record's baseline counterpart to this
+    /// record — filled in by the merge-writer for the optimized side of a
+    /// `{before,after}`, `{seq,par}`, or `{seq,spec}` target pair (e.g.
+    /// `game_round/n500/after` gets `before/after`). `0` on baselines,
+    /// unpaired targets, and records written before this field existed.
+    #[serde(default)]
+    pub speedup: f64,
+}
+
+/// The `baseline → optimized` target-suffix pairs the merge-writer
+/// recognizes when computing [`BenchRecord::speedup`].
+const SPEEDUP_PAIRS: [(&str, &str); 3] = [("before", "after"), ("seq", "par"), ("seq", "spec")];
+
+/// Fills [`BenchRecord::speedup`] on every record whose target ends in an
+/// optimized-side suffix and whose baseline counterpart is present in the
+/// same merged set. Runs over the *merged* records, so a pair recorded by
+/// two separate bench invocations still gets its ratio.
+fn apply_speedups(records: &mut [BenchRecord]) {
+    let walls: std::collections::HashMap<String, f64> = records
+        .iter()
+        .map(|r| (r.target.clone(), r.wall_secs))
+        .collect();
+    for record in records.iter_mut() {
+        for (baseline, optimized) in SPEEDUP_PAIRS {
+            let Some(stem) = record.target.strip_suffix(optimized) else {
+                continue;
+            };
+            if !stem.is_empty() && !stem.ends_with('/') {
+                continue;
+            }
+            if let Some(&base) = walls.get(&format!("{stem}{baseline}")) {
+                if record.wall_secs > 0.0 && base.is_finite() {
+                    record.speedup = base / record.wall_secs;
+                }
+            }
+        }
+    }
 }
 
 /// Logical cores on this host (0 when the count cannot be determined).
@@ -131,6 +168,7 @@ pub fn record_bench_results_on(
     merged.retain(|existing: &BenchRecord| !records.iter().any(|r| r.target == existing.target));
     merged.extend(records.iter().cloned());
     merged.sort_by(|a, b| a.target.cmp(&b.target));
+    apply_speedups(&mut merged);
     let content = serde_json::to_string(&merged)
         .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))?;
     nms_vfs::write_atomic(
@@ -150,6 +188,10 @@ pub fn record_bench_results_on(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes the tests that point `NMS_BENCH_RESULTS` (process-global)
+    /// at a scratch file, so the parallel test runner cannot interleave them.
+    static RESULTS_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn defaults_are_sane() {
@@ -172,6 +214,7 @@ mod tests {
 
     #[test]
     fn bench_records_merge_by_target() {
+        let _env = RESULTS_ENV.lock().unwrap();
         let dir = std::env::temp_dir();
         let path = dir.join(format!("nms-bench-results-{}.json", std::process::id()));
         let _ = std::fs::remove_file(&path);
@@ -187,6 +230,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             note: String::new(),
+            speedup: 0.0,
         };
         record_bench_results(&[record("a", 1.0), record("b", 2.0)]).unwrap();
         record_bench_results(&[record("b", 3.0)]).unwrap();
@@ -197,5 +241,54 @@ mod tests {
         assert_eq!(loaded[0].target, "a");
         assert_eq!(loaded[1].wall_secs, 3.0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_writer_fills_speedup_on_paired_targets() {
+        let _env = RESULTS_ENV.lock().unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("nms-bench-speedup-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("NMS_BENCH_RESULTS", &path);
+        let record = |target: &str, wall: f64| BenchRecord {
+            target: target.into(),
+            wall_secs: wall,
+            customers: 8,
+            seed: 1,
+            threads: 1,
+            host_cores: host_cores(),
+            solver_rounds: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            note: String::new(),
+            speedup: 0.0,
+        };
+        // The pair lands across *two* invocations: the merge-writer must
+        // compute the ratio over the merged set, not the current batch.
+        record_bench_results(&[record("day_pipeline/seq", 2.0), record("lonely/after", 1.0)])
+            .unwrap();
+        record_bench_results(&[
+            record("day_pipeline/spec", 0.5),
+            record("game_round/n500/before", 3.0),
+            record("game_round/n500/after", 1.5),
+        ])
+        .unwrap();
+        let loaded: Vec<BenchRecord> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::env::remove_var("NMS_BENCH_RESULTS");
+        let by_target = |t: &str| loaded.iter().find(|r| r.target == t).unwrap();
+        assert_eq!(by_target("day_pipeline/spec").speedup, 4.0);
+        assert_eq!(by_target("game_round/n500/after").speedup, 2.0);
+        assert_eq!(by_target("day_pipeline/seq").speedup, 0.0, "baselines stay 0");
+        assert_eq!(by_target("lonely/after").speedup, 0.0, "unpaired stays 0");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_records_without_speedup_deserialize_to_zero() {
+        let legacy = "{\"target\":\"a/after\",\"wall_secs\":1.0,\"customers\":8,\
+                      \"seed\":1,\"threads\":2}";
+        let record: BenchRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(record.speedup, 0.0);
     }
 }

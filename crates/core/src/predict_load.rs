@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use nms_pricing::{CostModel, NetMeteringTariff, PriceSignal};
 use nms_smarthome::{Community, CommunitySchedule, Customer, LoadProfile};
-use nms_solver::{CacheStats, GameConfig, GameEngine, PriceAssignment, SolverError};
+use nms_solver::{CacheStats, GameConfig, GameEngine, PersistentCache, PriceAssignment, SolverError};
 use nms_types::{MeterId, TimeSeries};
 
 /// The community's predicted response to a price signal.
@@ -83,7 +83,13 @@ impl LoadPredictor {
         prices: &PriceSignal,
         rng: &mut impl Rng,
     ) -> Result<PredictedResponse, SolverError> {
-        self.predict_with_assignment(community, PriceAssignment::Uniform(prices), rng, &NoopRecorder)
+        self.predict_with_assignment(
+            community,
+            PriceAssignment::Uniform(prices),
+            rng,
+            &NoopRecorder,
+            None,
+        )
     }
 
     /// [`LoadPredictor::predict`] with solver telemetry routed into `rec`
@@ -100,7 +106,34 @@ impl LoadPredictor {
         rng: &mut impl Rng,
         rec: &dyn Recorder,
     ) -> Result<PredictedResponse, SolverError> {
-        self.predict_with_assignment(community, PriceAssignment::Uniform(prices), rng, rec)
+        self.predict_with_assignment(community, PriceAssignment::Uniform(prices), rng, rec, None)
+    }
+
+    /// [`LoadPredictor::predict_recorded`] backed by a cross-solve
+    /// [`PersistentCache`] (see [`GameEngine::solve_persistent_recorded`]):
+    /// pure-DP best responses the cache has seen — in this prediction or an
+    /// earlier day's — skip the re-solve. Hits are exact-verified, so the
+    /// result is bit-identical to [`LoadPredictor::predict_recorded`] under
+    /// the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LoadPredictor::predict`].
+    pub fn predict_cached_recorded(
+        &self,
+        community: &Community,
+        prices: &PriceSignal,
+        rng: &mut impl Rng,
+        cache: &mut PersistentCache,
+        rec: &dyn Recorder,
+    ) -> Result<PredictedResponse, SolverError> {
+        self.predict_with_assignment(
+            community,
+            PriceAssignment::Uniform(prices),
+            rng,
+            rec,
+            Some(cache),
+        )
     }
 
     /// Predicts the community response when each customer's meter reports
@@ -123,6 +156,7 @@ impl LoadPredictor {
             PriceAssignment::PerCustomer(signals),
             rng,
             &NoopRecorder,
+            None,
         )
     }
 
@@ -139,7 +173,7 @@ impl LoadPredictor {
         rng: &mut impl Rng,
         rec: &dyn Recorder,
     ) -> Result<PredictedResponse, SolverError> {
-        self.predict_with_assignment(community, PriceAssignment::PerCustomer(signals), rng, rec)
+        self.predict_with_assignment(community, PriceAssignment::PerCustomer(signals), rng, rec, None)
     }
 
     /// The community's realized response when `hacked_meters` deviate
@@ -256,6 +290,7 @@ impl LoadPredictor {
         prices: PriceAssignment<'_>,
         rng: &mut impl Rng,
         rec: &dyn Recorder,
+        cache: Option<&mut PersistentCache>,
     ) -> Result<PredictedResponse, SolverError> {
         let stripped_storage;
         let community_model: &Community = if self.net_metering {
@@ -270,7 +305,10 @@ impl LoadPredictor {
         }
         let engine = GameEngine::with_price_assignment(community_model, prices, self.tariff, game)
             .map_err(SolverError::Config)?;
-        let outcome = engine.solve_recorded(rng, rec)?;
+        let outcome = match cache {
+            Some(cache) => engine.solve_persistent_recorded(rng, rec, cache)?,
+            None => engine.solve_recorded(rng, rec)?,
+        };
         let grid_demand = outcome.schedule.grid_demand_clamped();
         let par = grid_demand.par().unwrap_or(1.0);
         Ok(PredictedResponse {

@@ -1,0 +1,152 @@
+//! A single background worker for speculative pipelining (DESIGN.md §15).
+//!
+//! The speculative day pipeline overlaps day `k+1`'s market clearing with
+//! day `k`'s detection: the driver submits a request describing the work it
+//! *expects* to need next, keeps going on the current day, and later
+//! receives the precomputed result — committing it only if the assumption
+//! it was built on still holds. This module provides the threading
+//! primitive for that shape: one dedicated worker thread, FIFO
+//! request/response channels, and a drop implementation that always joins.
+//!
+//! The worker is deliberately *not* a thread pool: speculation depth one
+//! (compute exactly the next day ahead) is the only depth whose assumption
+//! the driver can check cheaply, and a single FIFO worker keeps responses
+//! in submission order so the driver never has to match responses back to
+//! requests.
+//!
+//! Determinism contract: the worker runs whatever closure it was spawned
+//! with; it is the *caller's* job to make that closure a pure function of
+//! the request (derive any RNG from request fields, never from shared
+//! state). Under that discipline a speculated result is bit-identical to
+//! computing the same request inline, which is what lets the pipeline
+//! discard-and-recompute without observable effect.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A dedicated worker thread processing `Req → Res` jobs in FIFO order.
+///
+/// Responses come back in submission order via [`SpeculativeWorker::recv`].
+/// Dropping the worker closes the request channel and joins the thread
+/// (finishing at most the job in flight), so a driver that abandons its
+/// speculation never leaks the thread.
+#[derive(Debug)]
+pub struct SpeculativeWorker<Req, Res> {
+    tx: Option<Sender<Req>>,
+    rx: Receiver<Res>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<Req: Send + 'static, Res: Send + 'static> SpeculativeWorker<Req, Res> {
+    /// Spawns the worker around a job function. The function may carry
+    /// mutable worker-local state (warm caches, scratch buffers) — that
+    /// state lives on the worker thread for the worker's whole life.
+    ///
+    /// If the OS refuses to spawn a thread the worker comes up dead:
+    /// [`SpeculativeWorker::submit`] returns `false` and the driver simply
+    /// computes everything inline — speculation is an optimization, never
+    /// a requirement.
+    pub fn spawn<F>(mut work: F) -> Self
+    where
+        F: FnMut(Req) -> Res + Send + 'static,
+    {
+        let (tx, req_rx) = channel::<Req>();
+        let (res_tx, rx) = channel::<Res>();
+        let handle = std::thread::Builder::new()
+            .name("nms-speculate".into())
+            .spawn(move || {
+                while let Ok(req) = req_rx.recv() {
+                    if res_tx.send(work(req)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .ok();
+        Self {
+            tx: handle.is_some().then_some(tx),
+            rx,
+            handle,
+        }
+    }
+
+    /// Enqueues a request. Returns `false` when the worker is dead (failed
+    /// to spawn, or its thread exited), in which case the caller should
+    /// compute the work inline.
+    pub fn submit(&self, request: Req) -> bool {
+        self.tx
+            .as_ref()
+            .is_some_and(|tx| tx.send(request).is_ok())
+    }
+
+    /// Blocks for the next response, in submission order. `None` means the
+    /// worker died without producing one (a panic in the job function);
+    /// callers recompute inline.
+    pub fn recv(&self) -> Option<Res> {
+        self.rx.recv().ok()
+    }
+
+    /// Whether the worker thread came up (it may still die later; `submit`
+    /// and `recv` report that per call).
+    pub fn is_alive(&self) -> bool {
+        self.tx.is_some()
+    }
+}
+
+impl<Req, Res> Drop for SpeculativeWorker<Req, Res> {
+    fn drop(&mut self) {
+        // Closing the request channel ends the worker loop; join so no
+        // thread outlives the value that owns it. A panicked worker already
+        // terminated — surface nothing, the caller saw `recv() == None`.
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            drop(handle.join());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_arrive_in_submission_order() {
+        let worker = SpeculativeWorker::spawn(|x: u64| x * 2);
+        assert!(worker.is_alive());
+        for x in 0..8 {
+            assert!(worker.submit(x));
+        }
+        for x in 0..8 {
+            assert_eq!(worker.recv(), Some(x * 2));
+        }
+    }
+
+    #[test]
+    fn worker_keeps_local_state_across_jobs() {
+        let mut total = 0u64;
+        let worker = SpeculativeWorker::spawn(move |x: u64| {
+            total += x;
+            total
+        });
+        assert!(worker.submit(3));
+        assert!(worker.submit(4));
+        assert_eq!(worker.recv(), Some(3));
+        assert_eq!(worker.recv(), Some(7));
+    }
+
+    #[test]
+    fn drop_joins_with_requests_outstanding() {
+        let worker = SpeculativeWorker::spawn(|x: u64| x + 1);
+        assert!(worker.submit(1));
+        drop(worker); // must not hang or leak
+    }
+
+    #[test]
+    fn panicked_worker_reports_via_recv_and_submit() {
+        let worker = SpeculativeWorker::spawn(|_: u64| -> u64 { panic!("boom") });
+        assert!(worker.submit(1));
+        assert_eq!(worker.recv(), None, "panicked worker yields no response");
+        // The thread is gone; a later submit fails instead of wedging.
+        let _ = worker.submit(2);
+        assert_eq!(worker.recv(), None);
+    }
+}

@@ -150,6 +150,20 @@ impl<'a> CostModel<'a> {
     /// Panics if `others_trading` has a different slot count than the price
     /// signal.
     pub fn hoist_into(&self, others_trading: &TimeSeries<f64>, table: &mut HoistedCostTable) {
+        self.hoist_slice_into(others_trading.as_slice(), table);
+    }
+
+    /// [`CostModel::hoist_into`] over a raw slice of per-slot others-trading
+    /// values — the batch variant used by the structure-of-arrays game
+    /// kernels, which keep every customer's series as a contiguous `f64`
+    /// lane rather than a `TimeSeries`. Exactness is unchanged: the hoisted
+    /// terms are the exact `f64`s the cost model would have read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `others_trading` has a different slot count than the price
+    /// signal.
+    pub fn hoist_slice_into(&self, others_trading: &[f64], table: &mut HoistedCostTable) {
         assert_eq!(
             others_trading.len(),
             self.prices.len(),
@@ -160,7 +174,7 @@ impl<'a> CostModel<'a> {
             .price
             .extend((0..self.prices.len()).map(|slot| self.prices.at(slot).value()));
         table.others.clear();
-        table.others.extend(others_trading.iter().copied());
+        table.others.extend_from_slice(others_trading);
         table.sell_fraction = self.tariff.sell_fraction();
     }
 

@@ -44,6 +44,9 @@ use nms_core::{
 };
 use nms_forecast::PriceHistory;
 use nms_par::Parallelism;
+use nms_pricing::PriceSignal;
+use nms_smarthome::Community;
+use nms_solver::{CacheStats, PersistentCache};
 use nms_types::{
     DayHealth, MeterId, RetryPolicy, RunHealth, SolveBudget, StorageFaultCounts,
     StorageFaultLedger, TimeSeries,
@@ -56,7 +59,7 @@ use crate::faults::{corrupt_day_meters, FaultPlan};
 use crate::journal::{
     DayRecord, FixRecord, HistoryRow, JournalError, JournalHeader, RunJournal, JOURNAL_VERSION,
 };
-use crate::{CommunityGenerator, Market, PaperScenario, SimError};
+use crate::{CommunityGenerator, DayOutcome, Market, PaperScenario, SimError};
 
 /// Slots per simulated day (the paper's hourly horizon).
 const SLOTS_PER_DAY: usize = 24;
@@ -103,6 +106,18 @@ pub struct LongTermRunConfig {
     /// sequential, which is bit-identical to every parallel setting).
     #[serde(default)]
     pub parallelism: Parallelism,
+    /// Fixed-point rounds of `price ← design(demand(price))` per cleared
+    /// detection day (see [`Market::clear_day`]). The historical value — and
+    /// what configurations serialized before this knob existed load as — is
+    /// 2. Higher values iterate the market to (often bitwise) convergence;
+    /// once the price repeats exactly, the remaining rounds are exact
+    /// re-solves a [`DayCacheConfig`] persistent cache answers wholesale.
+    #[serde(default = "default_clearing_iterations")]
+    pub clearing_iterations: usize,
+}
+
+fn default_clearing_iterations() -> usize {
+    2
 }
 
 impl LongTermRunConfig {
@@ -202,7 +217,7 @@ fn belief_entropy(belief: &[f64]) -> f64 {
 // ---------------------------------------------------------------------------
 
 /// Immutable per-run context built once from the scenario.
-struct RunSetup {
+pub(crate) struct RunSetup {
     market: Market,
     generator: CommunityGenerator,
     weather: Vec<f64>,
@@ -219,7 +234,7 @@ struct DetectorState {
 
 /// All evolving state of a long-term run between days — exactly what the
 /// journal's day records let a resume reconstruct.
-struct RunState {
+pub(crate) struct RunState {
     health: RunHealth,
     training_health: DayHealth,
     history: PriceHistory,
@@ -236,7 +251,10 @@ struct RunState {
     quarantine_events: Vec<QuarantineEvent>,
 }
 
-fn prepare(scenario: &PaperScenario, config: &LongTermRunConfig) -> Result<RunSetup, SimError> {
+pub(crate) fn prepare(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+) -> Result<RunSetup, SimError> {
     scenario.validate()?;
     config.validate()?;
     let market = Market::new(scenario)?;
@@ -408,6 +426,129 @@ fn faulted_view(
     Ok(report.cleaned)
 }
 
+/// The sorted meter indices of a compromise set — the canonical form the
+/// speculation commit check compares.
+fn compromised_indices(set: &CompromiseSet) -> Vec<usize> {
+    let mut indices: Vec<usize> = set.iter().map(|m| m.index()).collect();
+    indices.sort_unstable();
+    indices
+}
+
+/// Realizes one day's response for a compromise set: the committed (clean)
+/// plan with hacked homes deviating unilaterally. Pure in
+/// `(community, clean, manipulated, realization_seed, compromised)` — the
+/// property that lets a speculating worker compute it ahead of time.
+fn realize_day(
+    setup: &RunSetup,
+    community: &Community,
+    clean: &DayOutcome,
+    manipulated: &PriceSignal,
+    realization_seed: u64,
+    compromised: &CompromiseSet,
+    rec: &dyn Recorder,
+) -> Result<PredictedResponse, SimError> {
+    if compromised.is_empty() {
+        return Ok(clean.response.clone());
+    }
+    let meters: Vec<MeterId> = compromised.iter().collect();
+    let mut child = ChaCha8Rng::seed_from_u64(realization_seed);
+    Ok(setup.market.truth_model().respond_unilaterally_recorded(
+        community,
+        &clean.response,
+        manipulated,
+        &meters,
+        &mut child,
+        rec,
+    )?)
+}
+
+/// The belief-independent front half of one detection day: everything that
+/// is a pure function of `(scenario, config, day_offset, day RNG stream,
+/// assumed compromise set)` and can therefore be computed ahead of time by
+/// a speculating worker (DESIGN.md §15). The back half
+/// ([`simulate_day_with_inputs`]) consumes this plus the run state.
+pub(crate) struct DayInputs {
+    /// Which detection day these inputs belong to.
+    pub(crate) day_offset: usize,
+    /// The day's community (weather-scaled PV, per-day task jitter).
+    pub(crate) community: Community,
+    /// The cleanly cleared market day.
+    pub(crate) clean: DayOutcome,
+    /// The attacker-manipulated price signal derived from `clean`.
+    pub(crate) manipulated: PriceSignal,
+    /// Seed for the realization / prediction child RNGs.
+    pub(crate) realization_seed: u64,
+    /// Sorted meter indices the `realization` was computed for. The commit
+    /// check: inputs apply only to a run whose compromise set at day start
+    /// equals this assumption.
+    pub(crate) assumed: Vec<usize>,
+    /// The realized response under `assumed`.
+    pub(crate) realization: PredictedResponse,
+    /// Wall-clock spent clearing (telemetry only).
+    pub(crate) clearing_secs: f64,
+}
+
+/// Computes one day's [`DayInputs`], consuming the day RNG exactly as
+/// [`simulate_day`] historically did: one draw inside the market clearing,
+/// then one draw for the realization seed. Nothing else in the day touches
+/// `rng`, so precomputing these inputs from the day's seeded stream is
+/// bit-identical to computing them inline.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn prepare_day_inputs(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    setup: &RunSetup,
+    day_offset: usize,
+    assumed: &CompromiseSet,
+    rng: &mut impl Rng,
+    clearing_cache: Option<&mut PersistentCache>,
+    rec: &dyn Recorder,
+) -> Result<DayInputs, SimError> {
+    let day = scenario.training_days + day_offset;
+    let community = setup.generator.community_for_day(day, setup.weather[day]);
+    let clearing_watch = Stopwatch::start();
+    let clean = {
+        let _span = span(rec, "clearing");
+        match clearing_cache {
+            Some(cache) => setup.market.clear_day_cached_recorded(
+                &community,
+                config.clearing_iterations,
+                rng,
+                cache,
+                rec,
+            )?,
+            None => setup.market.clear_day_recorded(
+                &community,
+                config.clearing_iterations,
+                rng,
+                rec,
+            )?,
+        }
+    };
+    let clearing_secs = clearing_watch.secs();
+    let manipulated = config.timeline.attack().apply(&clean.price);
+    let realization_seed: u64 = rng.gen();
+    let realization = realize_day(
+        setup,
+        &community,
+        &clean,
+        &manipulated,
+        realization_seed,
+        assumed,
+        rec,
+    )?;
+    Ok(DayInputs {
+        day_offset,
+        community,
+        clean,
+        manipulated,
+        realization_seed,
+        assumed: compromised_indices(assumed),
+        realization,
+        clearing_secs,
+    })
+}
+
 /// Simulates one detection day, mutating `state` and returning the day's
 /// journalable transcript. Both run drivers call exactly this, so a
 /// supervised run and the legacy run behave identically given identical
@@ -421,6 +562,70 @@ fn simulate_day(
     rng: &mut impl Rng,
     rec: &dyn Recorder,
 ) -> Result<DayRecord, SimError> {
+    simulate_day_cached(
+        scenario, config, setup, state, day_offset, rng, None, None, rec,
+    )
+}
+
+/// [`simulate_day`] with optional cross-day solver caches for the market
+/// clearing and the detector's load prediction. `None` for both is exactly
+/// the historical path; supplied caches change wall-clock only (hits are
+/// exact-verified — see [`PersistentCache`]).
+#[allow(clippy::too_many_arguments)]
+fn simulate_day_cached(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    setup: &RunSetup,
+    state: &mut RunState,
+    day_offset: usize,
+    rng: &mut impl Rng,
+    clearing_cache: Option<&mut PersistentCache>,
+    prediction_cache: Option<&mut PersistentCache>,
+    rec: &dyn Recorder,
+) -> Result<DayRecord, SimError> {
+    let _day_span = span(rec, "detect_day");
+    let inputs = prepare_day_inputs(
+        scenario,
+        config,
+        setup,
+        day_offset,
+        &state.compromised,
+        rng,
+        clearing_cache,
+        rec,
+    )?;
+    simulate_day_with_inputs(scenario, config, setup, state, inputs, prediction_cache, rec)
+}
+
+/// The stateful back half of one detection day: prediction, slot loop,
+/// detector actions, quarantine, history roll-in. Requires
+/// `inputs.assumed` to equal the run's compromise set at day start — the
+/// speculation commit check; [`simulate_day`] satisfies it trivially by
+/// preparing inputs from the live set.
+pub(crate) fn simulate_day_with_inputs(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    setup: &RunSetup,
+    state: &mut RunState,
+    inputs: DayInputs,
+    prediction_cache: Option<&mut PersistentCache>,
+    rec: &dyn Recorder,
+) -> Result<DayRecord, SimError> {
+    let DayInputs {
+        day_offset,
+        community,
+        clean,
+        manipulated,
+        realization_seed,
+        assumed,
+        realization: initial_realization,
+        clearing_secs,
+    } = inputs;
+    if assumed != compromised_indices(&state.compromised) {
+        return Err(SimError::Config(ValidateError::new(
+            "day inputs were speculated for a different compromise set than the run holds",
+        )));
+    }
     let fault_plan = config.faults.as_ref().filter(|plan| !plan.is_noop());
     let fleet = setup.fleet;
     let day = scenario.training_days + day_offset;
@@ -428,17 +633,6 @@ fn simulate_day(
     let true_start = state.true_buckets.len();
     let observed_start = state.observed_buckets.len();
     let demand_start = state.realized_demand.len();
-
-    let _day_span = span(rec, "detect_day");
-    let community = setup.generator.community_for_day(day, setup.weather[day]);
-    let clearing_watch = Stopwatch::start();
-    let clean = {
-        let _span = span(rec, "clearing");
-        setup.market.clear_day_recorded(&community, 2, rng, rec)?
-    };
-    let clearing_secs = clearing_watch.secs();
-    let manipulated = config.timeline.attack().apply(&clean.price);
-    let realization_seed: u64 = rng.gen();
 
     // The detector's day-ahead view.
     let prediction_watch = Stopwatch::start();
@@ -458,12 +652,21 @@ fn simulate_day(
                 generation_forecast,
             )?;
             let mut predicted_rng = ChaCha8Rng::seed_from_u64(realization_seed);
-            let predicted = det.framework.load.predict_recorded(
-                &community,
-                &predicted_price,
-                &mut predicted_rng,
-                rec,
-            )?;
+            let predicted = match prediction_cache {
+                Some(cache) => det.framework.load.predict_cached_recorded(
+                    &community,
+                    &predicted_price,
+                    &mut predicted_rng,
+                    cache,
+                    rec,
+                )?,
+                None => det.framework.load.predict_recorded(
+                    &community,
+                    &predicted_price,
+                    &mut predicted_rng,
+                    rec,
+                )?,
+            };
             Some(predicted)
         }
     };
@@ -482,24 +685,20 @@ fn simulate_day(
         )
     });
 
-    // Realize the day's response for the current compromise set: the
-    // committed (clean) plan with hacked homes deviating unilaterally.
+    // Re-realize the day whenever the compromise set changes mid-day; the
+    // day-start realization arrived precomputed in `inputs`.
     let realize = |compromised: &CompromiseSet| -> Result<PredictedResponse, SimError> {
-        if compromised.is_empty() {
-            return Ok(clean.response.clone());
-        }
-        let meters: Vec<MeterId> = compromised.iter().collect();
-        let mut child = ChaCha8Rng::seed_from_u64(realization_seed);
-        Ok(setup.market.truth_model().respond_unilaterally_recorded(
+        realize_day(
+            setup,
             &community,
-            &clean.response,
+            &clean,
             &manipulated,
-            &meters,
-            &mut child,
+            realization_seed,
+            compromised,
             rec,
-        )?)
+        )
     };
-    let mut realization = realize(&state.compromised)?;
+    let mut realization = initial_realization;
     // The telemetry view of the current realization, rebuilt lazily
     // whenever the realization changes mid-day.
     let mut observed_view: Option<TimeSeries<f64>> = None;
@@ -804,7 +1003,7 @@ pub fn run_long_term_detection_recorded(
 const TRAINING_STREAM: u64 = 0x7472_6169_6e69_6e67; // "training"
 
 /// The seeded stream for detection day `day_offset` of a supervised run.
-fn day_stream_seed(seed: u64, day_offset: usize) -> u64 {
+pub(crate) fn day_stream_seed(seed: u64, day_offset: usize) -> u64 {
     seed.wrapping_add((day_offset as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
@@ -846,6 +1045,60 @@ pub struct SupervisedRun {
     /// while two runs built from independent options can never see each
     /// other's faults.
     storage: StorageFaultLedger,
+    /// The cache knob this run was built with (handed to the speculative
+    /// pipeline's worker so it caches the same way).
+    cache: DayCacheConfig,
+    /// Cross-day memo cache for the market clearing's truth-model solves.
+    clearing_cache: Option<PersistentCache>,
+    /// Cross-day memo cache for the detector's load-prediction solves.
+    prediction_cache: Option<PersistentCache>,
+}
+
+/// Cross-day solver cache knob for a [`SupervisedRun`] (DESIGN.md §15).
+///
+/// When enabled, the runner carries two [`PersistentCache`]s across day
+/// boundaries — one for the market clearing's truth model, one for the
+/// detector's load prediction (they solve under different game
+/// configurations, so sharing one cache would thrash its invalidation).
+/// Purely a wall-clock knob: cached days are bit-identical to cold days,
+/// which is why this lives in the options and not in the journaled
+/// [`LongTermRunConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayCacheConfig {
+    /// Whether cross-day caches are carried at all (default off).
+    pub enabled: bool,
+    /// Bucketing quantum (kWh) for the caches' quantized lookup buckets.
+    pub quantum: f64,
+}
+
+impl Default for DayCacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            quantum: 1e-9,
+        }
+    }
+}
+
+impl DayCacheConfig {
+    /// The enabled configuration at the default quantum.
+    #[must_use]
+    pub fn on() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Builds one cache under this configuration (`None` when disabled).
+    pub(crate) fn build(&self) -> Result<Option<PersistentCache>, SimError> {
+        if !self.enabled {
+            return Ok(None);
+        }
+        Ok(Some(
+            PersistentCache::new(self.quantum).map_err(SimError::Config)?,
+        ))
+    }
 }
 
 /// Injectable plumbing for a [`SupervisedRun`]: which storage the journal
@@ -866,6 +1119,9 @@ pub struct SupervisedOptions {
     /// into the same tally); `Default` starts a fresh, independent one, so
     /// concurrent runs built from separate options cannot cross-contaminate.
     pub storage: StorageFaultLedger,
+    /// Cross-day solver caching (off by default; results are bit-identical
+    /// either way, so this is deliberately not journaled or fingerprinted).
+    pub cache: DayCacheConfig,
 }
 
 impl Default for SupervisedOptions {
@@ -875,6 +1131,7 @@ impl Default for SupervisedOptions {
             recorder: Arc::new(NoopRecorder),
             policy: StoragePolicy::default(),
             storage: StorageFaultLedger::new(),
+            cache: DayCacheConfig::default(),
         }
     }
 }
@@ -883,6 +1140,7 @@ impl std::fmt::Debug for SupervisedOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SupervisedOptions")
             .field("policy", &self.policy)
+            .field("cache", &self.cache)
             .finish_non_exhaustive()
     }
 }
@@ -957,6 +1215,7 @@ impl SupervisedRun {
             recorder,
             policy,
             storage,
+            cache,
         } = options;
         let setup = prepare(scenario, config)?;
         let mut training_rng = ChaCha8Rng::seed_from_u64(seed ^ TRAINING_STREAM);
@@ -994,6 +1253,8 @@ impl SupervisedRun {
             }
         };
         let journal = journal.with_policy(policy);
+        let clearing_cache = cache.build()?;
+        let prediction_cache = cache.build()?;
 
         Ok(Self {
             scenario: scenario.clone(),
@@ -1005,6 +1266,9 @@ impl SupervisedRun {
             next_day,
             recorder,
             storage,
+            cache,
+            clearing_cache,
+            prediction_cache,
         })
     }
 
@@ -1037,15 +1301,24 @@ impl SupervisedRun {
         }
         let mut rng = ChaCha8Rng::seed_from_u64(day_stream_seed(self.seed, self.next_day));
         let rec = self.recorder.as_ref();
-        let record = simulate_day(
+        let record = simulate_day_cached(
             &self.scenario,
             &self.config,
             &self.setup,
             &mut self.state,
             self.next_day,
             &mut rng,
+            self.clearing_cache.as_mut(),
+            self.prediction_cache.as_mut(),
             rec,
         )?;
+        self.commit_day(record)
+    }
+
+    /// Journals one completed day and advances the day counter — the tail
+    /// every stepping path (sequential and speculative) shares.
+    fn commit_day(&mut self, record: DayRecord) -> Result<(), SimError> {
+        let rec = self.recorder.as_ref();
         let append_watch = Stopwatch::start();
         {
             let _span = span(rec, "journal_append");
@@ -1070,6 +1343,84 @@ impl SupervisedRun {
         }
         self.next_day += 1;
         Ok(())
+    }
+
+    /// Steps the next day from precomputed [`DayInputs`] — the speculative
+    /// pipeline's commit path. The inputs' assumed compromise set must
+    /// match the run's (checked again inside, returning
+    /// [`SimError::Config`] on a protocol violation).
+    pub(crate) fn step_day_with_speculated(&mut self, inputs: DayInputs) -> Result<(), SimError> {
+        debug_assert_eq!(inputs.day_offset, self.next_day);
+        let rec = self.recorder.as_ref();
+        let record = {
+            let _day_span = span(rec, "detect_day");
+            simulate_day_with_inputs(
+                &self.scenario,
+                &self.config,
+                &self.setup,
+                &mut self.state,
+                inputs,
+                self.prediction_cache.as_mut(),
+                rec,
+            )?
+        };
+        self.commit_day(record)
+    }
+
+    /// Everything a speculating worker needs to rebuild this run's
+    /// per-day computation independently: the scenario/config pair, the
+    /// run seed (day RNG streams derive from it), and the cache knob.
+    pub(crate) fn speculation_parts(
+        &self,
+    ) -> (PaperScenario, LongTermRunConfig, u64, DayCacheConfig) {
+        (
+            self.scenario.clone(),
+            self.config.clone(),
+            self.seed,
+            self.cache,
+        )
+    }
+
+    /// The run's compromise set right now, in canonical sorted-index form.
+    pub(crate) fn current_compromised(&self) -> Vec<usize> {
+        compromised_indices(&self.state.compromised)
+    }
+
+    /// The compromise set expected at the *start* of day `day_offset + 1`,
+    /// assuming the detector dispatches no fix during day `day_offset`:
+    /// the current set plus every scripted timeline event in that day's
+    /// slots. This is the speculation's assumption — a fix mid-day makes
+    /// it diverge, which the commit check catches.
+    pub(crate) fn project_compromised_after(&self, day_offset: usize) -> Vec<usize> {
+        let mut projected = self.state.compromised.clone();
+        for slot in 0..SLOTS_PER_DAY {
+            let global_slot = day_offset * SLOTS_PER_DAY + slot;
+            let _ = self
+                .config
+                .timeline
+                .step(global_slot, &mut projected, self.setup.fleet);
+        }
+        compromised_indices(&projected)
+    }
+
+    /// The run's recorder (shared with the speculative driver's counters).
+    pub(crate) fn rec(&self) -> &dyn Recorder {
+        self.recorder.as_ref()
+    }
+
+    /// Cumulative persistent-cache statistics across the run's clearing and
+    /// prediction caches so far (all zero when [`DayCacheConfig`] caching is
+    /// disabled). Telemetry only — never journaled.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for cache in [self.clearing_cache.as_ref(), self.prediction_cache.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            stats.hits += cache.hits() as usize;
+            stats.misses += cache.misses() as usize;
+        }
+        stats
     }
 
     /// Storage faults this run's ledger absorbed so far (never part of the
@@ -1175,6 +1526,7 @@ mod tests {
             budget: SolveBudget::unlimited(),
             quarantine: QuarantineConfig::default(),
             parallelism: Default::default(),
+            clearing_iterations: 2,
         }
     }
 
@@ -1222,6 +1574,11 @@ mod tests {
         assert_eq!(parsed.budget, SolveBudget::unlimited());
         assert_eq!(parsed.quarantine, QuarantineConfig::default());
         assert_eq!(parsed.detection_days, 1);
+        assert_eq!(
+            parsed.clearing_iterations, 2,
+            "configs serialized before the knob existed must load as the \
+             historical 2 clearing rounds, not usize::default()"
+        );
     }
 
     #[test]

@@ -247,6 +247,7 @@ fn long_term_config(
         budget: SolveBudget::unlimited(),
         quarantine: QuarantineConfig::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     }
 }
 

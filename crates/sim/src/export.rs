@@ -504,6 +504,7 @@ mod tests {
             budget: nms_types::SolveBudget::unlimited(),
             quarantine: Default::default(),
             parallelism: Default::default(),
+            clearing_iterations: 2,
         };
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let result = run_long_term_detection(&scenario, &config, &mut rng).unwrap();

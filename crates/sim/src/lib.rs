@@ -42,6 +42,7 @@ mod faults;
 pub mod export;
 pub mod journal;
 mod market;
+mod pipeline;
 mod report;
 mod scenario;
 pub mod sweeps;
@@ -50,14 +51,15 @@ mod weather;
 pub use calibrate::DetectorCalibration;
 pub use detection::{
     run_long_term_detection, run_long_term_detection_recorded, run_long_term_supervised,
-    run_long_term_supervised_recorded, LongTermRunConfig, LongTermRunResult, SupervisedOptions,
-    SupervisedRun,
+    run_long_term_supervised_recorded, DayCacheConfig, LongTermRunConfig, LongTermRunResult,
+    SupervisedOptions, SupervisedRun,
 };
 pub use error::SimError;
 pub use faults::{
     corrupt_day, corrupt_day_meters, CorruptedDay, CorruptedMeters, FaultPlan, MeterOutage,
 };
 pub use market::{DayOutcome, Market};
+pub use pipeline::SpeculationReport;
 pub use nms_par::Parallelism;
 pub use report::{render_series, render_table};
 pub use scenario::{CommunityGenerator, PaperScenario};

@@ -1,0 +1,181 @@
+//! The speculative day pipeline (DESIGN.md §15): overlap day `k+1`'s
+//! market clearing and realization with day `k`'s detection.
+//!
+//! A detection day splits into a belief-independent front half (community
+//! generation, market clearing, attack application, realization — pure in
+//! the day's seeded RNG stream and an *assumed* compromise set) and a
+//! stateful back half (prediction, slot loop, POMDP). The pipeline runs
+//! the front half of the next day on a [`SpeculativeWorker`] while the
+//! main thread runs the back half of the current day, then **commits** the
+//! precomputed inputs only when the assumption they were built on — the
+//! compromise set at next-day start — turns out to hold. The only thing
+//! that can break it is the detector dispatching a mid-day fix (scripted
+//! timeline events are projected exactly), in which case the speculation
+//! is **discarded** and the day recomputed inline from the same seeds.
+//!
+//! Bit-identity is preserved by construction rather than by tolerance:
+//! every day stream derives from `(seed, day)` alone, so the worker's
+//! computation is the same pure function the inline path evaluates, and a
+//! committed speculation feeds the back half inputs that are bit-identical
+//! to what it would have computed itself. The speculation tally is
+//! telemetry only — it is returned beside the result and never journaled,
+//! so a speculative run's journal is byte-identical to a sequential run's.
+
+use nms_attack::CompromiseSet;
+use nms_obs::{names, NoopRecorder};
+use nms_par::SpeculativeWorker;
+use nms_solver::PersistentCache;
+use nms_types::{MeterId, ValidateError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::detection::{
+    day_stream_seed, prepare, prepare_day_inputs, DayCacheConfig, DayInputs, LongTermRunConfig,
+    LongTermRunResult, RunSetup, SupervisedRun,
+};
+use crate::{PaperScenario, SimError};
+
+/// How one speculative run's pipeline behaved. Telemetry only: never
+/// journaled, never folded into [`LongTermRunResult`], so sequential and
+/// speculative runs stay bit-identical in every persisted artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeculationReport {
+    /// Next-day speculations submitted to the worker.
+    pub launched: u64,
+    /// Speculations whose compromise-set assumption held at commit time.
+    pub committed: u64,
+    /// Speculations discarded — the assumption diverged (a mid-day fix)
+    /// or the worker failed; the day recomputed inline either way.
+    pub discarded: u64,
+}
+
+/// A request to precompute day `day_offset`'s inputs under an assumed
+/// compromise set (sorted meter indices).
+struct SpecRequest {
+    day_offset: usize,
+    assumed: Vec<usize>,
+}
+
+struct SpecResponse {
+    day_offset: usize,
+    outcome: Result<DayInputs, SimError>,
+}
+
+/// The worker-side job: rebuild the day's front half from scratch using
+/// worker-local setup and a worker-local clearing cache. Pure in
+/// `(scenario, config, seed, request)`, which is the whole determinism
+/// argument — see the module docs.
+fn speculate(
+    scenario: &PaperScenario,
+    config: &LongTermRunConfig,
+    seed: u64,
+    cache_config: DayCacheConfig,
+    ctx: &mut Option<(RunSetup, Option<PersistentCache>)>,
+    request: &SpecRequest,
+) -> Result<DayInputs, SimError> {
+    if ctx.is_none() {
+        *ctx = Some((prepare(scenario, config)?, cache_config.build()?));
+    }
+    let Some((setup, cache)) = ctx.as_mut() else {
+        return Err(SimError::Config(ValidateError::new(
+            "speculation context failed to initialize",
+        )));
+    };
+    let assumed: CompromiseSet = request.assumed.iter().map(|&m| MeterId::new(m)).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(day_stream_seed(seed, request.day_offset));
+    prepare_day_inputs(
+        scenario,
+        config,
+        setup,
+        request.day_offset,
+        &assumed,
+        &mut rng,
+        cache.as_mut(),
+        &NoopRecorder,
+    )
+}
+
+impl SupervisedRun {
+    /// Runs every remaining day through the speculative pipeline, then
+    /// finishes. The result is bit-identical to [`SupervisedRun::run`]
+    /// (asserted by `tests/day_pipeline.rs`); the report says how often
+    /// speculation paid off.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SupervisedRun::run`].
+    pub fn run_speculative(mut self) -> Result<(LongTermRunResult, SpeculationReport), SimError> {
+        let mut report = SpeculationReport::default();
+        let (scenario, config, seed, cache_config) = self.speculation_parts();
+        let total_days = config.detection_days;
+        let worker = SpeculativeWorker::spawn({
+            let mut ctx: Option<(RunSetup, Option<PersistentCache>)> = None;
+            move |request: SpecRequest| -> SpecResponse {
+                let day_offset = request.day_offset;
+                let outcome = speculate(&scenario, &config, seed, cache_config, &mut ctx, &request);
+                SpecResponse {
+                    day_offset,
+                    outcome,
+                }
+            }
+        });
+
+        let mut inflight: Option<usize> = None;
+        while !self.is_finished() {
+            let day = self.completed_days();
+
+            // Launch day k+1 before running day k: the worker clears
+            // tomorrow's market while this thread detects today.
+            let mut launched = false;
+            if day + 1 < total_days {
+                let request = SpecRequest {
+                    day_offset: day + 1,
+                    assumed: self.project_compromised_after(day),
+                };
+                if worker.submit(request) {
+                    report.launched += 1;
+                    self.rec().add(names::pipeline::SPECULATION_LAUNCHED, 1);
+                    launched = true;
+                }
+            }
+
+            // Collect (and commit-check) the speculation for *this* day,
+            // submitted on the previous iteration. FIFO ordering means it
+            // is the next response even though day k+1 is already queued.
+            let mut speculated: Option<DayInputs> = None;
+            if inflight.take() == Some(day) {
+                if let Some(response) = worker.recv() {
+                    debug_assert_eq!(response.day_offset, day);
+                    if let Ok(inputs) = response.outcome {
+                        if inputs.day_offset == day && inputs.assumed == self.current_compromised()
+                        {
+                            speculated = Some(inputs);
+                        }
+                    }
+                }
+                if speculated.is_some() {
+                    report.committed += 1;
+                    self.rec().add(names::pipeline::SPECULATION_COMMITTED, 1);
+                } else {
+                    report.discarded += 1;
+                    self.rec().add(names::pipeline::SPECULATION_DISCARDED, 1);
+                }
+            }
+            if launched {
+                inflight = Some(day + 1);
+            }
+
+            match speculated {
+                Some(inputs) => self.step_day_with_speculated(inputs)?,
+                None => self.step_day()?,
+            }
+        }
+
+        // A run that finishes with a speculation still queued (it cannot,
+        // today: the last day never launches one) would simply drop the
+        // worker, whose Drop joins after the in-flight job.
+        drop(worker);
+        let result = self.finish()?;
+        Ok((result, report))
+    }
+}

@@ -293,6 +293,7 @@ pub fn sweep_fault_tolerance_recorded(
                 budget: SolveBudget::unlimited(),
                 quarantine: QuarantineConfig::default(),
                 parallelism: Default::default(),
+                clearing_iterations: 2,
             };
             let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xfa_417);
             run_long_term_detection(scenario, &config, &mut rng)

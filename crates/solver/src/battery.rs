@@ -8,7 +8,7 @@
 
 use nms_pricing::CostModel;
 use nms_smarthome::Battery;
-use nms_types::{BudgetClock, Kwh, TimeSeries};
+use nms_types::{BudgetClock, Horizon, Kwh, TimeSeries};
 use rand::Rng;
 
 use crate::{CeSolution, CrossEntropyOptimizer, SolverError};
@@ -23,9 +23,10 @@ const THROUGHPUT_PENALTY: f64 = 1e4;
 #[derive(Debug, Clone, Copy)]
 pub struct BatteryProblem<'a> {
     battery: &'a Battery,
-    load: &'a TimeSeries<f64>,
-    generation: &'a TimeSeries<f64>,
-    others_trading: &'a TimeSeries<f64>,
+    horizon: Horizon,
+    load: &'a [f64],
+    generation: &'a [f64],
+    others_trading: &'a [f64],
     cost_model: CostModel<'a>,
 }
 
@@ -42,11 +43,40 @@ impl<'a> BatteryProblem<'a> {
         others_trading: &'a TimeSeries<f64>,
         cost_model: CostModel<'a>,
     ) -> Self {
+        Self::from_slices(
+            battery,
+            load.horizon(),
+            load.as_slice(),
+            generation.as_slice(),
+            others_trading.as_slice(),
+            cost_model,
+        )
+    }
+
+    /// [`BatteryProblem::new`] over raw per-slot slices — the batch form
+    /// used by the structure-of-arrays game kernels, where every series is a
+    /// contiguous `f64` lane. Arithmetic is identical to the `TimeSeries`
+    /// constructor: the slices hold the exact `f64`s the series would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have differing slot counts or disagree with
+    /// `horizon`.
+    pub fn from_slices(
+        battery: &'a Battery,
+        horizon: Horizon,
+        load: &'a [f64],
+        generation: &'a [f64],
+        others_trading: &'a [f64],
+        cost_model: CostModel<'a>,
+    ) -> Self {
+        assert_eq!(load.len(), horizon.slots(), "load/horizon slots");
         assert_eq!(load.len(), generation.len(), "load/generation slots");
         assert_eq!(load.len(), others_trading.len(), "load/others slots");
         assert_eq!(load.len(), cost_model.prices().len(), "load/prices slots");
         Self {
             battery,
+            horizon,
             load,
             generation,
             others_trading,
@@ -91,7 +121,7 @@ impl<'a> BatteryProblem<'a> {
     /// The customer's trading series implied by an interior trajectory.
     pub fn trading(&self, interior: &[f64]) -> TimeSeries<f64> {
         let mut prev = self.battery.initial_charge().value();
-        TimeSeries::from_fn(self.load.horizon(), |h| {
+        TimeSeries::from_fn(self.horizon, |h| {
             let next = interior[h];
             let y = self.load[h] + next - prev - self.generation[h];
             prev = next;

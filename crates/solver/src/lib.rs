@@ -38,7 +38,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod battery;
+mod cache;
 mod ce;
 mod dp;
 mod error;
@@ -48,11 +50,13 @@ mod response;
 mod retry;
 mod workspace;
 
+pub use batch::BatchResponseWorkspace;
 pub use battery::{
     coordinate_descent_battery, optimize_battery, try_optimize_battery,
     try_optimize_battery_budgeted, try_optimize_battery_budgeted_in,
     try_optimize_battery_budgeted_par, BatteryProblem,
 };
+pub use cache::PersistentCache;
 pub use ce::{CeConfig, CeSolution, CeWorkspace, CrossEntropyOptimizer};
 pub use dp::{DpScheduler, DpWorkspace};
 pub use error::SolverError;
@@ -61,7 +65,7 @@ pub use nms_par::Parallelism;
 pub use nash::{nash_gap, NashGap};
 pub use response::{
     best_response, best_response_in, best_response_recorded, best_response_reference,
-    ResponseConfig,
+    best_response_slice_in, ResponseConfig,
 };
 pub use retry::{solve_battery_robust, BatterySolveStage, RobustBatteryOutcome};
 pub use workspace::ResponseWorkspace;

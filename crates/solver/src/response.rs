@@ -123,7 +123,7 @@ pub fn best_response_recorded(
 ) -> Result<CustomerSchedule, SolverError> {
     best_response_core(
         customer,
-        others_trading,
+        others_trading.as_slice(),
         cost_model,
         config,
         previous,
@@ -147,6 +147,41 @@ pub fn best_response_recorded(
 pub fn best_response_in(
     customer: &Customer,
     others_trading: &TimeSeries<f64>,
+    cost_model: CostModel<'_>,
+    config: &ResponseConfig,
+    previous: Option<&CustomerSchedule>,
+    rng: &mut impl Rng,
+    rec: &dyn Recorder,
+    ws: &mut ResponseWorkspace,
+) -> Result<CustomerSchedule, SolverError> {
+    best_response_core(
+        customer,
+        others_trading.as_slice(),
+        cost_model,
+        config,
+        previous,
+        rng,
+        rec,
+        ws,
+        true,
+    )
+}
+
+/// [`best_response_in`] with the others-trading series supplied as a raw
+/// per-slot slice instead of a [`TimeSeries`] — the structure-of-arrays
+/// entry point the game engine's batched round kernels use: one Jacobi or
+/// Gauss–Seidel round walks flat `f64` lanes and hands each customer's
+/// others-lane straight to the solve with no series materialization.
+/// Bit-identical to [`best_response_in`] over a series holding the same
+/// values (the slice *is* the series' storage).
+///
+/// # Errors
+///
+/// Same as [`best_response`].
+#[allow(clippy::too_many_arguments)]
+pub fn best_response_slice_in(
+    customer: &Customer,
+    others_trading: &[f64],
     cost_model: CostModel<'_>,
     config: &ResponseConfig,
     previous: Option<&CustomerSchedule>,
@@ -191,7 +226,7 @@ pub fn best_response_reference(
 ) -> Result<CustomerSchedule, SolverError> {
     best_response_core(
         customer,
-        others_trading,
+        others_trading.as_slice(),
         cost_model,
         config,
         previous,
@@ -209,7 +244,7 @@ pub fn best_response_reference(
 #[allow(clippy::too_many_arguments)]
 fn best_response_core(
     customer: &Customer,
-    others_trading: &TimeSeries<f64>,
+    others_trading: &[f64],
     cost_model: CostModel<'_>,
     config: &ResponseConfig,
     previous: Option<&CustomerSchedule>,
@@ -284,7 +319,7 @@ fn best_response_core(
     // the (fixed) aggregate trading of the others — hoist them once per
     // response instead of re-deriving them per DP cell.
     if hoist {
-        cost_model.hoist_into(others_trading, table);
+        cost_model.hoist_slice_into(others_trading, table);
     }
 
     // Tallied locally (the DP cost closure is not `Sync`-friendly to hand
@@ -334,10 +369,11 @@ fn best_response_core(
             for (h, value) in load.iter_mut().enumerate() {
                 *value = customer.base_load()[h] + energies.iter().map(|e| e[h]).sum::<f64>();
             }
-            let problem = BatteryProblem::new(
+            let problem = BatteryProblem::from_slices(
                 customer.battery(),
-                load,
-                generation,
+                horizon,
+                load.as_slice(),
+                generation.as_slice(),
                 others_trading,
                 cost_model,
             );

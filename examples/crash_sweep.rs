@@ -94,6 +94,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         budget: Default::default(),
         quarantine: Default::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     };
 
     let started = Instant::now();
@@ -139,6 +140,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         cache_hits: 0,
         cache_misses: 0,
         note: format!("{operations} kill points x 2 pipeline runs each, plus 1 golden run"),
+        speedup: 0.0,
     }])?;
     println!("recorded crash_sweep/sweep into BENCH_results.json");
     Ok(())

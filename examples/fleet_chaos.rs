@@ -122,6 +122,7 @@ fn run_config(cli: &Cli) -> LongTermRunConfig {
         budget: SolveBudget::unlimited(),
         quarantine: Default::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     }
 }
 

@@ -164,6 +164,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             budget: Default::default(),
             quarantine: Default::default(),
             parallelism: Parallelism::new(threads),
+            clearing_iterations: 2,
         };
         let result: LongTermRunResult = match &journal {
             None => {

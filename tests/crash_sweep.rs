@@ -62,6 +62,7 @@ fn sweep_config(
         budget: Default::default(),
         quarantine: QuarantineConfig::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     }
 }
 
@@ -382,6 +383,7 @@ fn bench_merge_writer_retries_and_fails_typed() {
         cache_hits: 0,
         cache_misses: 0,
         note: "storage-fault smoke".into(),
+        speedup: 0.0,
     };
 
     // Transient faults: the default 3-attempt policy rides them out.

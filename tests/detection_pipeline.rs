@@ -138,6 +138,7 @@ fn long_term_run_is_deterministic_under_seed() {
         budget: Default::default(),
         quarantine: Default::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     };
     let run = |seed: u64| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -169,6 +170,7 @@ fn no_detection_run_never_repairs() {
         budget: Default::default(),
         quarantine: Default::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     };
     let mut rng = ChaCha8Rng::seed_from_u64(12);
     let result = run_long_term_detection(&s, &config, &mut rng).unwrap();
@@ -196,6 +198,7 @@ fn detector_with_long_lag_requires_enough_training_days() {
         budget: Default::default(),
         quarantine: Default::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     };
     let mut rng = ChaCha8Rng::seed_from_u64(13);
     let err = run_long_term_detection(&s, &config, &mut rng).unwrap_err();

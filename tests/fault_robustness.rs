@@ -59,6 +59,7 @@ fn config(detector: Option<FrameworkConfig>, days: usize, faults: Option<FaultPl
         budget: Default::default(),
         quarantine: QuarantineConfig::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     }
 }
 

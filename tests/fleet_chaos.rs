@@ -59,6 +59,7 @@ fn run_config() -> LongTermRunConfig {
         budget: SolveBudget::unlimited(),
         quarantine: Default::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     }
 }
 

@@ -60,6 +60,7 @@ fn detection_config(customers: usize) -> LongTermRunConfig {
         budget: netmeter_sentinel::types::SolveBudget::unlimited(),
         quarantine: Default::default(),
         parallelism: Default::default(),
+        clearing_iterations: 2,
     }
 }
 

@@ -57,6 +57,7 @@ fn long_term_detection_is_bit_identical_across_thread_counts() {
             budget: netmeter_sentinel::types::SolveBudget::unlimited(),
             quarantine: Default::default(),
             parallelism: Parallelism::new(threads),
+            clearing_iterations: 2,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         run_long_term_detection(&scenario, &config, &mut rng).unwrap()

@@ -158,6 +158,13 @@ fn game_rounds_bit_identical_to_closure_reference() {
             tradings[index] = response.trading().clone();
             schedules[index] = Some(response);
         }
+        // The engine rebuilds `total` from the lanes at every round
+        // boundary (so limit-cycle rounds repeat bitwise); the replica must
+        // re-accumulate in the same customer order to stay bit-identical.
+        total = TimeSeries::filled(horizon, 0.0);
+        for trading in &tradings {
+            total = total.add(trading).unwrap();
+        }
         if round_delta <= config.tolerance {
             break;
         }

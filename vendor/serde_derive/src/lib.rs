@@ -16,21 +16,31 @@
 //! - type generics without defaults (e.g. `TimeSeries<T>`); each
 //!   parameter gets the corresponding trait bound on the impl
 //!
-//! `#[serde(...)]` attributes are accepted; most are ignored. Two are
+//! `#[serde(...)]` attributes are accepted; most are ignored. Three are
 //! honoured: `#[serde(transparent)]` trivially (it appears on `f64`
-//! newtypes whose default newtype representation is already transparent)
-//! and the per-field `#[serde(default)]`, which makes deserialization
-//! fall back to `Default::default()` when the key is absent from the map
-//! — the mechanism that lets configs grown after a release still accept
-//! old serialized forms.
+//! newtypes whose default newtype representation is already transparent),
+//! the per-field `#[serde(default)]`, which makes deserialization fall
+//! back to `Default::default()` when the key is absent from the map, and
+//! the per-field `#[serde(default = "path")]`, which falls back to calling
+//! `path()` instead — the mechanisms that let configs grown after a
+//! release still accept old serialized forms, including fields whose
+//! historical value is not the type's `Default`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One named field: its identifier plus whether `#[serde(default)]` was
-/// attached (missing-key fallback on deserialize).
+/// Missing-key fallback for one named field on deserialize.
+enum FieldDefault {
+    /// Bare `#[serde(default)]`: `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+/// One named field: its identifier plus any `#[serde(default...)]`
+/// missing-key fallback.
 struct Field {
     name: String,
-    default: bool,
+    default: Option<FieldDefault>,
 }
 
 /// How a struct or enum variant stores its data.
@@ -120,10 +130,10 @@ fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
     consume_attributes(tokens, i);
 }
 
-/// Advances past any `#[...]` outer attributes, reporting whether one of
-/// them was `#[serde(...)]` containing a top-level `default` entry.
-fn consume_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
-    let mut has_default = false;
+/// Advances past any `#[...]` outer attributes, reporting any
+/// `#[serde(...)]` top-level `default` / `default = "path"` entry found.
+fn consume_attributes(tokens: &[TokenTree], i: &mut usize) -> Option<FieldDefault> {
+    let mut default = None;
     while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
         if p.as_char() != '#' {
             break;
@@ -131,36 +141,56 @@ fn consume_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
         *i += 1; // '#'
         match tokens.get(*i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                has_default |= attribute_has_serde_default(g.stream());
+                if let Some(found) = attribute_serde_default(g.stream()) {
+                    default = Some(found);
+                }
                 *i += 1;
             }
             other => panic!("serde_derive: malformed attribute near {other:?}"),
         }
     }
-    has_default
+    default
 }
 
 /// Inspects the interior of one `#[...]` bracket group for
-/// `serde(... default ...)` at the top nesting level of the parens.
-fn attribute_has_serde_default(stream: TokenStream) -> bool {
+/// `serde(... default ...)` or `serde(... default = "path" ...)` at the
+/// top nesting level of the parens.
+fn attribute_serde_default(stream: TokenStream) -> Option<FieldDefault> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let is_serde = matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
     if !is_serde {
-        return false;
+        return None;
     }
     let Some(TokenTree::Group(args)) = tokens.get(1) else {
-        return false;
+        return None;
     };
     if args.delimiter() != Delimiter::Parenthesis {
-        return false;
+        return None;
     }
     let args: Vec<TokenTree> = args.stream().into_iter().collect();
-    args.iter().enumerate().any(|(k, tok)| {
-        // Bare `default`, not `default = "path"` (unsupported) and not an
-        // argument to some other nested meta item.
-        matches!(tok, TokenTree::Ident(id) if id.to_string() == "default")
-            && !matches!(args.get(k + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
-    })
+    for (k, tok) in args.iter().enumerate() {
+        if !matches!(tok, TokenTree::Ident(id) if id.to_string() == "default") {
+            continue;
+        }
+        match args.get(k + 1) {
+            // `default = "path"`: the literal token keeps its quotes.
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                let Some(TokenTree::Literal(lit)) = args.get(k + 2) else {
+                    panic!("serde_derive: `default =` must be followed by a string literal");
+                };
+                let raw = lit.to_string();
+                let path = raw
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .unwrap_or_else(|| {
+                        panic!("serde_derive: `default = {raw}` is not a string literal")
+                    });
+                return Some(FieldDefault::Path(path.to_string()));
+            }
+            _ => return Some(FieldDefault::Trait),
+        }
+    }
+    None
 }
 
 /// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
@@ -475,21 +505,27 @@ fn serialize_arm(variant: &Variant) -> String {
 
 /// The initializer expression for one named field read out of the map
 /// binding `entries_var`. Fields marked `#[serde(default)]` fall back to
-/// `Default::default()` when the key is absent.
+/// `Default::default()` when the key is absent; `#[serde(default =
+/// "path")]` fields call `path()` instead.
 fn named_field_init(field: &Field, entries_var: &str) -> String {
     let f = &field.name;
-    if field.default {
-        format!(
-            "{f}: match ::serde::field({entries_var}, \"{f}\") {{\
-                 ::std::result::Result::Ok(c) => ::serde::Deserialize::from_content(c)?,\
-                 ::std::result::Result::Err(_) => ::std::default::Default::default(),\
-             }}"
-        )
-    } else {
-        format!(
+    match &field.default {
+        Some(default) => {
+            let fallback = match default {
+                FieldDefault::Trait => "::std::default::Default::default()".to_string(),
+                FieldDefault::Path(path) => format!("{path}()"),
+            };
+            format!(
+                "{f}: match ::serde::field({entries_var}, \"{f}\") {{\
+                     ::std::result::Result::Ok(c) => ::serde::Deserialize::from_content(c)?,\
+                     ::std::result::Result::Err(_) => {fallback},\
+                 }}"
+            )
+        }
+        None => format!(
             "{f}: ::serde::Deserialize::from_content(\
              ::serde::field({entries_var}, \"{f}\")?)?"
-        )
+        ),
     }
 }
 
